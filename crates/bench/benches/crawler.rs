@@ -1,0 +1,61 @@
+//! Crawler ablations: fetch throughput vs worker concurrency, and the
+//! cost of endpoint benchmarking/shortlisting (§3.1 methodology).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use txstat_crawler::{crawl_eos, eos_head, Advertised, ClientConfig, RotatingPool};
+use txstat_netsim::handlers::EosRpcHandler;
+use txstat_netsim::server::spawn_http;
+use txstat_netsim::EndpointProfile;
+use txstat_types::time::{ChainTime, Period};
+use txstat_workload::Scenario;
+
+fn crawl_concurrency(c: &mut Criterion) {
+    let rt = tokio::runtime::Runtime::new().expect("tokio runtime");
+    // A ~190-block EOS chain served by two generous endpoints.
+    let mut sc = Scenario::small(42);
+    sc.period = Period::new(
+        ChainTime::from_ymd(2019, 10, 30),
+        ChainTime::from_ymd(2019, 11, 3),
+    );
+    let chain = Arc::new(txstat_workload::eos::build_eos(&sc));
+    let low = chain.config.start_block_num;
+    let handler = Arc::new(EosRpcHandler::new(chain.clone()));
+    let (pool, head) = rt.block_on(async {
+        let a = spawn_http(handler.clone(), EndpointProfile::generous("a", 1)).await.unwrap();
+        let b = spawn_http(handler.clone(), EndpointProfile::generous("b", 2)).await.unwrap();
+        let pool = Arc::new(RotatingPool::new(vec![
+            Advertised { name: a.name.clone(), addr: a.addr },
+            Advertised { name: b.name.clone(), addr: b.addr },
+        ]));
+        // Keep the endpoints alive for the whole bench.
+        std::mem::forget(a);
+        std::mem::forget(b);
+        let head = eos_head(&pool, &ClientConfig::default()).await.unwrap();
+        (pool, head)
+    });
+
+    let mut g = c.benchmark_group("crawler");
+    g.sample_size(10);
+    for workers in [1usize, 4, 8] {
+        g.bench_function(format!("crawl_192_blocks_workers_{workers}"), |b| {
+            b.iter(|| {
+                let crawl = rt
+                    .block_on(crawl_eos(
+                        pool.clone(),
+                        ClientConfig::default(),
+                        low,
+                        head,
+                        workers,
+                    ))
+                    .expect("crawl");
+                black_box(crawl.blocks.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, crawl_concurrency);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! One bench per paper exhibit: each measures regenerating that table or
+//! figure from the assembled dataset (the analytics cost, not chain
+//! generation — the fixture is built once).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use txstat_bench::{bench_data, bench_scenario};
+use txstat_reports::exhibits;
+
+fn figures(c: &mut Criterion) {
+    let data = bench_data();
+    let sc = bench_scenario();
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(20);
+
+    g.bench_function("fig1_distributions", |b| {
+        b.iter(|| black_box(exhibits::fig1(data)))
+    });
+    g.bench_function("fig2_dataset_stats", |b| {
+        // LZSS-samples every serialized block: the heavy exhibit.
+        b.iter(|| black_box(exhibits::fig2(data)))
+    });
+    g.bench_function("fig3_throughput_series", |b| {
+        b.iter(|| black_box(exhibits::fig3(data)))
+    });
+    g.bench_function("fig4_eos_top_received", |b| {
+        b.iter(|| black_box(exhibits::fig4(data)))
+    });
+    g.bench_function("fig5_eos_top_senders", |b| {
+        b.iter(|| black_box(exhibits::fig5(data)))
+    });
+    g.bench_function("fig6_tezos_senders", |b| {
+        b.iter(|| black_box(exhibits::fig6(data)))
+    });
+    g.bench_function("fig7_value_funnel", |b| {
+        b.iter(|| black_box(exhibits::fig7(data)))
+    });
+    g.bench_function("fig8_most_active", |b| {
+        b.iter(|| black_box(exhibits::fig8(data)))
+    });
+    g.bench_function("fig9_governance_curves", |b| {
+        b.iter(|| black_box(exhibits::fig9(data)))
+    });
+    g.bench_function("fig11_iou_rates", |b| {
+        b.iter(|| black_box(exhibits::fig11(data)))
+    });
+    g.bench_function("fig12_value_flow", |b| {
+        b.iter(|| black_box(exhibits::fig12(data)))
+    });
+    g.bench_function("headline_findings", |b| {
+        b.iter(|| black_box(exhibits::headline(data)))
+    });
+    g.bench_function("case_studies", |b| {
+        b.iter(|| black_box(exhibits::case_studies(data)))
+    });
+    g.bench_function("paper_comparison", |b| {
+        b.iter(|| black_box(txstat_reports::comparison(data)))
+    });
+    g.finish();
+
+    // Workload generation itself (chain simulation throughput).
+    let mut g = c.benchmark_group("generation");
+    g.sample_size(10);
+    g.bench_function("eos_chain", |b| {
+        b.iter(|| black_box(txstat_workload::eos::build_eos(&sc)))
+    });
+    g.bench_function("tezos_chain", |b| {
+        b.iter(|| black_box(txstat_workload::tezos::build_tezos(&sc)))
+    });
+    g.bench_function("xrp_ledger", |b| {
+        b.iter(|| black_box(txstat_workload::xrp::build_xrp(&sc)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, figures);
+criterion_main!(benches);

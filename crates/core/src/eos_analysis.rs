@@ -1,0 +1,649 @@
+//! EOS analytics: the Figure 1 action taxonomy, Figure 3a category
+//! throughput, Figures 4–5 top-account tables, and the §4.1 case-study
+//! detectors (WhaleEx wash trading, EIDOS boomerang mining).
+
+use std::collections::{HashMap, HashSet};
+use txstat_eos::contract::AppCategory;
+use txstat_eos::name::Name;
+use txstat_eos::types::{ActionData, Block};
+use txstat_types::series::BucketSeries;
+use txstat_types::stats::TopK;
+use txstat_types::time::{Period, SIX_HOURS};
+
+/// Figure 1's three EOS action classes (plus the user-defined remainder).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EosActionClass {
+    P2pTransaction,
+    AccountAction,
+    OtherAction,
+    Others,
+}
+
+impl EosActionClass {
+    pub const fn label(self) -> &'static str {
+        match self {
+            EosActionClass::P2pTransaction => "P2P transaction",
+            EosActionClass::AccountAction => "Account actions",
+            EosActionClass::OtherAction => "Other actions",
+            EosActionClass::Others => "Others",
+        }
+    }
+}
+
+/// Classify one action name the way the paper's Figure 1 does: system
+/// accounts' actions are known; token-contract `transfer`s are P2P value
+/// movement; everything else is user-defined.
+pub fn classify_action(name: Name, data: &ActionData) -> EosActionClass {
+    if matches!(data, ActionData::Transfer { .. }) {
+        return EosActionClass::P2pTransaction;
+    }
+    let s = name.to_string_repr();
+    match s.as_str() {
+        "transfer" => EosActionClass::P2pTransaction,
+        "bidname" | "deposit" | "newaccount" | "updateauth" | "linkauth" => {
+            EosActionClass::AccountAction
+        }
+        "delegatebw" | "buyrambytes" | "undelegatebw" | "rentcpu" | "voteproducer" | "buyram" => {
+            EosActionClass::OtherAction
+        }
+        _ => EosActionClass::Others,
+    }
+}
+
+/// One row of the Figure 1 EOS column.
+#[derive(Debug, Clone)]
+pub struct ActionRow {
+    pub class: EosActionClass,
+    pub action: String,
+    pub count: u64,
+}
+
+/// The full Figure 1 EOS column: per-action counts grouped by class.
+pub fn action_distribution(blocks: &[Block], period: Period) -> (Vec<ActionRow>, u64) {
+    let mut counts: HashMap<(EosActionClass, String), u64> = HashMap::new();
+    let mut total = 0u64;
+    for b in blocks {
+        if !period.contains(b.time) {
+            continue;
+        }
+        for tx in &b.transactions {
+            for a in &tx.actions {
+                let class = classify_action(a.name, &a.data);
+                let key_name = match class {
+                    EosActionClass::Others => "Others".to_owned(),
+                    _ => a.name.to_string_repr(),
+                };
+                *counts.entry((class, key_name)).or_insert(0) += 1;
+                total += 1;
+            }
+        }
+    }
+    let mut rows: Vec<ActionRow> = counts
+        .into_iter()
+        .map(|((class, action), count)| ActionRow { class, action, count })
+        .collect();
+    rows.sort_by(|a, b| {
+        a.class
+            .cmp(&b.class)
+            .then(b.count.cmp(&a.count))
+            .then(a.action.cmp(&b.action))
+    });
+    (rows, total)
+}
+
+/// The paper's "manually label the top 100 contracts" step: a curated map
+/// from contract account to app category. [`EosLabels::curated`] carries the
+/// labels for every named dApp of the scenario (as the authors labeled
+/// mainnet contracts by inspection).
+#[derive(Debug, Clone, Default)]
+pub struct EosLabels {
+    labels: HashMap<Name, AppCategory>,
+}
+
+impl EosLabels {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn label(&mut self, contract: Name, category: AppCategory) {
+        self.labels.insert(contract, category);
+    }
+
+    pub fn get(&self, contract: Name) -> Option<AppCategory> {
+        self.labels.get(&contract).copied()
+    }
+
+    /// The curated label set for the reproduction scenario's dApp cast.
+    pub fn curated() -> Self {
+        let mut l = EosLabels::new();
+        let betting = [
+            "betdicegroup", "betdicetasks", "betdicebacca", "betdicesicbo", "betdiceadmin",
+            "bluebetproxy", "bluebet2user", "bluebetbcrat", "bluebettexas", "bluebetjacks",
+        ];
+        for b in betting {
+            l.label(Name::new(b), AppCategory::Betting);
+        }
+        l.label(Name::new("pornhashbaby"), AppCategory::Pornography);
+        l.label(Name::new("eossanguoone"), AppCategory::Games);
+        l.label(Name::new("whaleextrust"), AppCategory::Exchange);
+        l.label(Name::new("eosio.token"), AppCategory::Tokens);
+        l.label(Name::new("eidosonecoin"), AppCategory::Tokens);
+        l.label(Name::new("lynxtoken123"), AppCategory::Tokens);
+        l
+    }
+
+    /// Label the top `k` contracts by received transactions, taking labels
+    /// from `ground_truth` where available — the programmatic equivalent of
+    /// the paper's manual labeling session.
+    pub fn from_top_contracts(
+        blocks: &[Block],
+        period: Period,
+        k: usize,
+        ground_truth: &dyn Fn(Name) -> Option<AppCategory>,
+    ) -> Self {
+        let mut received: TopK<Name> = TopK::new();
+        for b in blocks {
+            if !period.contains(b.time) {
+                continue;
+            }
+            for tx in &b.transactions {
+                let contracts: HashSet<Name> = tx.actions.iter().map(|a| a.contract).collect();
+                for c in contracts {
+                    received.inc(c);
+                }
+            }
+        }
+        let mut l = EosLabels::new();
+        for (contract, _) in received.top(k) {
+            if let Some(cat) = ground_truth(contract) {
+                l.label(contract, cat);
+            }
+        }
+        l
+    }
+
+    /// Category of a transaction: the label of its first action's contract
+    /// (unlabeled contracts fall into Others).
+    pub fn tx_category(&self, tx: &txstat_eos::types::Transaction) -> AppCategory {
+        tx.actions
+            .first()
+            .and_then(|a| self.get(a.contract))
+            .unwrap_or(AppCategory::Others)
+    }
+}
+
+/// Figure 3a: transaction counts per six-hour bucket per app category.
+pub fn throughput_series(
+    blocks: &[Block],
+    period: Period,
+    labels: &EosLabels,
+) -> BucketSeries<AppCategory> {
+    let mut series = BucketSeries::new(period, SIX_HOURS);
+    for b in blocks {
+        for tx in &b.transactions {
+            series.record(b.time, labels.tx_category(tx), 1);
+        }
+    }
+    series
+}
+
+/// One Figure 4 row: a top application by received transactions.
+#[derive(Debug, Clone)]
+pub struct ReceivedStats {
+    pub account: Name,
+    pub tx_count: u64,
+    /// Action-name mix on this contract: (action, count), descending.
+    pub actions: Vec<(String, u64)>,
+}
+
+/// Figure 4: top `k` accounts by received transactions, with action mixes.
+pub fn top_received(blocks: &[Block], period: Period, k: usize) -> Vec<ReceivedStats> {
+    let mut tx_counts: TopK<Name> = TopK::new();
+    let mut action_counts: HashMap<Name, TopK<String>> = HashMap::new();
+    for b in blocks {
+        if !period.contains(b.time) {
+            continue;
+        }
+        for tx in &b.transactions {
+            let contracts: HashSet<Name> = tx.actions.iter().map(|a| a.contract).collect();
+            for c in contracts {
+                tx_counts.inc(c);
+            }
+            for a in &tx.actions {
+                action_counts
+                    .entry(a.contract)
+                    .or_default()
+                    .inc(a.name.to_string_repr());
+            }
+        }
+    }
+    tx_counts
+        .top(k)
+        .into_iter()
+        .map(|(account, tx_count)| ReceivedStats {
+            account,
+            tx_count,
+            actions: action_counts
+                .get(&account)
+                .map(|t| t.top(6))
+                .unwrap_or_default(),
+        })
+        .collect()
+}
+
+/// One Figure 5 row: a top sender and where its actions go.
+#[derive(Debug, Clone)]
+pub struct SenderStats {
+    pub sender: Name,
+    pub sent_count: u64,
+    pub unique_receivers: u64,
+    /// (receiver, action count, share of this sender's actions), descending.
+    pub receivers: Vec<(Name, u64, f64)>,
+}
+
+/// Figure 5: top `k` senders (action authors) and their receiver mix.
+pub fn top_senders(blocks: &[Block], period: Period, k: usize) -> Vec<SenderStats> {
+    let mut sent: TopK<Name> = TopK::new();
+    let mut pair: HashMap<Name, TopK<Name>> = HashMap::new();
+    for b in blocks {
+        if !period.contains(b.time) {
+            continue;
+        }
+        for tx in &b.transactions {
+            for a in &tx.actions {
+                sent.inc(a.actor);
+                pair.entry(a.actor).or_default().inc(a.contract);
+            }
+        }
+    }
+    sent.top(k)
+        .into_iter()
+        .map(|(sender, sent_count)| {
+            let receivers_topk = pair.get(&sender).cloned().unwrap_or_default();
+            let unique = receivers_topk.distinct() as u64;
+            let receivers = receivers_topk
+                .top(5)
+                .into_iter()
+                .map(|(r, c)| (r, c, c as f64 / sent_count as f64))
+                .collect();
+            SenderStats { sender, sent_count, unique_receivers: unique, receivers }
+        })
+        .collect()
+}
+
+/// §4.1 WhaleEx wash-trading report.
+#[derive(Debug, Clone)]
+pub struct WashReport {
+    pub total_trades: u64,
+    /// Trades in which buyer == seller.
+    pub self_trades: u64,
+    /// Top-5 accounts by trade participation: (account, trades, self-trade
+    /// share among their trades).
+    pub top_accounts: Vec<(Name, u64, f64)>,
+    /// Share of all trades involving a top-5 account.
+    pub top5_participation: f64,
+}
+
+/// Detect wash trading in DEX trade-report actions (`verifytrade2`-style).
+pub fn wash_trading_report(blocks: &[Block], period: Period) -> WashReport {
+    let mut total = 0u64;
+    let mut self_trades = 0u64;
+    let mut participation: TopK<Name> = TopK::new();
+    let mut self_by_account: HashMap<Name, u64> = HashMap::new();
+    let mut trades: Vec<(Name, Name)> = Vec::new();
+    for b in blocks {
+        if !period.contains(b.time) {
+            continue;
+        }
+        for tx in &b.transactions {
+            for a in &tx.actions {
+                if let ActionData::Trade { buyer, seller, .. } = a.data {
+                    total += 1;
+                    trades.push((buyer, seller));
+                    participation.inc(buyer);
+                    if seller != buyer {
+                        participation.inc(seller);
+                    }
+                    if buyer == seller {
+                        self_trades += 1;
+                        *self_by_account.entry(buyer).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+    }
+    let top = participation.top(5);
+    let top_set: HashSet<Name> = top.iter().map(|(n, _)| *n).collect();
+    let involving_top = trades
+        .iter()
+        .filter(|(b, s)| top_set.contains(b) || top_set.contains(s))
+        .count() as u64;
+    let top_accounts = top
+        .into_iter()
+        .map(|(n, c)| {
+            let selfs = self_by_account.get(&n).copied().unwrap_or(0);
+            (n, c, selfs as f64 / c.max(1) as f64)
+        })
+        .collect();
+    WashReport {
+        total_trades: total,
+        self_trades,
+        top_accounts,
+        top5_participation: involving_top as f64 / total.max(1) as f64,
+    }
+}
+
+/// §4.1 EIDOS boomerang report.
+#[derive(Debug, Clone)]
+pub struct BoomerangReport {
+    /// Transactions containing at least one boomerang pattern.
+    pub boomerang_txs: u64,
+    /// Individual boomerangs (send + refund + payout triples).
+    pub boomerangs: u64,
+    /// The contract receiving the boomeranged funds (most frequent).
+    pub hub: Option<Name>,
+    /// Share of in-period transactions that are boomerang transactions.
+    pub tx_share: f64,
+    /// Total transfer actions attributable to boomerangs.
+    pub transfer_actions: u64,
+    /// Share of all in-period transfer actions that are boomerang legs.
+    pub transfer_share: f64,
+}
+
+/// Detect the boomerang pattern: within one transaction, a transfer A→C of
+/// (symbol, amount) matched by a later C→A refund of the same (symbol,
+/// amount), usually followed by a payout in a different token.
+pub fn boomerang_report(blocks: &[Block], period: Period) -> BoomerangReport {
+    let mut boomerang_txs = 0u64;
+    let mut boomerangs = 0u64;
+    let mut total_txs = 0u64;
+    let mut transfer_actions = 0u64;
+    let mut boomerang_transfers = 0u64;
+    let mut hubs: TopK<Name> = TopK::new();
+    for b in blocks {
+        if !period.contains(b.time) {
+            continue;
+        }
+        for tx in &b.transactions {
+            total_txs += 1;
+            let transfers: Vec<(usize, Name, Name, txstat_types::SymCode, i64)> = tx
+                .actions
+                .iter()
+                .enumerate()
+                .filter_map(|(i, a)| match a.data {
+                    ActionData::Transfer { from, to, symbol, amount } => {
+                        Some((i, from, to, symbol, amount))
+                    }
+                    _ => None,
+                })
+                .collect();
+            transfer_actions += transfers.len() as u64;
+            let mut found = 0u64;
+            let mut used: HashSet<usize> = HashSet::new();
+            for (i, from, to, symbol, amount) in &transfers {
+                if used.contains(i) {
+                    continue;
+                }
+                // Look for the refund later in the same transaction.
+                if let Some((j, ..)) = transfers.iter().find(|(j, f2, t2, s2, a2)| {
+                    j > i && !used.contains(j) && f2 == to && t2 == from && s2 == symbol && a2 == amount
+                }) {
+                    found += 1;
+                    used.insert(*i);
+                    used.insert(*j);
+                    hubs.inc(*to);
+                    // Count an adjacent payout leg (different symbol, same
+                    // hub → miner) as part of the boomerang.
+                    if let Some((k, ..)) = transfers.iter().find(|(k, f3, t3, s3, _)| {
+                        !used.contains(k) && f3 == to && t3 == from && s3 != symbol
+                    }) {
+                        used.insert(*k);
+                        boomerang_transfers += 1;
+                    }
+                    boomerang_transfers += 2;
+                }
+            }
+            if found > 0 {
+                boomerang_txs += 1;
+                boomerangs += found;
+            }
+        }
+    }
+    BoomerangReport {
+        boomerang_txs,
+        boomerangs,
+        hub: hubs.top(1).first().map(|(n, _)| *n),
+        tx_share: boomerang_txs as f64 / total_txs.max(1) as f64,
+        transfer_actions: boomerang_transfers,
+        transfer_share: boomerang_transfers as f64 / transfer_actions.max(1) as f64,
+    }
+}
+
+/// Transactions-per-second over the window (the "current throughput is only
+/// 20 TPS for EOS" headline).
+pub fn tps(blocks: &[Block], period: Period) -> f64 {
+    let txs: u64 = blocks
+        .iter()
+        .filter(|b| period.contains(b.time))
+        .map(|b| b.transactions.len() as u64)
+        .sum();
+    txs as f64 / period.seconds().max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txstat_eos::types::{Action, Transaction};
+    use txstat_types::amount::SymCode;
+    use txstat_types::time::ChainTime;
+
+    fn t0() -> ChainTime {
+        ChainTime::from_ymd(2019, 10, 1)
+    }
+
+    fn period() -> Period {
+        Period::new(t0(), ChainTime::from_ymd(2019, 10, 2))
+    }
+
+    fn transfer(from: &str, to: &str, amount: i64) -> Action {
+        Action::token_transfer(
+            Name::new("eosio.token"),
+            Name::new(from),
+            Name::new(to),
+            SymCode::new("EOS"),
+            amount,
+        )
+    }
+
+    fn block(num: u64, txs: Vec<Transaction>) -> Block {
+        Block { num, time: t0() + 60 * num as i64, producer: Name::new("bp"), transactions: txs }
+    }
+
+    fn tx(actions: Vec<Action>) -> Transaction {
+        Transaction { id: 0, actions, cpu_us: 100, net_bytes: 128 }
+    }
+
+    #[test]
+    fn classification_matches_figure_1_rows() {
+        assert_eq!(
+            classify_action(Name::new("transfer"), &ActionData::Generic),
+            EosActionClass::P2pTransaction
+        );
+        assert_eq!(
+            classify_action(Name::new("bidname"), &ActionData::Generic),
+            EosActionClass::AccountAction
+        );
+        assert_eq!(
+            classify_action(Name::new("delegatebw"), &ActionData::Generic),
+            EosActionClass::OtherAction
+        );
+        assert_eq!(
+            classify_action(Name::new("verifytrade2"), &ActionData::Generic),
+            EosActionClass::Others
+        );
+    }
+
+    #[test]
+    fn action_distribution_counts_actions_not_txs() {
+        let blocks = vec![block(
+            1,
+            vec![tx(vec![
+                transfer("a", "b", 10),
+                transfer("b", "c", 5),
+                Action::new(Name::new("eosio"), Name::new("bidname"), Name::new("a"), ActionData::Generic),
+            ])],
+        )];
+        let (rows, total) = action_distribution(&blocks, period());
+        assert_eq!(total, 3);
+        let transfer_row = rows.iter().find(|r| r.action == "transfer").unwrap();
+        assert_eq!(transfer_row.count, 2);
+        assert_eq!(transfer_row.class, EosActionClass::P2pTransaction);
+        assert!(rows.iter().any(|r| r.action == "bidname"));
+    }
+
+    #[test]
+    fn labeling_from_top_contracts() {
+        let blocks = vec![block(
+            1,
+            vec![
+                tx(vec![Action::new(
+                    Name::new("betdicetasks"),
+                    Name::new("removetask"),
+                    Name::new("betdicegroup"),
+                    ActionData::Generic,
+                )]),
+                tx(vec![transfer("a", "b", 1)]),
+            ],
+        )];
+        let curated = EosLabels::curated();
+        let labels = EosLabels::from_top_contracts(&blocks, period(), 10, &|n| curated.get(n));
+        assert_eq!(labels.get(Name::new("betdicetasks")), Some(AppCategory::Betting));
+        assert_eq!(labels.get(Name::new("eosio.token")), Some(AppCategory::Tokens));
+        // Category assignment per transaction.
+        assert_eq!(labels.tx_category(&blocks[0].transactions[0]), AppCategory::Betting);
+    }
+
+    #[test]
+    fn top_received_and_senders() {
+        let blocks = vec![block(
+            1,
+            vec![
+                tx(vec![Action::new(
+                    Name::new("pornhashbaby"),
+                    Name::new("record"),
+                    Name::new("u1"),
+                    ActionData::Generic,
+                )]),
+                tx(vec![Action::new(
+                    Name::new("pornhashbaby"),
+                    Name::new("record"),
+                    Name::new("u2"),
+                    ActionData::Generic,
+                )]),
+                tx(vec![transfer("u1", "u3", 5)]),
+            ],
+        )];
+        let recv = top_received(&blocks, period(), 2);
+        assert_eq!(recv[0].account, Name::new("pornhashbaby"));
+        assert_eq!(recv[0].tx_count, 2);
+        assert_eq!(recv[0].actions[0], ("record".to_owned(), 2));
+
+        let send = top_senders(&blocks, period(), 3);
+        let u1 = send.iter().find(|s| s.sender == Name::new("u1")).unwrap();
+        assert_eq!(u1.sent_count, 2);
+        assert_eq!(u1.unique_receivers, 2);
+    }
+
+    #[test]
+    fn wash_detection_flags_self_trades() {
+        let trade = |buyer: &str, seller: &str| {
+            Action::new(
+                Name::new("whaleextrust"),
+                Name::new("verifytrade2"),
+                Name::new("whaleextrust"),
+                ActionData::Trade {
+                    buyer: Name::new(buyer),
+                    seller: Name::new(seller),
+                    base_symbol: SymCode::new("PLA"),
+                    base_amount: 100,
+                    quote_symbol: SymCode::new("EOS"),
+                    quote_amount: 50,
+                },
+            )
+        };
+        let blocks = vec![block(
+            1,
+            vec![
+                tx(vec![trade("w1", "w1")]),
+                tx(vec![trade("w1", "w1")]),
+                tx(vec![trade("w1", "x")]),
+                tx(vec![trade("y", "z")]),
+            ],
+        )];
+        let report = wash_trading_report(&blocks, period());
+        assert_eq!(report.total_trades, 4);
+        assert_eq!(report.self_trades, 2);
+        assert_eq!(report.top_accounts[0].0, Name::new("w1"));
+        assert!(report.top_accounts[0].2 > 0.6, "w1 self-share");
+        assert!(report.top5_participation >= 0.75);
+    }
+
+    #[test]
+    fn boomerang_detection() {
+        // miner→eidos 1 EOS, eidos→miner 1 EOS refund, eidos→miner EIDOS.
+        let eidos_leg = Action::token_transfer(
+            Name::new("eidosonecoin"),
+            Name::new("eidosonecoin"),
+            Name::new("miner1"),
+            SymCode::new("EIDOS"),
+            42,
+        );
+        let blocks = vec![block(
+            1,
+            vec![
+                tx(vec![
+                    transfer("miner1", "eidosonecoin", 1_0000),
+                    transfer("eidosonecoin", "miner1", 1_0000),
+                    eidos_leg.clone(),
+                ]),
+                tx(vec![transfer("a", "b", 5)]),
+            ],
+        )];
+        let report = boomerang_report(&blocks, period());
+        assert_eq!(report.boomerang_txs, 1);
+        assert_eq!(report.boomerangs, 1);
+        assert_eq!(report.hub, Some(Name::new("eidosonecoin")));
+        assert_eq!(report.transfer_actions, 3);
+        assert!((report.tx_share - 0.5).abs() < 1e-9);
+        assert_eq!(report.transfer_share, 0.75, "3 of 4 transfers are boomerang legs");
+    }
+
+    #[test]
+    fn throughput_series_categorizes() {
+        let labels = EosLabels::curated();
+        let blocks = vec![block(
+            1,
+            vec![
+                tx(vec![transfer("a", "b", 1)]),
+                tx(vec![Action::new(
+                    Name::new("betdicetasks"),
+                    Name::new("removetask"),
+                    Name::new("betdicegroup"),
+                    ActionData::Generic,
+                )]),
+            ],
+        )];
+        let series = throughput_series(&blocks, period(), &labels);
+        assert_eq!(series.category_total(&AppCategory::Tokens), 1);
+        assert_eq!(series.category_total(&AppCategory::Betting), 1);
+        assert_eq!(series.total(), 2);
+    }
+
+    #[test]
+    fn tps_computation() {
+        let blocks = vec![block(1, vec![tx(vec![transfer("a", "b", 1)])])];
+        let p = period();
+        let rate = tps(&blocks, p);
+        assert!((rate - 1.0 / 86_400.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,30 @@
+//! # txstat-core — the paper's analytics pipeline
+//!
+//! The primary contribution of *"Revisiting Transactional Statistics of
+//! High-scalability Blockchains"* is a measurement methodology: classify
+//! every transaction/operation/action of three high-throughput chains,
+//! decompose throughput over time, rank the accounts driving it, and — for
+//! XRP — determine how much of it carries actual economic value. This crate
+//! implements that methodology over the crawled chain data:
+//!
+//! - [`eos_analysis`] — Figure 1 (action taxonomy), Figure 3a (category
+//!   throughput), Figures 4–5 (top receivers/senders), §4.1 detectors
+//!   (WhaleEx wash trading, EIDOS boomerang mining).
+//! - [`tezos_analysis`] — Figure 1 (operation taxonomy), Figure 3b
+//!   (endorsements vs payments), Figure 6 (sender dispersion), Figure 9
+//!   (governance vote curves).
+//! - [`xrp_analysis`] — Figure 1 (type distribution), Figure 3c, Figure 7
+//!   (the value funnel), Figure 8 (most-active accounts), Figure 11 (IOU
+//!   rates), Figure 12 (value flows), §4.3 spam-wave detection.
+//! - [`cluster`] — XRP entity clustering by username/parent (§3.3).
+//! - [`graph`] — transaction-graph metrics (degree distributions, hubs,
+//!   fan-out outliers), the §5 related-work lens applied to these chains.
+
+pub mod cluster;
+pub mod graph;
+pub mod eos_analysis;
+pub mod tezos_analysis;
+pub mod xrp_analysis;
+
+pub use cluster::ClusterInfo;
+pub use graph::{GraphReport, TransferGraph};

@@ -1,0 +1,387 @@
+//! Tezos analytics: the Figure 1 operation taxonomy, Figure 3b consensus
+//! vs payment throughput, Figure 6 sender-dispersion table, and the
+//! Figure 9 / §4.2 governance vote curves.
+
+use std::collections::HashMap;
+use txstat_tezos::address::Address;
+use txstat_tezos::chain::TezosBlock;
+use txstat_tezos::governance::PeriodKind;
+use txstat_tezos::ops::{OpPayload, OperationKind, Vote};
+use txstat_types::series::BucketSeries;
+use txstat_types::stats::{RunningStats, TopK};
+use txstat_types::time::{ChainTime, Period, SIX_HOURS};
+
+/// Figure 1 Tezos row classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TezosOpClass {
+    P2pTransaction,
+    AccountAction,
+    OtherAction,
+}
+
+impl TezosOpClass {
+    pub const fn label(self) -> &'static str {
+        match self {
+            TezosOpClass::P2pTransaction => "P2P transaction",
+            TezosOpClass::AccountAction => "Account actions",
+            TezosOpClass::OtherAction => "Other actions",
+        }
+    }
+}
+
+/// Figure 1's grouping of operation kinds.
+pub fn classify_op(kind: OperationKind) -> TezosOpClass {
+    match kind {
+        OperationKind::Transaction => TezosOpClass::P2pTransaction,
+        OperationKind::Origination | OperationKind::Reveal | OperationKind::Activation => {
+            TezosOpClass::AccountAction
+        }
+        OperationKind::Endorsement
+        | OperationKind::Delegation
+        | OperationKind::RevealNonce
+        | OperationKind::Ballot
+        | OperationKind::Proposals
+        | OperationKind::DoubleBakingEvidence => TezosOpClass::OtherAction,
+    }
+}
+
+/// One row of Figure 1's Tezos column.
+#[derive(Debug, Clone)]
+pub struct OpRow {
+    pub class: TezosOpClass,
+    pub kind: OperationKind,
+    pub count: u64,
+}
+
+/// Figure 1 Tezos column: counts per operation kind.
+pub fn op_distribution(blocks: &[TezosBlock], period: Period) -> (Vec<OpRow>, u64) {
+    let mut counts: HashMap<OperationKind, u64> = HashMap::new();
+    let mut total = 0u64;
+    for b in blocks {
+        if !period.contains(b.time) {
+            continue;
+        }
+        for op in &b.operations {
+            *counts.entry(op.kind()).or_insert(0) += 1;
+            total += 1;
+        }
+    }
+    let mut rows: Vec<OpRow> = counts
+        .into_iter()
+        .map(|(kind, count)| OpRow { class: classify_op(kind), kind, count })
+        .collect();
+    rows.sort_by(|a, b| a.class.cmp(&b.class).then(b.count.cmp(&a.count)).then(a.kind.cmp(&b.kind)));
+    (rows, total)
+}
+
+/// Figure 3b's categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TezosThroughputCat {
+    Endorsement,
+    Transaction,
+    Others,
+}
+
+impl TezosThroughputCat {
+    pub const fn label(self) -> &'static str {
+        match self {
+            TezosThroughputCat::Endorsement => "Endorsement",
+            TezosThroughputCat::Transaction => "Transaction",
+            TezosThroughputCat::Others => "Others",
+        }
+    }
+}
+
+/// Figure 3b: operations per six-hour bucket, endorsements vs transactions
+/// vs everything else.
+pub fn throughput_series(blocks: &[TezosBlock], period: Period) -> BucketSeries<TezosThroughputCat> {
+    let mut series = BucketSeries::new(period, SIX_HOURS);
+    for b in blocks {
+        for op in &b.operations {
+            let cat = match op.kind() {
+                OperationKind::Endorsement => TezosThroughputCat::Endorsement,
+                OperationKind::Transaction => TezosThroughputCat::Transaction,
+                _ => TezosThroughputCat::Others,
+            };
+            series.record(b.time, cat, 1);
+        }
+    }
+    series
+}
+
+/// One Figure 6 row: a top sender's receiver-dispersion statistics.
+#[derive(Debug, Clone)]
+pub struct SenderDispersion {
+    pub sender: Address,
+    pub sent_count: u64,
+    pub unique_receivers: u64,
+    pub mean_per_receiver: f64,
+    pub stdev_per_receiver: f64,
+}
+
+/// Figure 6: top `k` transaction senders with per-receiver statistics.
+pub fn top_senders(blocks: &[TezosBlock], period: Period, k: usize) -> Vec<SenderDispersion> {
+    let mut sent: TopK<Address> = TopK::new();
+    let mut per_receiver: HashMap<Address, TopK<Address>> = HashMap::new();
+    for b in blocks {
+        if !period.contains(b.time) {
+            continue;
+        }
+        for op in &b.operations {
+            if let OpPayload::Transaction { destination, .. } = &op.payload {
+                sent.inc(op.source);
+                per_receiver.entry(op.source).or_default().inc(*destination);
+            }
+        }
+    }
+    sent.top(k)
+        .into_iter()
+        .map(|(sender, sent_count)| {
+            let recv = per_receiver.get(&sender).cloned().unwrap_or_default();
+            let mut stats = RunningStats::new();
+            for (_, c) in recv.iter() {
+                stats.push(*c as f64);
+            }
+            SenderDispersion {
+                sender,
+                sent_count,
+                unique_receivers: recv.distinct() as u64,
+                mean_per_receiver: stats.mean(),
+                stdev_per_receiver: stats.stdev(),
+            }
+        })
+        .collect()
+}
+
+/// A cumulative vote curve: sample points of (time, cumulative rolls).
+#[derive(Debug, Clone)]
+pub struct VoteCurve {
+    pub label: String,
+    pub points: Vec<(ChainTime, u64)>,
+}
+
+impl VoteCurve {
+    pub fn total(&self) -> u64 {
+        self.points.last().map(|(_, v)| *v).unwrap_or(0)
+    }
+}
+
+/// Figure 9 for one voting period.
+#[derive(Debug, Clone)]
+pub struct PeriodCurves {
+    pub kind: PeriodKind,
+    pub window: Period,
+    pub curves: Vec<VoteCurve>,
+    /// Rolls that participated / total rolls.
+    pub participation_pct: f64,
+}
+
+/// Build the Figure 9 vote curves. `periods` gives the period boundaries
+/// (from the chain's governance configuration); `rolls` weights each baker's
+/// vote, as the paper's vote counts are roll-weighted.
+pub fn governance_curves(
+    blocks: &[TezosBlock],
+    periods: &[(PeriodKind, Period)],
+    rolls: &HashMap<Address, u64>,
+) -> Vec<PeriodCurves> {
+    let total_rolls: u64 = rolls.values().sum();
+    let mut out = Vec::new();
+    for (kind, window) in periods {
+        // Gather events: (time, curve label, baker).
+        let mut events: Vec<(ChainTime, String, Address)> = Vec::new();
+        for b in blocks {
+            if !window.contains(b.time) {
+                continue;
+            }
+            for op in &b.operations {
+                match &op.payload {
+                    OpPayload::Proposals { proposals } if *kind == PeriodKind::Proposal => {
+                        for p in proposals {
+                            events.push((b.time, short_hash(p), op.source));
+                        }
+                    }
+                    OpPayload::Ballot { vote, .. }
+                        if matches!(kind, PeriodKind::Exploration | PeriodKind::Promotion) =>
+                    {
+                        let label = match vote {
+                            Vote::Yay => "yay",
+                            Vote::Nay => "nay",
+                            Vote::Pass => "pass",
+                        };
+                        events.push((b.time, label.to_owned(), op.source));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        events.sort_by_key(|(t, ..)| *t);
+        let mut curves: HashMap<String, VoteCurve> = HashMap::new();
+        let mut cumulative: HashMap<String, u64> = HashMap::new();
+        let mut participants: HashMap<Address, ()> = HashMap::new();
+        for (t, label, baker) in &events {
+            let w = rolls.get(baker).copied().unwrap_or(0);
+            let c = cumulative.entry(label.clone()).or_insert(0);
+            *c += w;
+            participants.insert(*baker, ());
+            curves
+                .entry(label.clone())
+                .or_insert_with(|| VoteCurve { label: label.clone(), points: Vec::new() })
+                .points
+                .push((*t, *c));
+        }
+        let participated: u64 = participants.keys().map(|a| rolls.get(a).copied().unwrap_or(0)).sum();
+        let mut curves: Vec<VoteCurve> = curves.into_values().collect();
+        curves.sort_by(|a, b| b.total().cmp(&a.total()).then(a.label.cmp(&b.label)));
+        out.push(PeriodCurves {
+            kind: *kind,
+            window: *window,
+            curves,
+            participation_pct: participated as f64 * 100.0 / total_rolls.max(1) as f64,
+        });
+    }
+    out
+}
+
+fn short_hash(h: &str) -> String {
+    h.chars().take(12).collect()
+}
+
+/// Count governance-related operations in the window (§4.2: "merely 245
+/// within our observation period").
+pub fn governance_op_count(blocks: &[TezosBlock], period: Period) -> u64 {
+    blocks
+        .iter()
+        .filter(|b| period.contains(b.time))
+        .flat_map(|b| &b.operations)
+        .filter(|o| matches!(o.kind(), OperationKind::Ballot | OperationKind::Proposals))
+        .count() as u64
+}
+
+/// Operations-per-second (the "0.08 TPS for Tezos" headline counts
+/// *transactions*, i.e. manager payment operations).
+pub fn tps(blocks: &[TezosBlock], period: Period) -> f64 {
+    let txs: u64 = blocks
+        .iter()
+        .filter(|b| period.contains(b.time))
+        .flat_map(|b| &b.operations)
+        .filter(|o| o.kind() == OperationKind::Transaction)
+        .count() as u64;
+    txs as f64 / period.seconds().max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txstat_tezos::ops::Operation;
+
+    fn t0() -> ChainTime {
+        ChainTime::from_ymd(2019, 10, 1)
+    }
+
+    fn period() -> Period {
+        Period::new(t0(), ChainTime::from_ymd(2019, 10, 2))
+    }
+
+    fn block(i: u64, operations: Vec<Operation>) -> TezosBlock {
+        TezosBlock { level: 628_951 + i, time: t0() + 60 * i as i64, baker: Address::implicit(1), operations }
+    }
+
+    fn endorse(baker: u64, slots: u8) -> Operation {
+        Operation::new(Address::implicit(baker), OpPayload::Endorsement { level: 1, slots })
+    }
+
+    fn pay(from: u64, to: u64) -> Operation {
+        Operation::new(
+            Address::implicit(from),
+            OpPayload::Transaction { destination: Address::implicit(to), amount_mutez: 100 },
+        )
+    }
+
+    #[test]
+    fn classification_matches_figure_1() {
+        assert_eq!(classify_op(OperationKind::Transaction), TezosOpClass::P2pTransaction);
+        assert_eq!(classify_op(OperationKind::Origination), TezosOpClass::AccountAction);
+        assert_eq!(classify_op(OperationKind::Endorsement), TezosOpClass::OtherAction);
+        assert_eq!(classify_op(OperationKind::Ballot), TezosOpClass::OtherAction);
+    }
+
+    #[test]
+    fn distribution_and_series() {
+        let blocks = vec![block(0, vec![endorse(1, 16), endorse(2, 16), pay(10, 11)])];
+        let (rows, total) = op_distribution(&blocks, period());
+        assert_eq!(total, 3);
+        let endorse_row = rows.iter().find(|r| r.kind == OperationKind::Endorsement).unwrap();
+        assert_eq!(endorse_row.count, 2);
+        let series = throughput_series(&blocks, period());
+        assert_eq!(series.category_total(&TezosThroughputCat::Endorsement), 2);
+        assert_eq!(series.category_total(&TezosThroughputCat::Transaction), 1);
+    }
+
+    #[test]
+    fn sender_dispersion_statistics() {
+        // Sender 100 sends twice to each of two receivers; sender 200 sends
+        // once to one receiver.
+        let blocks = vec![block(
+            0,
+            vec![pay(100, 1), pay(100, 1), pay(100, 2), pay(100, 2), pay(200, 3)],
+        )];
+        let top = top_senders(&blocks, period(), 2);
+        assert_eq!(top[0].sender, Address::implicit(100));
+        assert_eq!(top[0].sent_count, 4);
+        assert_eq!(top[0].unique_receivers, 2);
+        assert!((top[0].mean_per_receiver - 2.0).abs() < 1e-12);
+        assert!(top[0].stdev_per_receiver.abs() < 1e-12, "uniform dispersion");
+    }
+
+    #[test]
+    fn governance_curves_accumulate_rolls() {
+        let mut rolls = HashMap::new();
+        rolls.insert(Address::implicit(1), 100u64);
+        rolls.insert(Address::implicit(2), 300u64);
+        rolls.insert(Address::implicit(3), 600u64);
+        let blocks = vec![
+            block(
+                0,
+                vec![Operation::new(
+                    Address::implicit(1),
+                    OpPayload::Ballot { proposal: "B2".into(), vote: Vote::Yay },
+                )],
+            ),
+            block(
+                1,
+                vec![
+                    Operation::new(
+                        Address::implicit(2),
+                        OpPayload::Ballot { proposal: "B2".into(), vote: Vote::Yay },
+                    ),
+                    Operation::new(
+                        Address::implicit(3),
+                        OpPayload::Ballot { proposal: "B2".into(), vote: Vote::Nay },
+                    ),
+                ],
+            ),
+        ];
+        let curves = governance_curves(
+            &blocks,
+            &[(PeriodKind::Promotion, period())],
+            &rolls,
+        );
+        assert_eq!(curves.len(), 1);
+        let pc = &curves[0];
+        let yay = pc.curves.iter().find(|c| c.label == "yay").unwrap();
+        assert_eq!(yay.total(), 400);
+        assert_eq!(yay.points.len(), 2);
+        assert_eq!(yay.points[0].1, 100, "cumulative");
+        let nay = pc.curves.iter().find(|c| c.label == "nay").unwrap();
+        assert_eq!(nay.total(), 600);
+        assert!((pc.participation_pct - 100.0).abs() < 1e-9);
+        assert_eq!(governance_op_count(&blocks, period()), 3);
+    }
+
+    #[test]
+    fn tps_counts_only_payment_transactions() {
+        let blocks = vec![block(0, vec![endorse(1, 32), pay(1, 2)])];
+        let rate = tps(&blocks, period());
+        assert!((rate - 1.0 / 86_400.0).abs() < 1e-15);
+    }
+}

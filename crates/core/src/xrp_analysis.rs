@@ -1,0 +1,720 @@
+//! XRP analytics: the Figure 1 type distribution, Figure 3c throughput,
+//! the Figure 7 value funnel, Figure 8 most-active accounts, Figure 11 IOU
+//! rate tables, Figure 12 value flows, and the §4.3 spam-wave detector.
+
+use crate::cluster::ClusterInfo;
+use std::collections::HashMap;
+use txstat_types::series::BucketSeries;
+use txstat_types::stats::TopK;
+use txstat_types::time::{ChainTime, Period, SIX_HOURS};
+use txstat_xrp::amount::{Asset, IssuedCurrency, DROPS_PER_XRP, IOU_UNIT};
+use txstat_xrp::ledger::LedgerBlock;
+use txstat_xrp::rates::{RateOracle, TradeRecord};
+use txstat_xrp::tx::{TxType};
+use txstat_xrp::AccountId;
+
+/// Figure 1 XRP row classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum XrpTxClass {
+    P2pTransaction,
+    AccountAction,
+    OtherAction,
+}
+
+impl XrpTxClass {
+    pub const fn label(self) -> &'static str {
+        match self {
+            XrpTxClass::P2pTransaction => "P2P transaction",
+            XrpTxClass::AccountAction => "Account actions",
+            XrpTxClass::OtherAction => "Other actions",
+        }
+    }
+}
+
+/// Figure 1's grouping of XRP transaction types.
+pub fn classify_tx(t: TxType) -> XrpTxClass {
+    match t {
+        TxType::Payment | TxType::EscrowFinish => XrpTxClass::P2pTransaction,
+        TxType::TrustSet | TxType::AccountSet | TxType::SignerListSet | TxType::SetRegularKey => {
+            XrpTxClass::AccountAction
+        }
+        TxType::OfferCreate
+        | TxType::OfferCancel
+        | TxType::EscrowCreate
+        | TxType::EscrowCancel
+        | TxType::PaymentChannelClaim
+        | TxType::PaymentChannelCreate
+        | TxType::EnableAmendment => XrpTxClass::OtherAction,
+    }
+}
+
+/// One row of Figure 1's XRP column.
+#[derive(Debug, Clone)]
+pub struct TxRow {
+    pub class: XrpTxClass,
+    pub tx_type: TxType,
+    pub count: u64,
+}
+
+/// Figure 1 XRP column: counts per transaction type.
+pub fn tx_distribution(blocks: &[LedgerBlock], period: Period) -> (Vec<TxRow>, u64) {
+    let mut counts: HashMap<TxType, u64> = HashMap::new();
+    let mut total = 0u64;
+    for b in blocks {
+        if !period.contains(b.close_time) {
+            continue;
+        }
+        for tx in &b.transactions {
+            *counts.entry(tx.tx.tx_type()).or_insert(0) += 1;
+            total += 1;
+        }
+    }
+    let mut rows: Vec<TxRow> = counts
+        .into_iter()
+        .map(|(tx_type, count)| TxRow { class: classify_tx(tx_type), tx_type, count })
+        .collect();
+    rows.sort_by(|a, b| {
+        a.class.cmp(&b.class).then(b.count.cmp(&a.count)).then(a.tx_type.cmp(&b.tx_type))
+    });
+    (rows, total)
+}
+
+/// Figure 3c's categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum XrpThroughputCat {
+    Payment,
+    OfferCreate,
+    Others,
+    Unsuccessful,
+}
+
+impl XrpThroughputCat {
+    pub const fn label(self) -> &'static str {
+        match self {
+            XrpThroughputCat::Payment => "Payment",
+            XrpThroughputCat::OfferCreate => "OfferCreate",
+            XrpThroughputCat::Others => "Others",
+            XrpThroughputCat::Unsuccessful => "Unsuccessful Tx",
+        }
+    }
+}
+
+/// Figure 3c: transactions per six-hour bucket by category, with failures
+/// split out (both successful and unsuccessful transactions are recorded on
+/// the XRP ledger).
+pub fn throughput_series(blocks: &[LedgerBlock], period: Period) -> BucketSeries<XrpThroughputCat> {
+    let mut series = BucketSeries::new(period, SIX_HOURS);
+    for b in blocks {
+        for tx in &b.transactions {
+            let cat = if !tx.result.is_success() {
+                XrpThroughputCat::Unsuccessful
+            } else {
+                match tx.tx.tx_type() {
+                    TxType::Payment => XrpThroughputCat::Payment,
+                    TxType::OfferCreate => XrpThroughputCat::OfferCreate,
+                    _ => XrpThroughputCat::Others,
+                }
+            };
+            series.record(b.close_time, cat, 1);
+        }
+    }
+    series
+}
+
+/// The Figure 7 funnel: how much of the throughput carries economic value.
+#[derive(Debug, Clone, Default)]
+pub struct Funnel {
+    pub total: u64,
+    pub failed: u64,
+    pub successful: u64,
+    pub payments: u64,
+    pub payments_with_value: u64,
+    pub payments_no_value: u64,
+    pub offers: u64,
+    pub offers_exchanged: u64,
+    pub offers_no_exchange: u64,
+    pub others: u64,
+}
+
+impl Funnel {
+    pub fn pct(&self, part: u64) -> f64 {
+        part as f64 * 100.0 / self.total.max(1) as f64
+    }
+
+    /// The paper's headline: share of throughput carrying economic value
+    /// (value-bearing payments + exchanged offers).
+    pub fn economic_share_pct(&self) -> f64 {
+        self.pct(self.payments_with_value + self.offers_exchanged)
+    }
+
+    /// "only 1 in N successful Payment transactions involve the transfer of
+    /// valuable tokens".
+    pub fn valuable_payment_ratio(&self) -> f64 {
+        if self.payments_with_value == 0 {
+            return 0.0;
+        }
+        self.payments as f64 / self.payments_with_value as f64
+    }
+
+    /// Share of successful offers that were ever exchanged.
+    pub fn offer_fulfillment_pct(&self) -> f64 {
+        self.offers_exchanged as f64 * 100.0 / self.offers.max(1) as f64
+    }
+}
+
+/// Build the Figure 7 funnel. A payment carries value iff its delivered
+/// asset is XRP or an IOU with a positive oracle rate; an offer "exchanged"
+/// iff it crossed at apply time.
+pub fn funnel(blocks: &[LedgerBlock], period: Period, oracle: &RateOracle) -> Funnel {
+    let mut f = Funnel::default();
+    for b in blocks {
+        if !period.contains(b.close_time) {
+            continue;
+        }
+        for tx in &b.transactions {
+            f.total += 1;
+            if !tx.result.is_success() {
+                f.failed += 1;
+                continue;
+            }
+            f.successful += 1;
+            match tx.tx.tx_type() {
+                TxType::Payment => {
+                    f.payments += 1;
+                    let has_value = match &tx.delivered {
+                        Some(a) => match a.asset {
+                            Asset::Xrp => true,
+                            Asset::Iou(ic) => oracle.has_value(ic),
+                        },
+                        None => false,
+                    };
+                    if has_value {
+                        f.payments_with_value += 1;
+                    } else {
+                        f.payments_no_value += 1;
+                    }
+                }
+                TxType::OfferCreate => {
+                    f.offers += 1;
+                    if tx.crossed {
+                        f.offers_exchanged += 1;
+                    } else {
+                        f.offers_no_exchange += 1;
+                    }
+                }
+                _ => f.others += 1,
+            }
+        }
+    }
+    f
+}
+
+/// One Figure 8 row.
+#[derive(Debug, Clone)]
+pub struct ActiveAccount {
+    pub account: AccountId,
+    pub offer_creates: u64,
+    pub payments: u64,
+    pub others: u64,
+    pub total: u64,
+    /// Share of the whole window's throughput.
+    pub share_pct: f64,
+    /// Most common destination tag on this account's payments.
+    pub top_tag: Option<(u32, u64)>,
+    /// Entity resolution (username / parent-descendant).
+    pub entity: Option<String>,
+}
+
+/// Figure 8: the `k` most active accounts with their type mixes.
+pub fn most_active(
+    blocks: &[LedgerBlock],
+    period: Period,
+    k: usize,
+    cluster: &ClusterInfo,
+) -> Vec<ActiveAccount> {
+    let mut per_account: HashMap<AccountId, (u64, u64, u64)> = HashMap::new();
+    let mut tags: HashMap<AccountId, TopK<u32>> = HashMap::new();
+    let mut grand_total = 0u64;
+    for b in blocks {
+        if !period.contains(b.close_time) {
+            continue;
+        }
+        for tx in &b.transactions {
+            grand_total += 1;
+            let e = per_account.entry(tx.tx.account).or_insert((0, 0, 0));
+            match tx.tx.tx_type() {
+                TxType::OfferCreate => e.0 += 1,
+                TxType::Payment => {
+                    e.1 += 1;
+                    if let Some(tag) = tx.tx.destination_tag {
+                        tags.entry(tx.tx.account).or_default().inc(tag);
+                    }
+                }
+                _ => e.2 += 1,
+            }
+        }
+    }
+    let mut rows: Vec<ActiveAccount> = per_account
+        .into_iter()
+        .map(|(account, (oc, pay, others))| {
+            let total = oc + pay + others;
+            ActiveAccount {
+                account,
+                offer_creates: oc,
+                payments: pay,
+                others,
+                total,
+                share_pct: total as f64 * 100.0 / grand_total.max(1) as f64,
+                top_tag: tags.get(&account).and_then(|t| t.top(1).first().cloned()),
+                entity: cluster.entity(account),
+            }
+        })
+        .collect();
+    rows.sort_by(|a, b| b.total.cmp(&a.total).then(a.account.cmp(&b.account)));
+    rows.truncate(k);
+    rows
+}
+
+/// Figure 11a: 30-day average rate per issuer of a currency ticker.
+pub fn rates_by_issuer(
+    oracle: &RateOracle,
+    ticker: &str,
+    issuers: &[AccountId],
+) -> Vec<(AccountId, Option<f64>)> {
+    let mut rows: Vec<(AccountId, Option<f64>)> = issuers
+        .iter()
+        .map(|i| (*i, oracle.rate(IssuedCurrency::new(ticker, *i))))
+        .collect();
+    rows.sort_by(|a, b| {
+        b.1.unwrap_or(-1.0)
+            .partial_cmp(&a.1.unwrap_or(-1.0))
+            .expect("rates are finite")
+            .then(a.0.cmp(&b.0))
+    });
+    rows
+}
+
+/// Figure 11b: individual exchange events of one issued currency —
+/// (time, seller/maker, rate).
+pub fn trade_events(trades: &[TradeRecord], currency: IssuedCurrency) -> Vec<(ChainTime, AccountId, f64)> {
+    let mut v: Vec<(ChainTime, AccountId, f64)> = trades
+        .iter()
+        .filter(|t| t.currency == currency)
+        .map(|t| (t.time, t.maker, t.rate()))
+        .collect();
+    v.sort_by_key(|(t, ..)| *t);
+    v
+}
+
+/// Figure 12: value flows between entities, denominated in XRP.
+#[derive(Debug, Clone)]
+pub struct ValueFlowReport {
+    /// Total XRP moved by Payment transactions (whole XRP).
+    pub xrp_payment_volume: f64,
+    /// Top sending entities by XRP-denominated volume.
+    pub top_senders: Vec<(String, f64)>,
+    /// Top receiving entities.
+    pub top_receivers: Vec<(String, f64)>,
+    /// Per currency ticker: (nominal volume moved, valuable nominal volume,
+    /// XRP-denominated valuable volume).
+    pub currencies: Vec<(String, f64, f64, f64)>,
+}
+
+/// Build the Figure 12 value-flow report from successful payments.
+pub fn value_flow(
+    blocks: &[LedgerBlock],
+    period: Period,
+    oracle: &RateOracle,
+    cluster: &ClusterInfo,
+) -> ValueFlowReport {
+    let mut xrp_volume_drops: i128 = 0;
+    let mut senders: HashMap<String, f64> = HashMap::new();
+    let mut receivers: HashMap<String, f64> = HashMap::new();
+    // ticker → (nominal, valuable nominal, valuable XRP).
+    let mut currencies: HashMap<String, (f64, f64, f64)> = HashMap::new();
+    for b in blocks {
+        if !period.contains(b.close_time) {
+            continue;
+        }
+        for tx in &b.transactions {
+            if !tx.result.is_success() || tx.tx.tx_type() != TxType::Payment {
+                continue;
+            }
+            let delivered = match &tx.delivered {
+                Some(a) => a,
+                None => continue,
+            };
+            let destination = match &tx.tx.payload {
+                txstat_xrp::tx::TxPayload::Payment { destination, .. } => *destination,
+                _ => continue,
+            };
+            let (ticker, nominal, xrp_equiv) = match delivered.asset {
+                Asset::Xrp => {
+                    xrp_volume_drops += delivered.value;
+                    ("XRP".to_owned(), delivered.to_f64(), Some(delivered.to_f64()))
+                }
+                Asset::Iou(ic) => {
+                    let nominal = delivered.value as f64 / IOU_UNIT as f64;
+                    let xrp = oracle
+                        .value_in_drops(ic, delivered.value)
+                        .filter(|d| *d > 0)
+                        .map(|d| d as f64 / DROPS_PER_XRP as f64);
+                    (ic.currency.as_str().to_owned(), nominal, xrp)
+                }
+            };
+            let e = currencies.entry(ticker).or_insert((0.0, 0.0, 0.0));
+            e.0 += nominal;
+            if let Some(x) = xrp_equiv {
+                e.1 += nominal;
+                e.2 += x;
+                let s = cluster.entity_or(tx.tx.account, "Other senders");
+                let r = cluster.entity_or(destination, "Other receivers");
+                *senders.entry(s).or_insert(0.0) += x;
+                *receivers.entry(r).or_insert(0.0) += x;
+            }
+        }
+    }
+    let sort_desc = |m: HashMap<String, f64>| {
+        let mut v: Vec<(String, f64)> = m.into_iter().collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+        v
+    };
+    let mut currencies: Vec<(String, f64, f64, f64)> = currencies
+        .into_iter()
+        .map(|(t, (n, vn, vx))| (t, n, vn, vx))
+        .collect();
+    currencies.sort_by(|a, b| b.3.partial_cmp(&a.3).expect("finite").then(a.0.cmp(&b.0)));
+    ValueFlowReport {
+        xrp_payment_volume: xrp_volume_drops as f64 / DROPS_PER_XRP as f64,
+        top_senders: sort_desc(senders),
+        top_receivers: sort_desc(receivers),
+        currencies,
+    }
+}
+
+/// §4.3 spam-wave detection: six-hour buckets whose Payment count exceeds
+/// `threshold ×` the median payment rate.
+pub fn payment_spike_buckets(blocks: &[LedgerBlock], period: Period, threshold: f64) -> Vec<usize> {
+    let mut series = BucketSeries::new(period, SIX_HOURS);
+    for b in blocks {
+        for tx in &b.transactions {
+            if tx.tx.tx_type() == TxType::Payment && tx.result.is_success() {
+                series.record(b.close_time, (), 1);
+            }
+        }
+    }
+    let mut counts: Vec<u64> = (0..series.bucket_count()).map(|i| series.bucket_total(i)).collect();
+    let mut sorted = counts.clone();
+    sorted.sort_unstable();
+    let median = sorted[sorted.len() / 2].max(1);
+    counts
+        .drain(..)
+        .enumerate()
+        .filter(|(_, c)| *c as f64 > threshold * median as f64)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// §3.3 account-concentration statistics: *"Approximately one third (30
+/// thousand) of accounts have transacted once during the entire observation
+/// period, whereas the 18 most active accounts are responsible for half of
+/// the total traffic."*
+#[derive(Debug, Clone)]
+pub struct ConcentrationReport {
+    /// Distinct transacting accounts.
+    pub accounts: u64,
+    pub total_txs: u64,
+    /// Accounts with exactly one transaction.
+    pub single_tx_accounts: u64,
+    /// Smallest k such that the k most active accounts carry ≥ half the
+    /// traffic.
+    pub half_traffic_accounts: u64,
+    /// Mean transactions per account.
+    pub mean_txs_per_account: f64,
+    /// Gini coefficient of per-account activity.
+    pub gini: f64,
+}
+
+/// Compute the §3.3 concentration statistics over transaction senders.
+pub fn concentration(blocks: &[LedgerBlock], period: Period) -> ConcentrationReport {
+    let mut per_account: HashMap<AccountId, u64> = HashMap::new();
+    let mut total = 0u64;
+    for b in blocks {
+        if !period.contains(b.close_time) {
+            continue;
+        }
+        for tx in &b.transactions {
+            *per_account.entry(tx.tx.account).or_insert(0) += 1;
+            total += 1;
+        }
+    }
+    let mut counts: Vec<u64> = per_account.values().copied().collect();
+    counts.sort_unstable_by(|a, b| b.cmp(a));
+    let single = counts.iter().filter(|c| **c == 1).count() as u64;
+    let mut acc = 0u64;
+    let mut half_k = 0u64;
+    for c in &counts {
+        acc += c;
+        half_k += 1;
+        if acc * 2 >= total {
+            break;
+        }
+    }
+    let values: Vec<f64> = counts.iter().map(|c| *c as f64).collect();
+    ConcentrationReport {
+        accounts: counts.len() as u64,
+        total_txs: total,
+        single_tx_accounts: single,
+        half_traffic_accounts: half_k,
+        mean_txs_per_account: total as f64 / counts.len().max(1) as f64,
+        gini: txstat_types::gini(&values),
+    }
+}
+
+/// Transactions-per-second over the window ("19 TPS for XRP").
+pub fn tps(blocks: &[LedgerBlock], period: Period) -> f64 {
+    let txs: u64 = blocks
+        .iter()
+        .filter(|b| period.contains(b.close_time))
+        .map(|b| b.transactions.len() as u64)
+        .sum();
+    txs as f64 / period.seconds().max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txstat_xrp::amount::Amount;
+    use txstat_xrp::tx::{AppliedTx, Transaction, TxPayload, TxResult};
+
+    fn t0() -> ChainTime {
+        ChainTime::from_ymd(2019, 10, 1)
+    }
+
+    fn period() -> Period {
+        Period::new(t0(), ChainTime::from_ymd(2019, 10, 2))
+    }
+
+    fn block(i: u64, transactions: Vec<AppliedTx>) -> LedgerBlock {
+        LedgerBlock { index: 50_400_000 + i, close_time: t0() + 60 * i as i64, transactions }
+    }
+
+    fn applied(
+        account: u64,
+        payload: TxPayload,
+        result: TxResult,
+        delivered: Option<Amount>,
+        crossed: bool,
+    ) -> AppliedTx {
+        AppliedTx { tx: Transaction::new(AccountId(account), payload, 10), result, delivered, crossed }
+    }
+
+    fn xrp_payment(from: u64, to: u64, whole: i64, result: TxResult) -> AppliedTx {
+        let delivered =
+            if result.is_success() { Some(Amount::xrp(whole)) } else { None };
+        applied(
+            from,
+            TxPayload::Payment { destination: AccountId(to), amount: Amount::xrp(whole), send_max: None },
+            result,
+            delivered,
+            false,
+        )
+    }
+
+    fn iou_payment(from: u64, to: u64, currency: &str, issuer: u64, whole: i64) -> AppliedTx {
+        let amt = Amount::iou_whole(currency, AccountId(issuer), whole);
+        applied(
+            from,
+            TxPayload::Payment { destination: AccountId(to), amount: amt, send_max: None },
+            TxResult::Success,
+            Some(amt),
+            false,
+        )
+    }
+
+    fn offer(account: u64, crossed: bool) -> AppliedTx {
+        applied(
+            account,
+            TxPayload::OfferCreate {
+                gets: Amount::xrp(10),
+                pays: Amount::iou_whole("USD", AccountId(1), 2),
+            },
+            TxResult::Success,
+            None,
+            crossed,
+        )
+    }
+
+    fn oracle_with_usd() -> RateOracle {
+        let trades = vec![TradeRecord {
+            time: t0(),
+            currency: IssuedCurrency::new("USD", AccountId(1)),
+            iou_value: 2 * IOU_UNIT,
+            drops: 10 * DROPS_PER_XRP,
+            maker: AccountId(1),
+        }];
+        RateOracle::from_trades(&trades, ChainTime::from_ymd(2019, 10, 2), 30)
+    }
+
+    #[test]
+    fn distribution_counts_types() {
+        let blocks = vec![block(
+            1,
+            vec![
+                xrp_payment(1, 2, 5, TxResult::Success),
+                offer(3, false),
+                offer(3, false),
+                applied(4, TxPayload::SetRegularKey, TxResult::Success, None, false),
+            ],
+        )];
+        let (rows, total) = tx_distribution(&blocks, period());
+        assert_eq!(total, 4);
+        let oc = rows.iter().find(|r| r.tx_type == TxType::OfferCreate).unwrap();
+        assert_eq!(oc.count, 2);
+        assert_eq!(oc.class, XrpTxClass::OtherAction);
+        assert_eq!(
+            rows.iter().find(|r| r.tx_type == TxType::Payment).unwrap().class,
+            XrpTxClass::P2pTransaction
+        );
+    }
+
+    #[test]
+    fn funnel_distinguishes_value() {
+        let oracle = oracle_with_usd();
+        let blocks = vec![block(
+            1,
+            vec![
+                xrp_payment(1, 2, 100, TxResult::Success),      // with value (XRP)
+                iou_payment(1, 2, "USD", 1, 50),                // with value (rated)
+                iou_payment(1, 2, "BTC", 99, 7),                // no value (unrated)
+                xrp_payment(1, 2, 100, TxResult::PathDry),      // failed
+                offer(3, true),                                 // exchanged
+                offer(3, false),                                // not exchanged
+                offer(3, false),
+                applied(4, TxPayload::SetRegularKey, TxResult::Success, None, false),
+            ],
+        )];
+        let f = funnel(&blocks, period(), &oracle);
+        assert_eq!(f.total, 8);
+        assert_eq!(f.failed, 1);
+        assert_eq!(f.payments, 3);
+        assert_eq!(f.payments_with_value, 2);
+        assert_eq!(f.payments_no_value, 1);
+        assert_eq!(f.offers, 3);
+        assert_eq!(f.offers_exchanged, 1);
+        assert_eq!(f.others, 1);
+        assert!((f.valuable_payment_ratio() - 1.5).abs() < 1e-9);
+        assert!((f.offer_fulfillment_pct() - 33.333).abs() < 0.01);
+        assert!((f.economic_share_pct() - 37.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn most_active_ranks_and_tags() {
+        let mut cluster = ClusterInfo::new();
+        cluster.insert(AccountId(60), None, Some(AccountId(61)));
+        cluster.insert(AccountId(61), Some("Huobi Global".into()), None);
+        let mut txs = vec![];
+        for _ in 0..10 {
+            txs.push(offer(60, false));
+        }
+        let mut tagged = xrp_payment(60, 61, 5, TxResult::Success);
+        tagged.tx.destination_tag = Some(104_398);
+        txs.push(tagged);
+        txs.push(xrp_payment(2, 3, 5, TxResult::Success));
+        let blocks = vec![block(1, txs)];
+        let rows = most_active(&blocks, period(), 2, &cluster);
+        assert_eq!(rows[0].account, AccountId(60));
+        assert_eq!(rows[0].offer_creates, 10);
+        assert_eq!(rows[0].payments, 1);
+        assert_eq!(rows[0].top_tag, Some((104_398, 1)));
+        assert_eq!(rows[0].entity.as_deref(), Some("Huobi Global -- descendant"));
+        assert!((rows[0].share_pct - 11.0 / 12.0 * 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn value_flow_aggregates_by_entity() {
+        let oracle = oracle_with_usd();
+        let mut cluster = ClusterInfo::new();
+        cluster.insert(AccountId(1), Some("Binance".into()), None);
+        cluster.insert(AccountId(2), Some("Coinbase".into()), None);
+        let blocks = vec![block(
+            1,
+            vec![
+                xrp_payment(1, 2, 1000, TxResult::Success),
+                iou_payment(1, 2, "USD", 1, 100), // rated at 5 XRP/USD
+                iou_payment(1, 2, "GKO", 9, 999), // unrated: nominal only
+            ],
+        )];
+        let flow = value_flow(&blocks, period(), &oracle, &cluster);
+        assert!((flow.xrp_payment_volume - 1000.0).abs() < 1e-9);
+        assert_eq!(flow.top_senders[0].0, "Binance");
+        assert!((flow.top_senders[0].1 - 1500.0).abs() < 1e-6, "1000 XRP + 100 USD × 5");
+        assert_eq!(flow.top_receivers[0].0, "Coinbase");
+        let usd = flow.currencies.iter().find(|c| c.0 == "USD").unwrap();
+        assert!((usd.1 - 100.0).abs() < 1e-9);
+        assert!((usd.3 - 500.0).abs() < 1e-9);
+        let gko = flow.currencies.iter().find(|c| c.0 == "GKO").unwrap();
+        assert!((gko.1 - 999.0).abs() < 1e-9, "nominal counted");
+        assert_eq!(gko.3, 0.0, "no valuable volume");
+    }
+
+    #[test]
+    fn rates_by_issuer_sorted() {
+        let oracle = oracle_with_usd();
+        let rows = rates_by_issuer(&oracle, "USD", &[AccountId(1), AccountId(2)]);
+        assert_eq!(rows[0].0, AccountId(1));
+        assert!((rows[0].1.unwrap() - 5.0).abs() < 1e-9);
+        assert_eq!(rows[1].1, None);
+    }
+
+    #[test]
+    fn trade_events_sorted_by_time() {
+        let ic = IssuedCurrency::new("BTC", AccountId(5));
+        let trades = vec![
+            TradeRecord { time: t0() + 100, currency: ic, iou_value: IOU_UNIT, drops: DROPS_PER_XRP, maker: AccountId(8) },
+            TradeRecord { time: t0(), currency: ic, iou_value: IOU_UNIT, drops: 30_500 * DROPS_PER_XRP, maker: AccountId(7) },
+        ];
+        let ev = trade_events(&trades, ic);
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev[0].1, AccountId(7));
+        assert!((ev[0].2 - 30_500.0).abs() < 1e-6);
+        assert!((ev[1].2 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concentration_statistics() {
+        let mut txs = Vec::new();
+        // Account 1: 10 txs; accounts 2..=5: 1 tx each.
+        for _ in 0..10 {
+            txs.push(xrp_payment(1, 9, 1, TxResult::Success));
+        }
+        for a in 2..=5u64 {
+            txs.push(xrp_payment(a, 9, 1, TxResult::Success));
+        }
+        let blocks = vec![block(1, txs)];
+        let r = concentration(&blocks, period());
+        assert_eq!(r.accounts, 5);
+        assert_eq!(r.total_txs, 14);
+        assert_eq!(r.single_tx_accounts, 4);
+        assert_eq!(r.half_traffic_accounts, 1, "account 1 alone carries half");
+        assert!((r.mean_txs_per_account - 2.8).abs() < 1e-9);
+        assert!(r.gini > 0.4, "skewed activity: gini {}", r.gini);
+    }
+
+    #[test]
+    fn spike_detection() {
+        let mut blocks = Vec::new();
+        // Baseline: 1 payment per bucket; bucket 2 gets 50.
+        for i in 0..4u64 {
+            let mut txs = vec![xrp_payment(1, 2, 1, TxResult::Success)];
+            if i == 2 {
+                for _ in 0..49 {
+                    txs.push(xrp_payment(1, 2, 1, TxResult::Success));
+                }
+            }
+            blocks.push(block(i * 360, txs)); // 360 min apart → distinct buckets
+        }
+        let spikes = payment_spike_buckets(&blocks, period(), 3.0);
+        assert_eq!(spikes, vec![2]);
+    }
+}

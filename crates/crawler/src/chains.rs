@@ -1,0 +1,305 @@
+//! Per-chain crawlers: reverse-chronological block fetch over the
+//! shortlisted endpoint pool, with bounded concurrency (§3.1: "We collect
+//! our data in reverse chronological order, starting from the most recent
+//! block").
+
+use crate::client::{http_with_retries, ndjson_with_retries, ClientConfig, CrawlError};
+use crate::pool::RotatingPool;
+use crate::stats::CrawlStats;
+use parking_lot::Mutex;
+use serde_json::{json, Value};
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use txstat_netsim::http::HttpRequest;
+
+/// A crawled chain: decoded blocks (ascending) plus accounting.
+pub struct Crawl<B> {
+    pub blocks: Vec<B>,
+    pub stats: CrawlStats,
+}
+
+/// Generic reverse-order fetch: descend from `high` to `low` inclusive,
+/// `concurrency` workers, one `fetch(index)` per block returning the
+/// decoded block plus payload size (plus the raw payload for sampling).
+async fn crawl_range<B, F, Fut>(
+    high: u64,
+    low: u64,
+    concurrency: usize,
+    fetch: F,
+) -> Result<Crawl<B>, CrawlError>
+where
+    B: Send + 'static,
+    F: Fn(u64) -> Fut + Send + Sync + Clone + 'static,
+    Fut: std::future::Future<Output = Result<(B, Vec<u8>), CrawlError>> + Send,
+{
+    let started = Instant::now();
+    let counter = Arc::new(AtomicI64::new(high as i64));
+    let out: Arc<Mutex<Vec<(u64, B)>>> = Arc::new(Mutex::new(Vec::new()));
+    let stats = Arc::new(Mutex::new(CrawlStats::default()));
+    let mut workers = Vec::new();
+    for _ in 0..concurrency.max(1) {
+        let counter = counter.clone();
+        let out = out.clone();
+        let stats = stats.clone();
+        let fetch = fetch.clone();
+        workers.push(tokio::spawn(async move {
+            loop {
+                let n = counter.fetch_sub(1, Ordering::SeqCst);
+                if n < low as i64 {
+                    return Ok::<(), CrawlError>(());
+                }
+                let n = n as u64;
+                let (block, payload) = fetch(n).await?;
+                {
+                    let mut s = stats.lock();
+                    s.record_payload(n, &payload);
+                    s.blocks += 1;
+                }
+                out.lock().push((n, block));
+            }
+        }));
+    }
+    for w in workers {
+        w.await.map_err(|e| CrawlError::Protocol(format!("worker panicked: {e}")))??;
+    }
+    let mut blocks = match Arc::try_unwrap(out) {
+        Ok(m) => m.into_inner(),
+        Err(_) => unreachable!("workers joined"),
+    };
+    blocks.sort_by_key(|(n, _)| *n);
+    let mut stats = stats.lock().clone();
+    stats.elapsed = started.elapsed();
+    Ok(Crawl { blocks: blocks.into_iter().map(|(_, b)| b).collect(), stats })
+}
+
+// ---- EOS ---------------------------------------------------------------------
+
+/// Head block number via `get_info`.
+pub async fn eos_head(pool: &Arc<RotatingPool>, cfg: &ClientConfig) -> Result<u64, CrawlError> {
+    let req = HttpRequest::post("/v1/chain/get_info", b"{}".to_vec());
+    let (resp, _) = http_with_retries(pool, cfg, &req).await?;
+    let v: Value =
+        serde_json::from_slice(&resp.body).map_err(|e| CrawlError::Protocol(e.to_string()))?;
+    v.get("head_block_num")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| CrawlError::Protocol("missing head_block_num".into()))
+}
+
+/// Crawl EOS blocks `[low, high]` in reverse order.
+pub async fn crawl_eos(
+    pool: Arc<RotatingPool>,
+    cfg: ClientConfig,
+    low: u64,
+    high: u64,
+    concurrency: usize,
+) -> Result<Crawl<txstat_eos::Block>, CrawlError> {
+    let mut crawl = crawl_range(high, low, concurrency, move |n| {
+        let pool = pool.clone();
+        let cfg = cfg.clone();
+        async move {
+            let body = serde_json::to_vec(&json!({ "block_num_or_id": n }))
+                .expect("serializable");
+            let req = HttpRequest::post("/v1/chain/get_block", body);
+            let (resp, _) = http_with_retries(&pool, &cfg, &req).await?;
+            let wire: txstat_eos::rpc_model::BlockJson = serde_json::from_slice(&resp.body)
+                .map_err(|e| CrawlError::Protocol(e.to_string()))?;
+            let block = txstat_eos::rpc_model::block_from_json(&wire)
+                .map_err(|e| CrawlError::Protocol(e.to_string()))?;
+            Ok((block, resp.body))
+        }
+    })
+    .await?;
+    crawl.stats.transactions = crawl.blocks.iter().map(|b| b.transactions.len() as u64).sum();
+    Ok(crawl)
+}
+
+// ---- Tezos -------------------------------------------------------------------
+
+/// Head level via `/chains/main/blocks/head`.
+pub async fn tezos_head(pool: &Arc<RotatingPool>, cfg: &ClientConfig) -> Result<u64, CrawlError> {
+    let req = HttpRequest::get("/chains/main/blocks/head");
+    let (resp, _) = http_with_retries(pool, cfg, &req).await?;
+    let v: Value =
+        serde_json::from_slice(&resp.body).map_err(|e| CrawlError::Protocol(e.to_string()))?;
+    v.pointer("/header/level")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| CrawlError::Protocol("missing header.level".into()))
+}
+
+/// Crawl Tezos blocks `[low, high]` in reverse order.
+pub async fn crawl_tezos(
+    pool: Arc<RotatingPool>,
+    cfg: ClientConfig,
+    low: u64,
+    high: u64,
+    concurrency: usize,
+) -> Result<Crawl<txstat_tezos::TezosBlock>, CrawlError> {
+    let mut crawl = crawl_range(high, low, concurrency, move |n| {
+        let pool = pool.clone();
+        let cfg = cfg.clone();
+        async move {
+            let req = HttpRequest::get(&format!("/chains/main/blocks/{n}"));
+            let (resp, _) = http_with_retries(&pool, &cfg, &req).await?;
+            let wire: txstat_tezos::rpc_model::BlockJson = serde_json::from_slice(&resp.body)
+                .map_err(|e| CrawlError::Protocol(e.to_string()))?;
+            let block = txstat_tezos::rpc_model::block_from_json(&wire)
+                .map_err(|e| CrawlError::Protocol(e.to_string()))?;
+            Ok((block, resp.body))
+        }
+    })
+    .await?;
+    crawl.stats.transactions = crawl.blocks.iter().map(|b| b.operations.len() as u64).sum();
+    Ok(crawl)
+}
+
+// ---- XRP ---------------------------------------------------------------------
+
+/// Head ledger index via `server_info`.
+pub async fn xrp_head(pool: &Arc<RotatingPool>, cfg: &ClientConfig) -> Result<u64, CrawlError> {
+    let (v, _) =
+        ndjson_with_retries(pool, cfg, &json!({"id": 0, "command": "server_info"})).await?;
+    v.pointer("/result/info/validated_ledger/seq")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| CrawlError::Protocol("missing validated_ledger.seq".into()))
+}
+
+/// Crawl XRP ledgers `[low, high]` in reverse order.
+pub async fn crawl_xrp(
+    pool: Arc<RotatingPool>,
+    cfg: ClientConfig,
+    low: u64,
+    high: u64,
+    concurrency: usize,
+) -> Result<Crawl<txstat_xrp::LedgerBlock>, CrawlError> {
+    let mut crawl = crawl_range(high, low, concurrency, move |n| {
+        let pool = pool.clone();
+        let cfg = cfg.clone();
+        async move {
+            let req = json!({
+                "id": n, "command": "ledger", "ledger_index": n,
+                "transactions": true, "expand": true,
+            });
+            let (v, size) = ndjson_with_retries(&pool, &cfg, &req).await?;
+            let result = v
+                .get("result")
+                .ok_or_else(|| CrawlError::Protocol("missing result".into()))?;
+            let block = txstat_xrp::rpc_model::ledger_from_json(result)
+                .map_err(|e| CrawlError::Protocol(e.to_string()))?;
+            // Account the full frame size.
+            let payload = serde_json::to_vec(&v).expect("serializable");
+            debug_assert!(payload.len() <= size + 1);
+            Ok((block, payload))
+        }
+    })
+    .await?;
+    crawl.stats.transactions =
+        crawl.blocks.iter().map(|b| b.transactions.len() as u64).sum();
+    Ok(crawl)
+}
+
+/// Account metadata from the XRP-Scan-equivalent command: username and
+/// parent (§3.1: used to identify and cluster exchange accounts).
+#[derive(Debug, Clone)]
+pub struct AccountMeta {
+    pub account: txstat_xrp::AccountId,
+    pub username: Option<String>,
+    pub parent: Option<txstat_xrp::AccountId>,
+}
+
+/// Fetch metadata for a set of accounts.
+pub async fn fetch_account_meta(
+    pool: &Arc<RotatingPool>,
+    cfg: &ClientConfig,
+    accounts: &[txstat_xrp::AccountId],
+) -> Result<Vec<AccountMeta>, CrawlError> {
+    let mut out = Vec::with_capacity(accounts.len());
+    for (i, a) in accounts.iter().enumerate() {
+        let req = json!({"id": i, "command": "account_info", "account": a.to_string()});
+        match ndjson_with_retries(pool, cfg, &req).await {
+            Ok((v, _)) => {
+                let username = v
+                    .pointer("/result/username")
+                    .and_then(Value::as_str)
+                    .map(str::to_owned);
+                let parent = v
+                    .pointer("/result/parent")
+                    .and_then(Value::as_str)
+                    .and_then(|s| s.parse().ok());
+                out.push(AccountMeta { account: *a, username, parent });
+            }
+            // Unknown accounts simply have no metadata.
+            Err(CrawlError::Protocol(e)) if e == "actNotFound" => {
+                out.push(AccountMeta { account: *a, username: None, parent: None });
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(out)
+}
+
+/// Fetch the individual exchange events of one issued currency (the
+/// Data-API `exchanges` equivalent; Figure 11b's source).
+pub async fn fetch_exchanges(
+    pool: &Arc<RotatingPool>,
+    cfg: &ClientConfig,
+    currency: &str,
+    issuer: txstat_xrp::AccountId,
+) -> Result<Vec<txstat_xrp::TradeRecord>, CrawlError> {
+    let req = json!({
+        "id": 0, "command": "exchanges",
+        "currency": currency, "issuer": issuer.to_string(),
+    });
+    let (v, _) = ndjson_with_retries(pool, cfg, &req).await?;
+    let events = v
+        .pointer("/result/exchanges")
+        .and_then(Value::as_array)
+        .ok_or_else(|| CrawlError::Protocol("missing exchanges".into()))?;
+    let ic = txstat_xrp::IssuedCurrency::new(currency, issuer);
+    let mut out = Vec::with_capacity(events.len());
+    for e in events {
+        let time = e
+            .get("time")
+            .and_then(Value::as_str)
+            .and_then(txstat_types::time::ChainTime::parse_iso)
+            .ok_or_else(|| CrawlError::Protocol("bad exchange time".into()))?;
+        let maker = e
+            .get("maker")
+            .and_then(Value::as_str)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| CrawlError::Protocol("bad exchange maker".into()))?;
+        let iou_value: i128 = e
+            .get("iou_value")
+            .and_then(Value::as_str)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| CrawlError::Protocol("bad exchange iou_value".into()))?;
+        let drops: i64 = e
+            .get("drops")
+            .and_then(Value::as_str)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| CrawlError::Protocol("bad exchange drops".into()))?;
+        out.push(txstat_xrp::TradeRecord { time, currency: ic, iou_value, drops, maker });
+    }
+    Ok(out)
+}
+
+/// Fetch a 30-day exchange rate from the Data-API-equivalent command.
+pub async fn fetch_exchange_rate(
+    pool: &Arc<RotatingPool>,
+    cfg: &ClientConfig,
+    currency: &str,
+    issuer: txstat_xrp::AccountId,
+    date: txstat_types::time::ChainTime,
+) -> Result<Option<f64>, CrawlError> {
+    let req = json!({
+        "id": 0, "command": "exchange_rates",
+        "currency": currency, "issuer": issuer.to_string(),
+        "date": date.iso_string(),
+    });
+    let (v, _) = ndjson_with_retries(pool, cfg, &req).await?;
+    let traded = v.pointer("/result/traded").and_then(Value::as_bool).unwrap_or(false);
+    if !traded {
+        return Ok(None);
+    }
+    Ok(v.pointer("/result/rate").and_then(Value::as_f64))
+}

@@ -1,0 +1,221 @@
+//! Low-level connections: HTTP and NDJSON clients with reconnect, timeout
+//! and retry-with-rotation.
+
+use crate::pool::RotatingPool;
+use serde_json::Value;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+use tokio::io::BufStream;
+use tokio::net::TcpStream;
+use txstat_netsim::http::{
+    read_response, write_request, HttpRequest, HttpResponse,
+};
+use txstat_netsim::ndjson::{read_frame, write_frame};
+
+/// Crawl-level errors.
+#[derive(Debug)]
+pub enum CrawlError {
+    Io(std::io::Error),
+    Timeout,
+    HttpStatus(u16),
+    Protocol(String),
+    /// All retries exhausted.
+    Exhausted { attempts: u32, last: String },
+}
+
+impl std::fmt::Display for CrawlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CrawlError::Io(e) => write!(f, "io: {e}"),
+            CrawlError::Timeout => write!(f, "timeout"),
+            CrawlError::HttpStatus(s) => write!(f, "http status {s}"),
+            CrawlError::Protocol(m) => write!(f, "protocol: {m}"),
+            CrawlError::Exhausted { attempts, last } => {
+                write!(f, "retries exhausted after {attempts} attempts: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CrawlError {}
+
+impl From<std::io::Error> for CrawlError {
+    fn from(e: std::io::Error) -> Self {
+        CrawlError::Io(e)
+    }
+}
+
+/// Client tuning.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    pub request_timeout: Duration,
+    pub max_retries: u32,
+    /// Base backoff; grows linearly with the attempt number.
+    pub backoff: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            request_timeout: Duration::from_secs(5),
+            max_retries: 6,
+            backoff: Duration::from_millis(10),
+        }
+    }
+}
+
+/// A keep-alive HTTP connection to one endpoint.
+pub struct HttpConn {
+    addr: SocketAddr,
+    stream: Option<BufStream<TcpStream>>,
+}
+
+impl HttpConn {
+    pub fn new(addr: SocketAddr) -> Self {
+        HttpConn { addr, stream: None }
+    }
+
+    async fn ensure(&mut self) -> Result<&mut BufStream<TcpStream>, CrawlError> {
+        if self.stream.is_none() {
+            let sock = TcpStream::connect(self.addr).await?;
+            self.stream = Some(BufStream::new(sock));
+        }
+        Ok(self.stream.as_mut().expect("just set"))
+    }
+
+    /// One request/response on the connection; drops it on any error.
+    pub async fn call(
+        &mut self,
+        req: &HttpRequest,
+        timeout: Duration,
+    ) -> Result<HttpResponse, CrawlError> {
+        let result = tokio::time::timeout(timeout, async {
+            let stream = self.ensure().await?;
+            write_request(stream, req)
+                .await
+                .map_err(|e| CrawlError::Protocol(e.to_string()))?;
+            read_response(stream)
+                .await
+                .map_err(|e| CrawlError::Protocol(e.to_string()))
+        })
+        .await;
+        match result {
+            Ok(Ok(resp)) => Ok(resp),
+            Ok(Err(e)) => {
+                self.stream = None;
+                Err(e)
+            }
+            Err(_) => {
+                self.stream = None;
+                Err(CrawlError::Timeout)
+            }
+        }
+    }
+}
+
+/// A keep-alive NDJSON connection.
+pub struct NdConn {
+    addr: SocketAddr,
+    stream: Option<BufStream<TcpStream>>,
+}
+
+impl NdConn {
+    pub fn new(addr: SocketAddr) -> Self {
+        NdConn { addr, stream: None }
+    }
+
+    async fn ensure(&mut self) -> Result<&mut BufStream<TcpStream>, CrawlError> {
+        if self.stream.is_none() {
+            let sock = TcpStream::connect(self.addr).await?;
+            self.stream = Some(BufStream::new(sock));
+        }
+        Ok(self.stream.as_mut().expect("just set"))
+    }
+
+    /// One command/response; returns the frame and its wire size.
+    pub async fn call(
+        &mut self,
+        request: &Value,
+        timeout: Duration,
+    ) -> Result<(Value, usize), CrawlError> {
+        let result = tokio::time::timeout(timeout, async {
+            let stream = self.ensure().await?;
+            write_frame(stream, request)
+                .await
+                .map_err(|e| CrawlError::Protocol(e.to_string()))?;
+            match read_frame(stream).await {
+                Ok(Some(x)) => Ok(x),
+                Ok(None) => Err(CrawlError::Protocol("closed".into())),
+                Err(e) => Err(CrawlError::Protocol(e.to_string())),
+            }
+        })
+        .await;
+        match result {
+            Ok(Ok(x)) => Ok(x),
+            Ok(Err(e)) => {
+                self.stream = None;
+                Err(e)
+            }
+            Err(_) => {
+                self.stream = None;
+                Err(CrawlError::Timeout)
+            }
+        }
+    }
+}
+
+/// Issue an HTTP request with retries, rotating endpoints from the pool.
+/// 429 responses and transport errors trigger backoff + rotation.
+pub async fn http_with_retries(
+    pool: &Arc<RotatingPool>,
+    cfg: &ClientConfig,
+    req: &HttpRequest,
+) -> Result<(HttpResponse, usize), CrawlError> {
+    let mut last = String::new();
+    for attempt in 0..cfg.max_retries {
+        let ep = pool.pick();
+        let mut conn = HttpConn::new(ep.addr);
+        match conn.call(req, cfg.request_timeout).await {
+            Ok(resp) if resp.status == 429 => {
+                last = "429".into();
+            }
+            Ok(resp) if resp.is_ok() => {
+                let size = txstat_netsim::http::response_wire_size(&resp);
+                return Ok((resp, size));
+            }
+            Ok(resp) => return Err(CrawlError::HttpStatus(resp.status)),
+            Err(e) => {
+                last = e.to_string();
+            }
+        }
+        tokio::time::sleep(cfg.backoff * (attempt + 1)).await;
+    }
+    Err(CrawlError::Exhausted { attempts: cfg.max_retries, last })
+}
+
+/// Issue an NDJSON command with retries, rotating endpoints.
+pub async fn ndjson_with_retries(
+    pool: &Arc<RotatingPool>,
+    cfg: &ClientConfig,
+    request: &Value,
+) -> Result<(Value, usize), CrawlError> {
+    let mut last = String::new();
+    for attempt in 0..cfg.max_retries {
+        let ep = pool.pick();
+        let mut conn = NdConn::new(ep.addr);
+        match conn.call(request, cfg.request_timeout).await {
+            Ok((v, size)) => {
+                let err = v.get("error").and_then(Value::as_str);
+                match err {
+                    Some("slowDown") => last = "slowDown".into(),
+                    Some(other) => return Err(CrawlError::Protocol(other.to_owned())),
+                    None => return Ok((v, size)),
+                }
+            }
+            Err(e) => last = e.to_string(),
+        }
+        tokio::time::sleep(cfg.backoff * (attempt + 1)).await;
+    }
+    Err(CrawlError::Exhausted { attempts: cfg.max_retries, last })
+}

@@ -1,0 +1,222 @@
+//! Endpoint behaviour simulation: latency, token-bucket rate limiting and
+//! fault injection.
+//!
+//! §3.1: of 32 advertised EOS endpoints the authors shortlisted 6 "with a
+//! generous rate limit, stable latency and throughput". Reproducing that
+//! selection requires endpoints that genuinely differ in those dimensions —
+//! this module provides the knobs.
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Behaviour profile of one simulated endpoint.
+#[derive(Debug, Clone)]
+pub struct EndpointProfile {
+    /// Human label ("bp-one.example").
+    pub name: String,
+    /// Mean added latency per request.
+    pub latency_ms: f64,
+    /// Uniform jitter added on top of the mean, ± this amount.
+    pub jitter_ms: f64,
+    /// Sustained requests per second before 429s.
+    pub rate_limit_per_sec: f64,
+    /// Token-bucket burst capacity.
+    pub burst: f64,
+    /// Probability a request is dropped mid-flight (connection reset).
+    pub fault_rate: f64,
+    /// RNG seed for the endpoint's jitter/faults.
+    pub seed: u64,
+}
+
+impl EndpointProfile {
+    /// A fast, generous endpoint (the kind the paper shortlists).
+    pub fn generous(name: &str, seed: u64) -> Self {
+        EndpointProfile {
+            name: name.into(),
+            latency_ms: 2.0,
+            jitter_ms: 1.0,
+            rate_limit_per_sec: 5_000.0,
+            burst: 5_000.0,
+            fault_rate: 0.0,
+            seed,
+        }
+    }
+
+    /// A stingy endpoint: slow, tight limit, flaky.
+    pub fn stingy(name: &str, seed: u64) -> Self {
+        EndpointProfile {
+            name: name.into(),
+            latency_ms: 40.0,
+            jitter_ms: 30.0,
+            rate_limit_per_sec: 20.0,
+            burst: 10.0,
+            fault_rate: 0.05,
+            seed,
+        }
+    }
+}
+
+/// Classic token bucket over a monotonic clock.
+#[derive(Debug)]
+pub struct TokenBucket {
+    capacity: f64,
+    tokens: f64,
+    rate_per_sec: f64,
+    last: std::time::Instant,
+}
+
+impl TokenBucket {
+    pub fn new(rate_per_sec: f64, capacity: f64) -> Self {
+        TokenBucket {
+            capacity,
+            tokens: capacity,
+            rate_per_sec,
+            last: std::time::Instant::now(),
+        }
+    }
+
+    /// Try to take one token.
+    pub fn try_take(&mut self) -> bool {
+        let now = std::time::Instant::now();
+        let dt = now.duration_since(self.last).as_secs_f64();
+        self.last = now;
+        self.tokens = (self.tokens + dt * self.rate_per_sec).min(self.capacity);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Outcome of gating one request through an endpoint's behaviour model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Gate {
+    /// Serve it (after the returned artificial delay).
+    Proceed,
+    /// Reply 429 / slow-down.
+    RateLimited,
+    /// Drop the connection.
+    Fault,
+}
+
+/// Shared per-endpoint counters (observable by tests and the crawler report).
+#[derive(Debug, Default)]
+pub struct EndpointStats {
+    pub requests: AtomicU64,
+    pub served: AtomicU64,
+    pub rate_limited: AtomicU64,
+    pub faults: AtomicU64,
+    pub bytes_in: AtomicU64,
+    pub bytes_out: AtomicU64,
+}
+
+impl EndpointStats {
+    pub fn snapshot(&self) -> (u64, u64, u64, u64, u64, u64) {
+        (
+            self.requests.load(Ordering::Relaxed),
+            self.served.load(Ordering::Relaxed),
+            self.rate_limited.load(Ordering::Relaxed),
+            self.faults.load(Ordering::Relaxed),
+            self.bytes_in.load(Ordering::Relaxed),
+            self.bytes_out.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// The live behaviour state of one endpoint.
+pub struct EndpointSim {
+    pub profile: EndpointProfile,
+    bucket: Mutex<TokenBucket>,
+    rng: Mutex<StdRng>,
+}
+
+impl EndpointSim {
+    pub fn new(profile: EndpointProfile) -> Self {
+        let bucket = TokenBucket::new(profile.rate_limit_per_sec, profile.burst);
+        let rng = StdRng::seed_from_u64(profile.seed);
+        EndpointSim { profile, bucket: Mutex::new(bucket), rng: Mutex::new(rng) }
+    }
+
+    /// Gate one request: returns the decision plus the artificial latency
+    /// to apply before answering.
+    pub fn gate(&self) -> (Gate, Duration) {
+        let mut rng = self.rng.lock();
+        let jitter = rng.gen_range(-1.0..1.0) * self.profile.jitter_ms;
+        let delay = Duration::from_micros(
+            ((self.profile.latency_ms + jitter).max(0.0) * 1_000.0) as u64,
+        );
+        if self.profile.fault_rate > 0.0 && rng.gen::<f64>() < self.profile.fault_rate {
+            return (Gate::Fault, delay);
+        }
+        drop(rng);
+        if !self.bucket.lock().try_take() {
+            return (Gate::RateLimited, delay);
+        }
+        (Gate::Proceed, delay)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_bucket_enforces_burst_then_rate() {
+        let mut b = TokenBucket::new(1000.0, 5.0);
+        let mut granted = 0;
+        for _ in 0..10 {
+            if b.try_take() {
+                granted += 1;
+            }
+        }
+        // Only the burst is instantly available (plus maybe one refill tick).
+        assert!((5..=6).contains(&granted), "granted={granted}");
+        // After a pause, tokens refill.
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(b.try_take());
+    }
+
+    #[test]
+    fn generous_endpoint_proceeds() {
+        let e = EndpointSim::new(EndpointProfile::generous("fast", 1));
+        for _ in 0..100 {
+            let (g, d) = e.gate();
+            assert_eq!(g, Gate::Proceed);
+            assert!(d < Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn stingy_endpoint_throttles_and_faults() {
+        let e = EndpointSim::new(EndpointProfile::stingy("slow", 2));
+        let mut limited = 0;
+        let mut faults = 0;
+        for _ in 0..200 {
+            match e.gate().0 {
+                Gate::RateLimited => limited += 1,
+                Gate::Fault => faults += 1,
+                Gate::Proceed => {}
+            }
+        }
+        assert!(limited > 100, "limited={limited}");
+        assert!(faults > 0, "faults={faults}");
+    }
+
+    #[test]
+    fn deterministic_fault_sequence() {
+        let a = EndpointSim::new(EndpointProfile::stingy("x", 7));
+        let b = EndpointSim::new(EndpointProfile::stingy("x", 7));
+        let ga: Vec<Gate> = (0..50).map(|_| a.gate().0).collect();
+        let gb: Vec<Gate> = (0..50).map(|_| b.gate().0).collect();
+        // Fault decisions are seed-deterministic; rate limiting depends on
+        // wall-clock, so compare only fault positions.
+        let fa: Vec<bool> = ga.iter().map(|g| *g == Gate::Fault).collect();
+        let fb: Vec<bool> = gb.iter().map(|g| *g == Gate::Fault).collect();
+        assert_eq!(fa, fb);
+    }
+}

@@ -1,0 +1,30 @@
+//! # txstat-netsim — the network substrate
+//!
+//! The paper's measurements were taken over real node RPC interfaces: EOS
+//! HTTP endpoints run by block producers (6 shortlisted of 32 advertised,
+//! by rate limit and latency), a self-hosted Tezos node RPC, and the XRP
+//! community websocket endpoint (§3.1). This crate reproduces that surface
+//! over loopback TCP:
+//!
+//! - [`http`] — a minimal HTTP/1.1 implementation (requests, responses,
+//!   keep-alive, Content-Length bodies) on tokio.
+//! - [`ndjson`] — newline-delimited JSON framing standing in for the XRP
+//!   websocket (request/response semantics preserved).
+//! - [`endpoint`] — per-endpoint behaviour: latency + jitter, token-bucket
+//!   rate limiting (HTTP 429 / `slowDown`), fault injection.
+//! - [`server`] — endpoint tasks serving a handler through the behaviour
+//!   model, with byte/request accounting.
+//! - [`handlers`] — the chain RPC handlers (EOS `get_block`, Tezos block
+//!   RPC, XRP `ledger`), plus substitutes for the Ripple Data API
+//!   (`exchange_rates`) and XRP Scan (`account_info`).
+
+pub mod endpoint;
+pub mod handlers;
+pub mod http;
+pub mod ndjson;
+pub mod server;
+
+pub use endpoint::{EndpointProfile, EndpointSim, EndpointStats, Gate, TokenBucket};
+pub use handlers::{EosRpcHandler, TezosRpcHandler, XrpRpcHandler};
+pub use http::{HttpRequest, HttpResponse};
+pub use server::{spawn_http, spawn_ndjson, EndpointHandle, HttpHandler, JsonHandler};

@@ -1,0 +1,244 @@
+//! Endpoint servers: HTTP (EOS, Tezos) and NDJSON (XRP) over loopback TCP,
+//! each wrapped in an [`EndpointSim`] behaviour model with shared stats.
+
+use crate::endpoint::{EndpointProfile, EndpointSim, EndpointStats, Gate};
+use crate::http::{
+    read_request, request_wire_size, response_wire_size, write_response, HttpRequest,
+    HttpResponse,
+};
+use crate::ndjson::{read_frame, write_frame};
+use serde_json::{json, Value};
+use std::net::SocketAddr;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use tokio::io::BufStream;
+use tokio::net::TcpListener;
+use tokio::task::JoinHandle;
+
+/// An HTTP request handler (sync — chain lookups are in-memory).
+pub trait HttpHandler: Send + Sync + 'static {
+    fn handle(&self, req: &HttpRequest) -> HttpResponse;
+}
+
+/// An NDJSON command handler.
+pub trait JsonHandler: Send + Sync + 'static {
+    fn handle(&self, request: &Value) -> Value;
+}
+
+/// A running endpoint: address, behaviour stats, and its accept-loop task.
+pub struct EndpointHandle {
+    pub name: String,
+    pub addr: SocketAddr,
+    pub stats: Arc<EndpointStats>,
+    task: JoinHandle<()>,
+}
+
+impl EndpointHandle {
+    pub fn shutdown(&self) {
+        self.task.abort();
+    }
+}
+
+impl Drop for EndpointHandle {
+    fn drop(&mut self) {
+        self.task.abort();
+    }
+}
+
+/// Spawn an HTTP endpoint with the given behaviour profile.
+pub async fn spawn_http(
+    handler: Arc<dyn HttpHandler>,
+    profile: EndpointProfile,
+) -> std::io::Result<EndpointHandle> {
+    let listener = TcpListener::bind("127.0.0.1:0").await?;
+    let addr = listener.local_addr()?;
+    let stats = Arc::new(EndpointStats::default());
+    let sim = Arc::new(EndpointSim::new(profile.clone()));
+    let stats2 = stats.clone();
+    let task = tokio::spawn(async move {
+        loop {
+            let (sock, _) = match listener.accept().await {
+                Ok(x) => x,
+                Err(_) => break,
+            };
+            let handler = handler.clone();
+            let sim = sim.clone();
+            let stats = stats2.clone();
+            tokio::spawn(async move {
+                let mut stream = BufStream::new(sock);
+                loop {
+                    let req = match read_request(&mut stream).await {
+                        Ok(Some(r)) => r,
+                        _ => break,
+                    };
+                    stats.requests.fetch_add(1, Ordering::Relaxed);
+                    stats
+                        .bytes_in
+                        .fetch_add(request_wire_size(&req) as u64, Ordering::Relaxed);
+                    let (gate, delay) = sim.gate();
+                    if !delay.is_zero() {
+                        tokio::time::sleep(delay).await;
+                    }
+                    let resp = match gate {
+                        Gate::Fault => {
+                            stats.faults.fetch_add(1, Ordering::Relaxed);
+                            break; // connection reset
+                        }
+                        Gate::RateLimited => {
+                            stats.rate_limited.fetch_add(1, Ordering::Relaxed);
+                            HttpResponse::status(429, "Too Many Requests", b"{\"error\":\"rate limited\"}".to_vec())
+                        }
+                        Gate::Proceed => {
+                            stats.served.fetch_add(1, Ordering::Relaxed);
+                            handler.handle(&req)
+                        }
+                    };
+                    stats
+                        .bytes_out
+                        .fetch_add(response_wire_size(&resp) as u64, Ordering::Relaxed);
+                    if write_response(&mut stream, &resp).await.is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+    });
+    Ok(EndpointHandle { name: profile.name, addr, stats, task })
+}
+
+/// Spawn an NDJSON endpoint (the XRP websocket-equivalent).
+pub async fn spawn_ndjson(
+    handler: Arc<dyn JsonHandler>,
+    profile: EndpointProfile,
+) -> std::io::Result<EndpointHandle> {
+    let listener = TcpListener::bind("127.0.0.1:0").await?;
+    let addr = listener.local_addr()?;
+    let stats = Arc::new(EndpointStats::default());
+    let sim = Arc::new(EndpointSim::new(profile.clone()));
+    let stats2 = stats.clone();
+    let task = tokio::spawn(async move {
+        loop {
+            let (sock, _) = match listener.accept().await {
+                Ok(x) => x,
+                Err(_) => break,
+            };
+            let handler = handler.clone();
+            let sim = sim.clone();
+            let stats = stats2.clone();
+            tokio::spawn(async move {
+                let mut stream = BufStream::new(sock);
+                loop {
+                    let (req, nbytes) = match read_frame(&mut stream).await {
+                        Ok(Some(x)) => x,
+                        _ => break,
+                    };
+                    stats.requests.fetch_add(1, Ordering::Relaxed);
+                    stats.bytes_in.fetch_add(nbytes as u64, Ordering::Relaxed);
+                    let (gate, delay) = sim.gate();
+                    if !delay.is_zero() {
+                        tokio::time::sleep(delay).await;
+                    }
+                    let resp = match gate {
+                        Gate::Fault => {
+                            stats.faults.fetch_add(1, Ordering::Relaxed);
+                            break;
+                        }
+                        Gate::RateLimited => {
+                            stats.rate_limited.fetch_add(1, Ordering::Relaxed);
+                            json!({"id": req.get("id").cloned().unwrap_or(Value::Null),
+                                   "status": "error", "error": "slowDown"})
+                        }
+                        Gate::Proceed => {
+                            stats.served.fetch_add(1, Ordering::Relaxed);
+                            handler.handle(&req)
+                        }
+                    };
+                    match write_frame(&mut stream, &resp).await {
+                        Ok(n) => {
+                            stats.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
+                        }
+                        Err(_) => break,
+                    }
+                }
+            });
+        }
+    });
+    Ok(EndpointHandle { name: profile.name, addr, stats, task })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::{read_response, write_request};
+    use tokio::net::TcpStream;
+
+    struct Echo;
+    impl HttpHandler for Echo {
+        fn handle(&self, req: &HttpRequest) -> HttpResponse {
+            HttpResponse::ok(req.body.clone())
+        }
+    }
+
+    struct Pong;
+    impl JsonHandler for Pong {
+        fn handle(&self, request: &Value) -> Value {
+            json!({"id": request["id"], "status": "success", "pong": true})
+        }
+    }
+
+    #[tokio::test]
+    async fn http_endpoint_serves_and_counts() {
+        let h = spawn_http(Arc::new(Echo), EndpointProfile::generous("e", 1)).await.unwrap();
+        let sock = TcpStream::connect(h.addr).await.unwrap();
+        let mut stream = BufStream::new(sock);
+        write_request(&mut stream, &HttpRequest::post("/x", b"hello".to_vec())).await.unwrap();
+        let resp = read_response(&mut stream).await.unwrap();
+        assert_eq!(resp.body, b"hello");
+        let (req, served, limited, _, bin, bout) = h.stats.snapshot();
+        assert_eq!((req, served, limited), (1, 1, 0));
+        assert!(bin > 5 && bout > 5);
+    }
+
+    #[tokio::test]
+    async fn http_endpoint_rate_limits() {
+        let mut p = EndpointProfile::generous("tight", 2);
+        p.rate_limit_per_sec = 1.0;
+        p.burst = 2.0;
+        p.latency_ms = 0.0;
+        p.jitter_ms = 0.0;
+        let h = spawn_http(Arc::new(Echo), p).await.unwrap();
+        let sock = TcpStream::connect(h.addr).await.unwrap();
+        let mut stream = BufStream::new(sock);
+        let mut codes = Vec::new();
+        for _ in 0..6 {
+            write_request(&mut stream, &HttpRequest::get("/")).await.unwrap();
+            codes.push(read_response(&mut stream).await.unwrap().status);
+        }
+        assert!(codes.iter().filter(|c| **c == 429).count() >= 3, "{codes:?}");
+        assert!(codes.iter().filter(|c| **c == 200).count() >= 2, "{codes:?}");
+    }
+
+    #[tokio::test]
+    async fn ndjson_endpoint_serves() {
+        let h = spawn_ndjson(Arc::new(Pong), EndpointProfile::generous("x", 3)).await.unwrap();
+        let sock = TcpStream::connect(h.addr).await.unwrap();
+        let mut stream = BufStream::new(sock);
+        write_frame(&mut stream, &json!({"id": 7, "command": "ping"})).await.unwrap();
+        let (resp, _) = read_frame(&mut stream).await.unwrap().unwrap();
+        assert_eq!(resp["id"], 7);
+        assert_eq!(resp["pong"], true);
+    }
+
+    #[tokio::test]
+    async fn faulty_endpoint_drops_connections() {
+        let mut p = EndpointProfile::generous("flaky", 4);
+        p.fault_rate = 1.0;
+        p.latency_ms = 0.0;
+        let h = spawn_http(Arc::new(Echo), p).await.unwrap();
+        let sock = TcpStream::connect(h.addr).await.unwrap();
+        let mut stream = BufStream::new(sock);
+        write_request(&mut stream, &HttpRequest::get("/")).await.unwrap();
+        assert!(read_response(&mut stream).await.is_err(), "connection dropped");
+        assert_eq!(h.stats.faults.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,66 @@
+//! The end-to-end reproduction binary.
+//!
+//! Generates the Oct 1 – Dec 31 2019 scenario, optionally crawls it over
+//! real loopback RPC endpoints (the full §3.1 measurement path), regenerates
+//! every table and figure, and prints the paper-vs-measured comparison.
+//!
+//! Usage:
+//!   reproduce [--small] [--crawl] [--seed N] [--out FILE]
+
+use std::io::Write;
+use txstat_reports::{comparison, generate, generate_with_crawl, render_all, render_comparison, CrawlOptions};
+use txstat_workload::Scenario;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let has = |flag: &str| args.iter().any(|a| a == flag);
+    let value_of = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let seed: u64 = value_of("--seed").and_then(|s| s.parse().ok()).unwrap_or(42);
+    let sc = if has("--small") { Scenario::small(seed) } else { Scenario::paper(seed) };
+
+    eprintln!(
+        "scenario: {} .. {} (divisors: EOS 1/{}, Tezos 1/{}, XRP 1/{})",
+        sc.period.start.date_string(),
+        sc.period.end.date_string(),
+        sc.eos_divisor,
+        sc.tezos_divisor,
+        sc.xrp_divisor
+    );
+
+    let started = std::time::Instant::now();
+    let data = if has("--crawl") {
+        eprintln!("generating chains and crawling them over loopback RPC…");
+        let opts = if has("--small") { CrawlOptions::default() } else { CrawlOptions::paper() };
+        let rt = tokio::runtime::Runtime::new().expect("tokio runtime");
+        rt.block_on(generate_with_crawl(&sc, &opts)).expect("crawl pipeline")
+    } else {
+        eprintln!("generating chains (direct read; pass --crawl for the full RPC path)…");
+        generate(&sc)
+    };
+    eprintln!("pipeline ready in {:?}; rendering exhibits…", started.elapsed());
+
+    let mut output = render_all(&data);
+    let rows = comparison(&data);
+    output.push_str(&render_comparison(&rows));
+    output.push('\n');
+    let misses = rows.iter().filter(|r| !r.within_band).count();
+    output.push_str(&format!(
+        "{} of {} comparison metrics inside their acceptance bands\n",
+        rows.len() - misses,
+        rows.len()
+    ));
+
+    match value_of("--out") {
+        Some(path) => {
+            let mut f = std::fs::File::create(&path).expect("create output file");
+            f.write_all(output.as_bytes()).expect("write output");
+            eprintln!("exhibits written to {path}");
+        }
+        None => print!("{output}"),
+    }
+}

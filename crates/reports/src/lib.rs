@@ -1,0 +1,16 @@
+//! # txstat-reports — regenerating every exhibit of the paper
+//!
+//! [`pipeline`] assembles the dataset (directly or through the full RPC
+//! crawl), [`exhibits`] renders each table and figure, and [`paper`]
+//! produces the paper-vs-measured comparison that EXPERIMENTS.md records.
+
+pub mod exhibits;
+pub mod paper;
+pub mod pipeline;
+
+pub use exhibits::render_all;
+pub use paper::{comparison, render_comparison, ComparisonRow};
+pub use pipeline::{generate, generate_with_crawl, CrawlOptions, PipelineData};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,351 @@
+//! Pipeline orchestration: scenario → chains → (optional RPC crawl) →
+//! the dataset every exhibit renders from.
+//!
+//! Two paths produce identical [`PipelineData`]:
+//! - [`generate`] reads the simulated chains directly (fast; used by tests
+//!   and benches);
+//! - [`generate_with_crawl`] serves the chains over loopback RPC endpoints,
+//!   benchmarks and shortlists them, and runs the real crawler — the full
+//!   §3.1 measurement path (used by the `reproduce` binary).
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use txstat_core::ClusterInfo;
+use txstat_crawler::{
+    benchmark_endpoints, crawl_eos, crawl_tezos, crawl_xrp, eos_head, fetch_account_meta,
+    fetch_exchange_rate, fetch_exchanges, shortlist, tezos_head, xrp_head, Advertised,
+    ClientConfig, CrawlError, CrawlStats, RotatingPool,
+};
+use txstat_netsim::handlers::{EosRpcHandler, TezosRpcHandler, XrpRpcHandler};
+use txstat_netsim::server::{spawn_http, spawn_ndjson, EndpointHandle};
+use txstat_netsim::EndpointProfile;
+use txstat_netsim::http::HttpRequest;
+use txstat_tezos::address::Address;
+use txstat_tezos::governance::PeriodKind;
+use txstat_types::time::Period;
+use txstat_workload::{eos::build_eos, tezos::build_tezos, xrp::build_xrp, Scenario};
+use txstat_xrp::amount::{Asset, IssuedCurrency};
+use txstat_xrp::rates::{RateOracle, TradeRecord};
+use txstat_xrp::tx::TxPayload;
+
+/// Everything the exhibits need.
+pub struct PipelineData {
+    pub scenario: Scenario,
+    pub eos_blocks: Vec<txstat_eos::Block>,
+    pub tezos_blocks: Vec<txstat_tezos::TezosBlock>,
+    pub xrp_blocks: Vec<txstat_xrp::LedgerBlock>,
+    /// Exchange-rate oracle over the window (Data API substitute).
+    pub oracle: RateOracle,
+    /// Individual IOU↔XRP exchange events (Figure 11b).
+    pub trades: Vec<TradeRecord>,
+    pub cluster: ClusterInfo,
+    /// (block number, CPU price index) per EOS block (§4.1).
+    pub eos_cpu_price: Vec<(u64, f64)>,
+    /// EOS transactions rejected during production (congestion drops).
+    pub eos_dropped_txs: u64,
+    pub tezos_rolls: HashMap<Address, u64>,
+    /// The governance period windows of the Tezos chain, in order.
+    pub governance_periods: Vec<(PeriodKind, Period)>,
+    /// Crawl accounting when the RPC path was used.
+    pub crawl: Option<CrawlSummary>,
+}
+
+/// Per-chain crawl accounting for Figure 2.
+pub struct CrawlSummary {
+    pub eos: CrawlStats,
+    pub tezos: CrawlStats,
+    pub xrp: CrawlStats,
+    pub eos_advertised: usize,
+    pub eos_shortlisted: usize,
+}
+
+fn governance_periods_of(chain: &txstat_tezos::TezosChain) -> Vec<(PeriodKind, Period)> {
+    let p = chain.config.governance.period_blocks as i64 * chain.config.block_interval_secs;
+    let mut out = Vec::new();
+    let mut start = chain.config.genesis_time;
+    for result in &chain.governance.history {
+        let window = Period::new(start, start + p);
+        out.push((result.kind, window));
+        start = window.end;
+    }
+    out
+}
+
+fn cluster_from_ledger(ledger: &txstat_xrp::XrpLedger) -> ClusterInfo {
+    let usernames: HashMap<_, _> = txstat_workload::xrp::known_usernames().into_iter().collect();
+    let mut cluster = ClusterInfo::new();
+    for (id, root) in ledger.accounts() {
+        let username = usernames.get(id).map(|s| (*s).to_owned());
+        cluster.insert(*id, username, root.activated_by);
+    }
+    cluster
+}
+
+/// Direct path: generate the three chains and read them in-process.
+pub fn generate(sc: &Scenario) -> PipelineData {
+    let eos = build_eos(sc);
+    let tezos = build_tezos(sc);
+    let xrp = build_xrp(sc);
+
+    let oracle = RateOracle::from_trades(&xrp.trades, sc.period.end, sc.period.days() as i64 + 1);
+    let cluster = cluster_from_ledger(&xrp);
+    let governance_periods = governance_periods_of(&tezos);
+    let tezos_rolls: HashMap<Address, u64> = tezos
+        .bakers()
+        .iter()
+        .map(|b| (b.address, b.staked_mutez / tezos.config.roll_size_mutez))
+        .collect();
+
+    PipelineData {
+        scenario: sc.clone(),
+        eos_blocks: eos.blocks().to_vec(),
+        tezos_blocks: tezos.blocks().to_vec(),
+        xrp_blocks: xrp.closed_ledgers().to_vec(),
+        oracle,
+        trades: xrp.trades.clone(),
+        cluster,
+        eos_cpu_price: eos.cpu_price_history.clone(),
+        eos_dropped_txs: eos.dropped_txs,
+        tezos_rolls,
+        governance_periods,
+        crawl: None,
+    }
+}
+
+/// Crawl-path tuning.
+#[derive(Debug, Clone)]
+pub struct CrawlOptions {
+    /// Advertised EOS endpoints (the paper: 32) and how many to shortlist
+    /// (the paper: 6).
+    pub eos_advertised: usize,
+    pub eos_shortlisted: usize,
+    /// Worker concurrency per chain crawl.
+    pub concurrency: usize,
+}
+
+impl Default for CrawlOptions {
+    fn default() -> Self {
+        CrawlOptions { eos_advertised: 8, eos_shortlisted: 3, concurrency: 8 }
+    }
+}
+
+impl CrawlOptions {
+    /// The paper's endpoint population: 32 advertised, 6 shortlisted.
+    pub fn paper() -> Self {
+        CrawlOptions { eos_advertised: 32, eos_shortlisted: 6, concurrency: 12 }
+    }
+}
+
+/// Full path: serve the generated chains over loopback RPC, shortlist
+/// endpoints, crawl everything, fetch rates/metadata, and assemble the
+/// dataset — exercising exactly the code path the paper's pipeline used.
+pub async fn generate_with_crawl(
+    sc: &Scenario,
+    opts: &CrawlOptions,
+) -> Result<PipelineData, CrawlError> {
+    let eos = Arc::new(build_eos(sc));
+    let tezos = Arc::new(build_tezos(sc));
+    let xrp = Arc::new(build_xrp(sc));
+    let cfg = ClientConfig::default();
+
+    // --- EOS: a population of block-producer endpoints of mixed quality. --
+    let eos_handler = Arc::new(EosRpcHandler::new(eos.clone()));
+    let mut eos_handles: Vec<EndpointHandle> = Vec::new();
+    for i in 0..opts.eos_advertised {
+        // Roughly half the advertised endpoints are stingy (tight limits,
+        // high latency), mirroring the paper's 6-of-32 yield.
+        let profile = if i % 2 == 0 {
+            EndpointProfile::generous(&format!("eos-bp-{i}"), sc.seed ^ (i as u64))
+        } else {
+            EndpointProfile::stingy(&format!("eos-bp-{i}"), sc.seed ^ (i as u64))
+        };
+        eos_handles.push(spawn_http(eos_handler.clone(), profile).await.map_err(CrawlError::Io)?);
+    }
+    let advertised: Vec<Advertised> = eos_handles
+        .iter()
+        .map(|h| Advertised { name: h.name.clone(), addr: h.addr })
+        .collect();
+    let reports = benchmark_endpoints(&advertised, 3, |addr| async move {
+        let started = std::time::Instant::now();
+        let mut conn = txstat_crawler::HttpConn::new(addr);
+        match conn
+            .call(
+                &HttpRequest::post("/v1/chain/get_info", b"{}".to_vec()),
+                std::time::Duration::from_millis(500),
+            )
+            .await
+        {
+            Ok(r) if r.is_ok() => Ok(started.elapsed()),
+            _ => Err(()),
+        }
+    })
+    .await;
+    let eos_pool = Arc::new(RotatingPool::new(shortlist(&reports, opts.eos_shortlisted)));
+    let head = eos_head(&eos_pool, &cfg).await?;
+    let eos_crawl = crawl_eos(
+        eos_pool,
+        cfg.clone(),
+        eos.config.start_block_num,
+        head,
+        opts.concurrency,
+    )
+    .await?;
+
+    // --- Tezos: the self-hosted node (one endpoint). -----------------------
+    let tezos_handler = Arc::new(TezosRpcHandler::new(tezos.clone()));
+    let tz_handle = spawn_http(
+        tezos_handler,
+        EndpointProfile::generous("tezos-self-node", sc.seed ^ 0x7e20),
+    )
+    .await
+    .map_err(CrawlError::Io)?;
+    let tz_pool = Arc::new(RotatingPool::new(vec![Advertised {
+        name: tz_handle.name.clone(),
+        addr: tz_handle.addr,
+    }]));
+    let tz_head = tezos_head(&tz_pool, &cfg).await?;
+    let tezos_crawl = crawl_tezos(
+        tz_pool,
+        cfg.clone(),
+        tezos.config.start_level,
+        tz_head,
+        opts.concurrency,
+    )
+    .await?;
+
+    // --- XRP: the community websocket-equivalent endpoint. -----------------
+    let usernames: HashMap<_, _> = txstat_workload::xrp::known_usernames()
+        .into_iter()
+        .map(|(a, n)| (a, n.to_owned()))
+        .collect();
+    let xrp_handler = Arc::new(XrpRpcHandler::new(xrp.clone(), usernames));
+    let xrp_handle = spawn_ndjson(
+        xrp_handler,
+        EndpointProfile::generous("xrp-full-history", sc.seed ^ 0x1277),
+    )
+    .await
+    .map_err(CrawlError::Io)?;
+    let xrp_pool = Arc::new(RotatingPool::new(vec![Advertised {
+        name: xrp_handle.name.clone(),
+        addr: xrp_handle.addr,
+    }]));
+    let x_head = xrp_head(&xrp_pool, &cfg).await?;
+    let xrp_crawl = crawl_xrp(
+        xrp_pool.clone(),
+        cfg.clone(),
+        xrp.config.start_index,
+        x_head,
+        opts.concurrency,
+    )
+    .await?;
+
+    // Account metadata for every account seen (XRP Scan path).
+    let mut seen: HashSet<txstat_xrp::AccountId> = HashSet::new();
+    let mut ious: HashSet<IssuedCurrency> = HashSet::new();
+    for b in &xrp_crawl.blocks {
+        for tx in &b.transactions {
+            seen.insert(tx.tx.account);
+            match &tx.tx.payload {
+                TxPayload::Payment { destination, amount, .. } => {
+                    seen.insert(*destination);
+                    if let Asset::Iou(ic) = amount.asset {
+                        ious.insert(ic);
+                    }
+                }
+                TxPayload::OfferCreate { gets, pays } => {
+                    for a in [gets, pays] {
+                        if let Asset::Iou(ic) = a.asset {
+                            ious.insert(ic);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut accounts: Vec<txstat_xrp::AccountId> = seen.into_iter().collect();
+    accounts.sort();
+    let metas = fetch_account_meta(&xrp_pool, &cfg, &accounts).await?;
+    let mut cluster = ClusterInfo::new();
+    for m in metas {
+        cluster.insert(m.account, m.username, m.parent);
+    }
+
+    // Exchange rates for every observed token (Data API path), and the
+    // exchange events of every BTC issuer (Figure 11b).
+    let mut rates = Vec::new();
+    let mut trades = Vec::new();
+    let mut iou_list: Vec<IssuedCurrency> = ious.into_iter().collect();
+    iou_list.sort();
+    for ic in &iou_list {
+        if let Some(rate) =
+            fetch_exchange_rate(&xrp_pool, &cfg, ic.currency.as_str(), ic.issuer, sc.period.end)
+                .await?
+        {
+            rates.push((*ic, rate));
+        }
+        if ic.currency.as_str() == "BTC" {
+            trades.extend(fetch_exchanges(&xrp_pool, &cfg, "BTC", ic.issuer).await?);
+        }
+    }
+    let oracle = RateOracle::from_rates(rates);
+
+    let governance_periods = governance_periods_of(&tezos);
+    let tezos_rolls: HashMap<Address, u64> = tezos
+        .bakers()
+        .iter()
+        .map(|b| (b.address, b.staked_mutez / tezos.config.roll_size_mutez))
+        .collect();
+
+    Ok(PipelineData {
+        scenario: sc.clone(),
+        eos_blocks: eos_crawl.blocks,
+        tezos_blocks: tezos_crawl.blocks,
+        xrp_blocks: xrp_crawl.blocks,
+        oracle,
+        trades,
+        cluster,
+        eos_cpu_price: eos.cpu_price_history.clone(),
+        eos_dropped_txs: eos.dropped_txs,
+        tezos_rolls,
+        governance_periods,
+        crawl: Some(CrawlSummary {
+            eos: eos_crawl.stats,
+            tezos: tezos_crawl.stats,
+            xrp: xrp_crawl.stats,
+            eos_advertised: opts.eos_advertised,
+            eos_shortlisted: opts.eos_shortlisted,
+        }),
+    })
+}
+
+/// Local storage accounting when no crawl ran: serialize every block to its
+/// wire JSON and sample-compress (same methodology as the crawler's
+/// Figure 2 accounting).
+pub fn local_storage_stats(data: &PipelineData) -> (CrawlStats, CrawlStats, CrawlStats) {
+    let mut eos = CrawlStats::default();
+    for (i, b) in data.eos_blocks.iter().enumerate() {
+        let wire = serde_json::to_vec(&txstat_eos::rpc_model::block_to_json(b))
+            .expect("serializable");
+        eos.record_payload(i as u64, &wire);
+        eos.blocks += 1;
+        eos.transactions += b.transactions.len() as u64;
+    }
+    let mut tezos = CrawlStats::default();
+    for (i, b) in data.tezos_blocks.iter().enumerate() {
+        let wire = serde_json::to_vec(&txstat_tezos::rpc_model::block_to_json(b))
+            .expect("serializable");
+        tezos.record_payload(i as u64, &wire);
+        tezos.blocks += 1;
+        tezos.transactions += b.operations.len() as u64;
+    }
+    let mut xrp = CrawlStats::default();
+    for (i, b) in data.xrp_blocks.iter().enumerate() {
+        let wire = serde_json::to_vec(&txstat_xrp::rpc_model::ledger_to_json(b))
+            .expect("serializable");
+        xrp.record_payload(i as u64, &wire);
+        xrp.blocks += 1;
+        xrp.transactions += b.transactions.len() as u64;
+    }
+    (eos, tezos, xrp)
+}

@@ -1,0 +1,239 @@
+//! Tezos addresses: implicit (`tz1…`) and originated (`KT1…`) accounts.
+//!
+//! §2.3.2: implicit accounts are key-pair derived and can bake/receive
+//! stakes; originated accounts are created by implicit ones, can act as
+//! smart contracts, and delegate to bakers. We keep a 64-bit internal id and
+//! render it base58check-style with the production prefixes so addresses
+//! look and parse like mainnet's.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+use txstat_types::ids::fnv1a64;
+
+const BASE58: &[u8; 58] = b"123456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz";
+
+/// Address class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AddrKind {
+    /// tz1 — key-pair account; can bake and be a delegate.
+    Implicit,
+    /// KT1 — originated account / smart contract.
+    Originated,
+}
+
+/// A Tezos address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(into = "String", try_from = "String")]
+pub struct Address {
+    pub kind: AddrKind,
+    pub id: u64,
+}
+
+impl Address {
+    pub const fn implicit(id: u64) -> Self {
+        Address { kind: AddrKind::Implicit, id }
+    }
+
+    pub const fn originated(id: u64) -> Self {
+        Address { kind: AddrKind::Originated, id }
+    }
+
+    pub fn is_implicit(&self) -> bool {
+        self.kind == AddrKind::Implicit
+    }
+
+    fn prefix(&self) -> &'static str {
+        match self.kind {
+            AddrKind::Implicit => "tz1",
+            AddrKind::Originated => "KT1",
+        }
+    }
+
+    fn payload(&self) -> [u8; 10] {
+        // 8 id bytes + 2 checksum bytes.
+        let idb = self.id.to_be_bytes();
+        let ck = (fnv1a64(&idb) & 0xffff) as u16;
+        let mut p = [0u8; 10];
+        p[..8].copy_from_slice(&idb);
+        p[8..].copy_from_slice(&ck.to_be_bytes());
+        p
+    }
+}
+
+fn b58_encode(payload: &[u8]) -> String {
+    // Big-integer base conversion; payload is 10 bytes, fits in u128.
+    let mut n: u128 = 0;
+    for &b in payload {
+        n = (n << 8) | b as u128;
+    }
+    let mut digits = Vec::new();
+    loop {
+        digits.push(BASE58[(n % 58) as usize]);
+        n /= 58;
+        if n == 0 {
+            break;
+        }
+    }
+    // Preserve leading zero bytes as '1's (like real base58check).
+    for &b in payload {
+        if b == 0 {
+            digits.push(b'1');
+        } else {
+            break;
+        }
+    }
+    digits.reverse();
+    String::from_utf8(digits).expect("base58 alphabet is ASCII")
+}
+
+fn b58_decode(s: &str) -> Option<Vec<u8>> {
+    let mut n: u128 = 0;
+    let mut leading = 0usize;
+    let mut seen_nonzero = false;
+    for c in s.bytes() {
+        let v = BASE58.iter().position(|&b| b == c)? as u128;
+        if !seen_nonzero {
+            if c == b'1' {
+                leading += 1;
+                continue;
+            }
+            seen_nonzero = true;
+        }
+        n = n.checked_mul(58)?.checked_add(v)?;
+    }
+    let mut bytes = Vec::new();
+    while n > 0 {
+        bytes.push((n & 0xff) as u8);
+        n >>= 8;
+    }
+    bytes.extend(std::iter::repeat(0).take(leading));
+    bytes.reverse();
+    Some(bytes)
+}
+
+/// Address parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AddressError {
+    BadPrefix,
+    BadEncoding,
+    BadChecksum,
+}
+
+impl fmt::Display for AddressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AddressError::BadPrefix => write!(f, "address must start with tz1 or KT1"),
+            AddressError::BadEncoding => write!(f, "invalid base58 payload"),
+            AddressError::BadChecksum => write!(f, "checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for AddressError {}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.prefix(), b58_encode(&self.payload()))
+    }
+}
+
+impl FromStr for Address {
+    type Err = AddressError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (kind, rest) = if let Some(r) = s.strip_prefix("tz1") {
+            (AddrKind::Implicit, r)
+        } else if let Some(r) = s.strip_prefix("KT1") {
+            (AddrKind::Originated, r)
+        } else {
+            return Err(AddressError::BadPrefix);
+        };
+        let bytes = b58_decode(rest).ok_or(AddressError::BadEncoding)?;
+        if bytes.len() != 10 {
+            return Err(AddressError::BadEncoding);
+        }
+        let mut idb = [0u8; 8];
+        idb.copy_from_slice(&bytes[..8]);
+        let id = u64::from_be_bytes(idb);
+        let want = (fnv1a64(&idb) & 0xffff) as u16;
+        let got = u16::from_be_bytes([bytes[8], bytes[9]]);
+        if want != got {
+            return Err(AddressError::BadChecksum);
+        }
+        let addr = Address { kind, id };
+        Ok(addr)
+    }
+}
+
+impl From<Address> for String {
+    fn from(a: Address) -> String {
+        a.to_string()
+    }
+}
+
+impl TryFrom<String> for Address {
+    type Error = AddressError;
+    fn try_from(s: String) -> Result<Self, Self::Error> {
+        s.parse()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_and_prefixes() {
+        let a = Address::implicit(42);
+        let s = a.to_string();
+        assert!(s.starts_with("tz1"), "{s}");
+        assert_eq!(s.parse::<Address>().unwrap(), a);
+
+        let k = Address::originated(7_000_000);
+        let ks = k.to_string();
+        assert!(ks.starts_with("KT1"), "{ks}");
+        assert_eq!(ks.parse::<Address>().unwrap(), k);
+    }
+
+    #[test]
+    fn checksum_detects_corruption() {
+        let s = Address::implicit(123456789).to_string();
+        // Flip one payload character to another alphabet character.
+        let mut chars: Vec<char> = s.chars().collect();
+        let last = chars.len() - 1;
+        chars[last] = if chars[last] == '2' { '3' } else { '2' };
+        let corrupted: String = chars.into_iter().collect();
+        assert!(matches!(
+            corrupted.parse::<Address>(),
+            Err(AddressError::BadChecksum) | Err(AddressError::BadEncoding)
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_prefix() {
+        assert_eq!("xyz9aaaa".parse::<Address>(), Err(AddressError::BadPrefix));
+        assert_eq!(
+            "tz10O".parse::<Address>(), // 'O' and '0' are not base58
+            Err(AddressError::BadEncoding)
+        );
+    }
+
+    #[test]
+    fn serde_as_string() {
+        let a = Address::implicit(99);
+        let j = serde_json::to_string(&a).unwrap();
+        let back: Address = serde_json::from_str(&j).unwrap();
+        assert_eq!(back, a);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(id in any::<u64>(), originated in any::<bool>()) {
+            let a = if originated { Address::originated(id) } else { Address::implicit(id) };
+            let s = a.to_string();
+            prop_assert_eq!(s.parse::<Address>().unwrap(), a);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # txstat-types
+//!
+//! Foundation crate for the `txstat` workspace: the reproduction of
+//! *"Revisiting Transactional Statistics of High-scalability Blockchains"*
+//! (IMC 2020).
+//!
+//! Everything here is chain-agnostic and dependency-light:
+//!
+//! - [`time`] — seconds-precision chain clock, civil-date math (no chrono),
+//!   observation periods and the paper's 6-hour bucketing.
+//! - [`amount`] — `i128` fixed-point quantities and inline symbol codes.
+//! - [`ids`] — chain identifiers and stable FNV-1a hashing.
+//! - [`stats`] — streaming mean/stdev, exact top-K, histograms, Gini.
+//! - [`distrib`] — the samplers the workload engine needs (Poisson, Zipf,
+//!   exponential, log-normal) built on plain `rand`.
+//! - [`lzss`] — a real LZSS compressor used for the paper's "storage, gzip"
+//!   dataset statistics (Figure 2).
+//! - [`table`] — plain-text table rendering shared by all report output.
+//! - [`series`] — bucketed categorical time series (Figure 3).
+//! - [`rng`] — deterministic seed derivation so every run is reproducible.
+
+pub mod amount;
+pub mod distrib;
+pub mod ids;
+pub mod lzss;
+pub mod rng;
+pub mod series;
+pub mod stats;
+pub mod table;
+pub mod time;
+
+pub use amount::{fmt_scaled, Qty, SymCode};
+pub use ids::{fnv1a64, Chain};
+pub use series::BucketSeries;
+pub use stats::{gini, Histogram, RunningStats, TopK};
+pub use time::{ChainTime, Period, SIX_HOURS};

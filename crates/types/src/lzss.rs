@@ -1,0 +1,238 @@
+//! LZSS compression for dataset-size accounting.
+//!
+//! Figure 2 of the paper reports the gzip-compressed storage footprint of
+//! each chain's crawled blocks (121 GB EOS / 0.56 GB Tezos / 76.4 GB XRP).
+//! The sandbox's offline crate set has no DEFLATE implementation, so we ship
+//! a real LZSS codec (32 KiB sliding window, greedy longest-match with hash
+//! chains) and use it to measure compressed sizes of the exact bytes the
+//! crawler received. LZSS compresses JSON a little less aggressively than
+//! DEFLATE (no entropy stage), which we note in EXPERIMENTS.md.
+//!
+//! Format: a stream of groups, each led by a flag byte (LSB first; bit set =
+//! match). A literal is one raw byte. A match is three bytes:
+//! `offset_hi, offset_lo, len - MIN_MATCH` with `offset` in `1..=32768`
+//! (stored as `offset - 1`) and `len` in `3..=258`.
+
+use std::collections::HashMap;
+
+const WINDOW: usize = 32 * 1024;
+const MIN_MATCH: usize = 3;
+const MAX_MATCH: usize = 258;
+/// Cap on hash-chain probes per position; bounds worst-case time.
+const MAX_CANDIDATES: usize = 32;
+
+/// Compress `input`; output is self-delimiting given its length.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    // Positions of each 3-byte prefix, most recent last.
+    let mut chains: HashMap<[u8; 3], Vec<usize>> = HashMap::new();
+    let mut i = 0;
+
+    let mut flags_pos = usize::MAX; // index of current flag byte in `out`
+    let mut flag_bit = 8; // 8 == need a fresh flag byte
+
+    macro_rules! emit {
+        ($is_match:expr, $bytes:expr) => {{
+            if flag_bit == 8 {
+                flags_pos = out.len();
+                out.push(0u8);
+                flag_bit = 0;
+            }
+            if $is_match {
+                out[flags_pos] |= 1 << flag_bit;
+            }
+            flag_bit += 1;
+            out.extend_from_slice($bytes);
+        }};
+    }
+
+    while i < input.len() {
+        let mut best_len = 0usize;
+        let mut best_off = 0usize;
+        if i + MIN_MATCH <= input.len() {
+            let key = [input[i], input[i + 1], input[i + 2]];
+            if let Some(positions) = chains.get(&key) {
+                for &p in positions.iter().rev().take(MAX_CANDIDATES) {
+                    if i - p > WINDOW {
+                        break; // older candidates only get further away
+                    }
+                    let max_here = MAX_MATCH.min(input.len() - i);
+                    let mut l = 0;
+                    while l < max_here && input[p + l] == input[i + l] {
+                        l += 1;
+                    }
+                    if l > best_len {
+                        best_len = l;
+                        best_off = i - p;
+                        if l == max_here {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+
+        if best_len >= MIN_MATCH {
+            let off = best_off - 1;
+            let enc = [(off >> 8) as u8, (off & 0xff) as u8, (best_len - MIN_MATCH) as u8];
+            emit!(true, &enc);
+            // Index every position covered by the match.
+            let end = i + best_len;
+            while i < end {
+                if i + MIN_MATCH <= input.len() {
+                    let key = [input[i], input[i + 1], input[i + 2]];
+                    let v = chains.entry(key).or_default();
+                    v.push(i);
+                    if v.len() > 4 * MAX_CANDIDATES {
+                        v.drain(..2 * MAX_CANDIDATES);
+                    }
+                }
+                i += 1;
+            }
+        } else {
+            emit!(false, &input[i..=i]);
+            if i + MIN_MATCH <= input.len() {
+                let key = [input[i], input[i + 1], input[i + 2]];
+                let v = chains.entry(key).or_default();
+                v.push(i);
+                if v.len() > 4 * MAX_CANDIDATES {
+                    v.drain(..2 * MAX_CANDIDATES);
+                }
+            }
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Decompress a stream produced by [`compress`].
+pub fn decompress(data: &[u8]) -> Result<Vec<u8>, LzssError> {
+    let mut out = Vec::with_capacity(data.len() * 3);
+    let mut i = 0;
+    while i < data.len() {
+        let flags = data[i];
+        i += 1;
+        if i >= data.len() {
+            // An encoder never emits a flag byte without at least one item.
+            return Err(LzssError::Truncated);
+        }
+        for bit in 0..8 {
+            if i >= data.len() {
+                break;
+            }
+            if flags & (1 << bit) != 0 {
+                if i + 3 > data.len() {
+                    return Err(LzssError::Truncated);
+                }
+                let off = ((data[i] as usize) << 8 | data[i + 1] as usize) + 1;
+                let len = data[i + 2] as usize + MIN_MATCH;
+                i += 3;
+                if off > out.len() {
+                    return Err(LzssError::BadOffset { offset: off, have: out.len() });
+                }
+                let start = out.len() - off;
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            } else {
+                out.push(data[i]);
+                i += 1;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Convenience: compressed length only.
+pub fn compressed_len(input: &[u8]) -> usize {
+    compress(input).len()
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LzssError {
+    Truncated,
+    BadOffset { offset: usize, have: usize },
+}
+
+impl std::fmt::Display for LzssError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LzssError::Truncated => write!(f, "lzss stream truncated"),
+            LzssError::BadOffset { offset, have } => {
+                write!(f, "lzss back-reference {offset} exceeds output {have}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LzssError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let c = compress(data);
+        let d = decompress(&c).expect("decompress");
+        assert_eq!(d, data);
+    }
+
+    #[test]
+    fn roundtrip_basics() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"ab");
+        roundtrip(b"abcabcabcabcabcabc");
+        roundtrip(b"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa");
+        roundtrip("καλημέρα κόσμε".as_bytes());
+    }
+
+    #[test]
+    fn roundtrip_json_like() {
+        let mut s = String::new();
+        for i in 0..200 {
+            s.push_str(&format!(
+                r#"{{"block_num":{i},"producer":"eosio.prods","transactions":[{{"account":"eosio.token","name":"transfer"}}]}}"#
+            ));
+        }
+        let data = s.as_bytes();
+        let c = compress(data);
+        assert!(c.len() < data.len() / 3, "JSON should compress well: {} vs {}", c.len(), data.len());
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn incompressible_data_expands_bounded() {
+        // Worst case: every byte is a literal, plus one flag byte per 8.
+        let data: Vec<u8> = (0..4096u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+        let c = compress(&data);
+        assert!(c.len() <= data.len() + data.len() / 8 + 2);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn long_matches_cross_group_boundaries() {
+        let mut data = Vec::new();
+        for _ in 0..10 {
+            data.extend_from_slice(b"0123456789abcdef");
+        }
+        data.extend_from_slice(&vec![b'z'; 1000]);
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn detects_truncation() {
+        let c = compress(b"hello hello hello hello");
+        assert!(matches!(decompress(&c[..c.len() - 1]), Err(LzssError::Truncated) | Ok(_)));
+        // A flag byte claiming a match with no data must error.
+        assert_eq!(decompress(&[0x01]), Err(LzssError::Truncated));
+    }
+
+    #[test]
+    fn detects_bad_offset() {
+        // Flag says match; offset 1 with empty output is invalid.
+        let bad = [0x01, 0x00, 0x00, 0x00];
+        assert!(matches!(decompress(&bad), Err(LzssError::BadOffset { .. })));
+    }
+}

@@ -1,0 +1,198 @@
+//! XRP ledger account addresses (`r…`).
+//!
+//! §2.3.3: accounts are identified by addresses derived from key pairs, plus
+//! a handful of "special addresses" not derived from any key (funds sent
+//! there are permanently lost). We keep a 64-bit id and render it
+//! base58check-style with the `r` prefix using the *Ripple* base58 alphabet
+//! (which differs from Bitcoin's — it starts `rpshnaf…`).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+use txstat_types::ids::fnv1a64;
+
+/// Ripple's base58 alphabet.
+const RIPPLE_B58: &[u8; 58] = b"rpshnaf39wBUDNEGHJKLM4PQRST7VWXYZ2bcdeCg65jkm8oFqi1tuvAxyz";
+
+/// A ledger account.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(into = "String", try_from = "String")]
+pub struct AccountId(pub u64);
+
+impl AccountId {
+    /// ACCOUNT_ZERO — the canonical special address (base of `rrrrr…`);
+    /// funds sent here are unrecoverable.
+    pub const ACCOUNT_ZERO: AccountId = AccountId(0);
+
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Special addresses have no key pair; we reserve ids < 16.
+    pub fn is_special(self) -> bool {
+        self.0 < 16
+    }
+
+    fn payload(self) -> [u8; 10] {
+        let idb = self.0.to_be_bytes();
+        let ck = (fnv1a64(&idb) & 0xffff) as u16;
+        let mut p = [0u8; 10];
+        p[..8].copy_from_slice(&idb);
+        p[8..].copy_from_slice(&ck.to_be_bytes());
+        p
+    }
+}
+
+fn b58_encode(payload: &[u8]) -> String {
+    let mut n: u128 = 0;
+    for &b in payload {
+        n = (n << 8) | b as u128;
+    }
+    let mut digits = Vec::new();
+    loop {
+        digits.push(RIPPLE_B58[(n % 58) as usize]);
+        n /= 58;
+        if n == 0 {
+            break;
+        }
+    }
+    for &b in payload {
+        if b == 0 {
+            digits.push(RIPPLE_B58[0]);
+        } else {
+            break;
+        }
+    }
+    digits.reverse();
+    String::from_utf8(digits).expect("alphabet is ASCII")
+}
+
+fn b58_decode(s: &str) -> Option<Vec<u8>> {
+    let mut n: u128 = 0;
+    let mut leading = 0usize;
+    let mut seen_nonzero = false;
+    for c in s.bytes() {
+        let v = RIPPLE_B58.iter().position(|&b| b == c)? as u128;
+        if !seen_nonzero {
+            if v == 0 {
+                leading += 1;
+                continue;
+            }
+            seen_nonzero = true;
+        }
+        n = n.checked_mul(58)?.checked_add(v)?;
+    }
+    let mut bytes = Vec::new();
+    while n > 0 {
+        bytes.push((n & 0xff) as u8);
+        n >>= 8;
+    }
+    bytes.extend(std::iter::repeat(0).take(leading));
+    bytes.reverse();
+    Some(bytes)
+}
+
+/// Address parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AddressError {
+    BadPrefix,
+    BadEncoding,
+    BadChecksum,
+}
+
+impl fmt::Display for AddressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AddressError::BadPrefix => write!(f, "address must start with r"),
+            AddressError::BadEncoding => write!(f, "invalid base58 payload"),
+            AddressError::BadChecksum => write!(f, "checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for AddressError {}
+
+impl fmt::Display for AccountId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", b58_encode(&self.payload()))
+    }
+}
+
+impl FromStr for AccountId {
+    type Err = AddressError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let rest = s.strip_prefix('r').ok_or(AddressError::BadPrefix)?;
+        let bytes = b58_decode(rest).ok_or(AddressError::BadEncoding)?;
+        if bytes.len() != 10 {
+            return Err(AddressError::BadEncoding);
+        }
+        let mut idb = [0u8; 8];
+        idb.copy_from_slice(&bytes[..8]);
+        let id = u64::from_be_bytes(idb);
+        let want = (fnv1a64(&idb) & 0xffff) as u16;
+        let got = u16::from_be_bytes([bytes[8], bytes[9]]);
+        if want != got {
+            return Err(AddressError::BadChecksum);
+        }
+        Ok(AccountId(id))
+    }
+}
+
+impl From<AccountId> for String {
+    fn from(a: AccountId) -> String {
+        a.to_string()
+    }
+}
+
+impl TryFrom<String> for AccountId {
+    type Error = AddressError;
+    fn try_from(s: String) -> Result<Self, Self::Error> {
+        s.parse()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn renders_with_r_prefix() {
+        let a = AccountId(424242);
+        let s = a.to_string();
+        assert!(s.starts_with('r'), "{s}");
+        assert_eq!(s.parse::<AccountId>().unwrap(), a);
+    }
+
+    #[test]
+    fn account_zero_is_special() {
+        assert!(AccountId::ACCOUNT_ZERO.is_special());
+        assert!(!AccountId(1000).is_special());
+        let s = AccountId::ACCOUNT_ZERO.to_string();
+        // Payload is 8 zero bytes + checksum of zeros → leading 'r's preserved.
+        assert!(s.starts_with("rrrr"), "{s}");
+        assert_eq!(s.parse::<AccountId>().unwrap(), AccountId::ACCOUNT_ZERO);
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let s = AccountId(987654321).to_string();
+        let mut chars: Vec<char> = s.chars().collect();
+        let last = chars.len() - 1;
+        chars[last] = if chars[last] == 'z' { 'y' } else { 'z' };
+        let corrupted: String = chars.into_iter().collect();
+        assert!(corrupted.parse::<AccountId>().is_err());
+        assert_eq!("xnotanaddr".parse::<AccountId>(), Err(AddressError::BadPrefix));
+        // '0', 'O', 'I', 'l' are not in the ripple alphabet.
+        assert_eq!("r0O".parse::<AccountId>(), Err(AddressError::BadEncoding));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(id in any::<u64>()) {
+            let a = AccountId(id);
+            prop_assert_eq!(a.to_string().parse::<AccountId>().unwrap(), a);
+        }
+    }
+}

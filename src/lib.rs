@@ -1,0 +1,22 @@
+//! # txstat — facade crate
+//!
+//! Re-exports the full reproduction toolkit for *"Revisiting Transactional
+//! Statistics of High-scalability Blockchains"* (IMC 2020).
+//!
+//! See the individual crates for details:
+//! - [`types`] — shared primitives (time, amounts, stats, LZSS, tables)
+//! - [`eos`], [`tezos`], [`xrp`] — the three ledger simulators
+//! - [`workload`] — the agent-based scenario engine (paper preset)
+//! - [`netsim`], [`crawler`] — RPC substrate and measurement crawler
+//! - [`core`] — the paper's analytics pipeline
+//! - [`reports`] — per-figure/table renderers
+
+pub use txstat_core as core;
+pub use txstat_crawler as crawler;
+pub use txstat_eos as eos;
+pub use txstat_netsim as netsim;
+pub use txstat_reports as reports;
+pub use txstat_tezos as tezos;
+pub use txstat_types as types;
+pub use txstat_workload as workload;
+pub use txstat_xrp as xrp;

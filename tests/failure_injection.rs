@@ -1,0 +1,130 @@
+//! Failure-injection tests: the measurement pipeline must fail loudly and
+//! correctly when the network misbehaves — dead endpoints, permanent rate
+//! limiting, malformed wire data.
+
+use std::sync::Arc;
+use std::time::Duration;
+use txstat::crawler::{
+    crawl_eos, eos_head, Advertised, ClientConfig, CrawlError, RotatingPool,
+};
+use txstat::netsim::handlers::EosRpcHandler;
+use txstat::netsim::server::{spawn_http, HttpHandler};
+use txstat::netsim::{EndpointProfile, HttpRequest, HttpResponse};
+use txstat::types::time::{ChainTime, Period};
+use txstat::workload::Scenario;
+
+fn tiny_chain() -> Arc<txstat::eos::EosChain> {
+    let mut sc = Scenario::small(3);
+    sc.period = Period::new(ChainTime::from_ymd(2019, 10, 30), ChainTime::from_ymd(2019, 10, 31));
+    Arc::new(txstat::workload::eos::build_eos(&sc))
+}
+
+fn quick_cfg() -> ClientConfig {
+    ClientConfig {
+        request_timeout: Duration::from_millis(300),
+        max_retries: 3,
+        backoff: Duration::from_millis(5),
+    }
+}
+
+#[tokio::test]
+async fn dead_endpoint_exhausts_retries() {
+    // A port with no listener: connection refused every time.
+    let dead = Advertised { name: "dead".into(), addr: "127.0.0.1:1".parse().expect("addr") };
+    let pool = Arc::new(RotatingPool::new(vec![dead]));
+    let err = eos_head(&pool, &quick_cfg()).await.expect_err("must fail");
+    assert!(matches!(err, CrawlError::Exhausted { attempts: 3, .. }), "{err}");
+}
+
+#[tokio::test]
+async fn permanently_rate_limited_endpoint_exhausts() {
+    let chain = tiny_chain();
+    let handler = Arc::new(EosRpcHandler::new(chain));
+    let mut p = EndpointProfile::generous("jammed", 5);
+    p.rate_limit_per_sec = 0.000_1; // effectively never refills
+    p.burst = 0.0;
+    let h = spawn_http(handler, p).await.expect("endpoint");
+    let pool = Arc::new(RotatingPool::new(vec![Advertised {
+        name: h.name.clone(),
+        addr: h.addr,
+    }]));
+    let err = eos_head(&pool, &quick_cfg()).await.expect_err("429 forever");
+    match err {
+        CrawlError::Exhausted { last, .. } => assert_eq!(last, "429"),
+        other => panic!("expected exhaustion, got {other}"),
+    }
+}
+
+/// A handler that returns syntactically valid HTTP but garbage JSON.
+struct GarbageHandler;
+impl HttpHandler for GarbageHandler {
+    fn handle(&self, _req: &HttpRequest) -> HttpResponse {
+        HttpResponse::ok(b"{not json at all".to_vec())
+    }
+}
+
+#[tokio::test]
+async fn garbage_payloads_surface_as_protocol_errors() {
+    let h = spawn_http(Arc::new(GarbageHandler), EndpointProfile::generous("garbage", 6))
+        .await
+        .expect("endpoint");
+    let pool = Arc::new(RotatingPool::new(vec![Advertised {
+        name: h.name.clone(),
+        addr: h.addr,
+    }]));
+    let err = eos_head(&pool, &quick_cfg()).await.expect_err("bad json");
+    assert!(matches!(err, CrawlError::Protocol(_)), "{err}");
+}
+
+/// A handler that serves valid get_info but 404s every block: the block
+/// fetch must error out, not hang or fabricate data.
+struct InfoOnlyHandler {
+    inner: Arc<EosRpcHandler>,
+}
+impl HttpHandler for InfoOnlyHandler {
+    fn handle(&self, req: &HttpRequest) -> HttpResponse {
+        if req.path == "/v1/chain/get_info" {
+            self.inner.handle(req)
+        } else {
+            HttpResponse::status(404, "Not Found", b"{\"error\":\"nope\"}".to_vec())
+        }
+    }
+}
+
+#[tokio::test]
+async fn missing_blocks_fail_the_crawl() {
+    let chain = tiny_chain();
+    let handler = Arc::new(InfoOnlyHandler { inner: Arc::new(EosRpcHandler::new(chain.clone())) });
+    let h = spawn_http(handler, EndpointProfile::generous("partial", 7)).await.expect("endpoint");
+    let pool = Arc::new(RotatingPool::new(vec![Advertised {
+        name: h.name.clone(),
+        addr: h.addr,
+    }]));
+    let cfg = quick_cfg();
+    let head = eos_head(&pool, &cfg).await.expect("info works");
+    let err = match crawl_eos(pool, cfg, head - 3, head, 2).await {
+        Ok(_) => panic!("crawl must fail when blocks 404"),
+        Err(e) => e,
+    };
+    assert!(matches!(err, CrawlError::HttpStatus(404)), "{err}");
+}
+
+#[tokio::test]
+async fn one_good_endpoint_rescues_a_bad_pool() {
+    // Rotation + retries must route around a dead peer.
+    let chain = tiny_chain();
+    let handler = Arc::new(EosRpcHandler::new(chain.clone()));
+    let good = spawn_http(handler, EndpointProfile::generous("good", 8)).await.expect("endpoint");
+    let pool = Arc::new(RotatingPool::new(vec![
+        Advertised { name: "dead".into(), addr: "127.0.0.1:1".parse().expect("addr") },
+        Advertised { name: good.name.clone(), addr: good.addr },
+    ]));
+    let cfg = ClientConfig {
+        request_timeout: Duration::from_millis(400),
+        max_retries: 6,
+        backoff: Duration::from_millis(2),
+    };
+    let head = eos_head(&pool, &cfg).await.expect("rescued by rotation");
+    let crawl = crawl_eos(pool, cfg, head - 5, head, 2).await.expect("crawl completes");
+    assert_eq!(crawl.blocks.len(), 6);
+}

@@ -1,0 +1,180 @@
+//! Workspace-level property tests on the invariants DESIGN.md §5 lists,
+//! exercised through the public facade.
+
+use proptest::prelude::*;
+use txstat::eos::{Name, RamMarket};
+use txstat::types::time::{civil_from_days, days_from_civil, ChainTime, Period};
+use txstat::types::{lzss, BucketSeries, TopK, SIX_HOURS};
+use txstat::xrp::{
+    Amount, AccountId, Asset, IssuedCurrency, LedgerConfig, Transaction, TxPayload, XrpLedger,
+    DROPS_PER_XRP,
+};
+
+proptest! {
+    /// Civil-date math: days ↔ (y, m, d) roundtrips over ±120 years.
+    #[test]
+    fn civil_date_roundtrip(z in -43_800i64..43_800) {
+        let (y, m, d) = civil_from_days(z);
+        prop_assert!((1..=12).contains(&m));
+        prop_assert!((1..=31).contains(&d));
+        prop_assert_eq!(days_from_civil(y, m, d), z);
+    }
+
+    /// Month lengths are respected (no Feb 30 etc.).
+    #[test]
+    fn civil_date_month_lengths(z in -43_800i64..43_800) {
+        let (y, m, d) = civil_from_days(z);
+        let leap = (y % 4 == 0 && y % 100 != 0) || y % 400 == 0;
+        let max_d = match m {
+            2 => if leap { 29 } else { 28 },
+            4 | 6 | 9 | 11 => 30,
+            _ => 31,
+        };
+        prop_assert!(d <= max_d, "{y}-{m}-{d}");
+    }
+
+    /// LZSS: arbitrary bytes roundtrip; output bounded by 9/8·n + ε.
+    #[test]
+    fn lzss_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let compressed = lzss::compress(&data);
+        prop_assert!(compressed.len() <= data.len() + data.len() / 8 + 2);
+        prop_assert_eq!(lzss::decompress(&compressed).expect("valid stream"), data);
+    }
+
+    /// LZSS decompression never panics on arbitrary (possibly corrupt) input.
+    #[test]
+    fn lzss_decompress_total(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = lzss::decompress(&data);
+    }
+
+    /// Every event lands in exactly one bucket and bucket sums equal totals.
+    #[test]
+    fn bucket_sums_equal_totals(offsets in proptest::collection::vec(0i64..(92 * 86_400), 1..200)) {
+        let period = Period::paper();
+        let mut series: BucketSeries<&str> = BucketSeries::six_hourly(period);
+        for o in &offsets {
+            series.record(period.start + *o, "x", 1);
+        }
+        let sum: u64 = (0..series.bucket_count()).map(|i| series.bucket_total(i)).sum();
+        prop_assert_eq!(sum, offsets.len() as u64);
+        prop_assert_eq!(series.total(), offsets.len() as u64);
+        prop_assert_eq!(series.out_of_range(), 0);
+        // Bucket indices are within range for all in-period instants.
+        for o in &offsets {
+            let idx = (period.start + *o).bucket_index(period.start, SIX_HOURS);
+            prop_assert!((0..series.bucket_count() as i64).contains(&idx));
+        }
+    }
+
+    /// TopK matches an exact sort on random streams.
+    #[test]
+    fn topk_matches_exact_sort(items in proptest::collection::vec(0u8..20, 1..300)) {
+        let mut topk = TopK::new();
+        let mut exact = std::collections::HashMap::new();
+        for i in &items {
+            topk.inc(*i);
+            *exact.entry(*i).or_insert(0u64) += 1;
+        }
+        let mut sorted: Vec<(u8, u64)> = exact.into_iter().collect();
+        sorted.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        sorted.truncate(5);
+        prop_assert_eq!(topk.top(5), sorted);
+    }
+
+    /// EOS names: parse(render(x)) is identity over the raw u64 space of
+    /// valid names (generated from strings).
+    #[test]
+    fn eos_name_stability(s in "[a-z1-5]{1,12}") {
+        let n = Name::parse(&s).expect("valid name");
+        let rendered = n.to_string_repr();
+        prop_assert_eq!(Name::parse(&rendered).expect("still valid"), n);
+        // Same-length names order like their strings (on-chain table order).
+        prop_assert_eq!(rendered, s);
+    }
+
+    /// RAM market: a buy-then-sell round trip never mints EOS or RAM.
+    #[test]
+    fn ram_market_no_minting(
+        reserve_ram in 1_000_000u64..100_000_000,
+        reserve_eos in 1_000_0000i64..1_000_000_0000,
+        spend in 1_0000i64..100_000_0000,
+    ) {
+        let mut m = RamMarket::new(reserve_ram, reserve_eos);
+        let bytes = match m.buy_bytes(spend) {
+            Ok(b) => b,
+            Err(_) => return Ok(()),
+        };
+        prop_assert!(bytes < reserve_ram, "cannot drain the reserve");
+        if bytes == 0 {
+            return Ok(());
+        }
+        let refund = m.sell_bytes(bytes).expect("sell back");
+        prop_assert!(refund <= spend, "round trip loses fees: {refund} vs {spend}");
+    }
+
+    /// XRP ledger: a random stream of payments conserves drops exactly
+    /// (balances + locked + burned == supply), regardless of failures.
+    #[test]
+    fn xrp_random_payments_conserve(
+        ops in proptest::collection::vec((0u64..6, 0u64..6, 1i64..100_000), 1..60)
+    ) {
+        let mut ledger = XrpLedger::new(LedgerConfig::default());
+        for i in 1..=5u64 {
+            ledger.bootstrap_account(AccountId(i), 1_000 * DROPS_PER_XRP, None);
+        }
+        let now = ledger.config.genesis_time;
+        for (f, t, amount) in ops {
+            let tx = Transaction::new(
+                AccountId(f + 1),
+                TxPayload::Payment {
+                    destination: AccountId(t + 1),
+                    amount: Amount::xrp_drops(amount * 1_000),
+                    send_max: None,
+                },
+                10,
+            );
+            let _ = ledger.submit(tx, now);
+            ledger.check_conservation().map_err(|e| TestCaseError::fail(e))?;
+        }
+    }
+
+    /// XRP ledger: random offer streams keep books sorted and IOU
+    /// obligations consistent.
+    #[test]
+    fn xrp_random_offers_consistent(
+        ops in proptest::collection::vec((0u64..4, 1i64..500, 1i64..500, any::<bool>()), 1..40)
+    ) {
+        let mut ledger = XrpLedger::new(LedgerConfig::default());
+        let issuer = AccountId(1);
+        for i in 1..=4u64 {
+            ledger.bootstrap_account(AccountId(i), 10_000 * DROPS_PER_XRP, None);
+        }
+        for i in 2..=4u64 {
+            ledger.bootstrap_iou(AccountId(i), IssuedCurrency::new("USD", issuer), 1_000_000_000);
+        }
+        let now = ledger.config.genesis_time;
+        let usd = Asset::Iou(IssuedCurrency::new("USD", issuer));
+        for (a, gets, pays, direction) in ops {
+            let account = AccountId(a + 1);
+            let (g, p) = if direction {
+                (Amount { asset: usd, value: gets as i128 * 1_000 }, Amount::xrp_drops(pays * 1_000))
+            } else {
+                (Amount::xrp_drops(gets * 1_000), Amount { asset: usd, value: pays as i128 * 1_000 })
+            };
+            let tx = Transaction::new(account, TxPayload::OfferCreate { gets: g, pays: p }, 10);
+            let _ = ledger.submit(tx, now);
+            ledger.check_conservation().map_err(|e| TestCaseError::fail(e))?;
+        }
+    }
+}
+
+#[test]
+fn chaintime_bucket_index_is_monotonic() {
+    let origin = ChainTime::from_ymd(2019, 10, 1);
+    let mut prev = i64::MIN;
+    for s in (-100_000..100_000).step_by(977) {
+        let idx = (origin + s).bucket_index(origin, SIX_HOURS);
+        assert!(idx >= prev);
+        prev = idx;
+    }
+}

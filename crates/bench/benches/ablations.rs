@@ -151,8 +151,7 @@ fn congestion_controller(c: &mut Criterion) {
     for ratio in [0.99f64, 0.97, 0.92] {
         g.bench_function(format!("flip_blocks_ratio_{ratio}"), |b| {
             b.iter(|| {
-                let mut cfg = ResourceConfig::default();
-                cfg.contract_ratio = ratio;
+                let cfg = ResourceConfig { contract_ratio: ratio, ..Default::default() };
                 let mut r = ResourceState::new(cfg);
                 let mut blocks = 0u32;
                 while !r.congested() {

@@ -5,6 +5,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use txstat_bench::{bench_data, bench_scenario};
+use txstat_core::{eos_analysis as eos, graph, tezos_analysis as tezos, xrp_analysis as xrp};
+use txstat_core::{EosSweep, TezosSweep, XrpSweep};
 use txstat_reports::exhibits;
 
 fn figures(c: &mut Criterion) {
@@ -73,5 +75,107 @@ fn figures(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, figures);
+/// The tentpole comparison: every exhibit statistic computed by the legacy
+/// per-exhibit scans (one dedicated pass over the blocks per statistic,
+/// single-threaded) versus the fused engine (one rayon map-reduce sweep per
+/// chain producing all of them), plus the parallel-scaling profile of the
+/// fused path at 1/2/N worker threads.
+fn fused_report(c: &mut Criterion) {
+    let data = bench_data();
+    let period = data.scenario.period;
+    let mut g = c.benchmark_group("fused_report");
+    g.sample_size(10);
+
+    g.bench_function("legacy_multipass", |b| {
+        b.iter(|| {
+            // EOS: 8 passes.
+            let curated = eos::EosLabels::curated();
+            let labels = eos::EosLabels::from_top_contracts(&data.eos_blocks, period, 100, &|n| {
+                curated.get(n)
+            });
+            black_box(eos::action_distribution(&data.eos_blocks, period));
+            black_box(eos::throughput_series(&data.eos_blocks, period, &labels));
+            black_box(eos::top_received(&data.eos_blocks, period, 5));
+            black_box(eos::top_senders(&data.eos_blocks, period, 5));
+            black_box(eos::wash_trading_report(&data.eos_blocks, period));
+            black_box(eos::boomerang_report(&data.eos_blocks, period));
+            black_box(eos::tps(&data.eos_blocks, period));
+            black_box(graph::eos_transfer_graph(&data.eos_blocks, period).report(3));
+            // Tezos: 6 passes.
+            black_box(tezos::op_distribution(&data.tezos_blocks, period));
+            black_box(tezos::throughput_series(&data.tezos_blocks, period));
+            black_box(tezos::top_senders(&data.tezos_blocks, period, 5));
+            black_box(tezos::governance_curves(
+                &data.tezos_blocks,
+                &data.governance_periods,
+                &data.tezos_rolls,
+            ));
+            black_box(tezos::governance_op_count(&data.tezos_blocks, period));
+            black_box(tezos::tps(&data.tezos_blocks, period));
+            // XRP: 9 passes.
+            black_box(xrp::tx_distribution(&data.xrp_blocks, period));
+            black_box(xrp::throughput_series(&data.xrp_blocks, period));
+            black_box(xrp::funnel(&data.xrp_blocks, period, &data.oracle));
+            black_box(xrp::most_active(&data.xrp_blocks, period, 10, &data.cluster));
+            black_box(xrp::value_flow(&data.xrp_blocks, period, &data.oracle, &data.cluster));
+            black_box(xrp::payment_spike_buckets(&data.xrp_blocks, period, 3.0));
+            black_box(xrp::concentration(&data.xrp_blocks, period));
+            black_box(xrp::tps(&data.xrp_blocks, period));
+            black_box(graph::xrp_payment_graph(&data.xrp_blocks, period).report(3));
+        })
+    });
+
+    // Sweep + every finalization accessor, so both arms produce the same
+    // figure-shaped outputs and the comparison is work-for-work.
+    let three_sweeps = || {
+        let e = EosSweep::compute(&data.eos_blocks, period);
+        let curated = eos::EosLabels::curated();
+        let labels = e.labels(100, &|n| curated.get(n));
+        black_box(e.action_distribution());
+        black_box(e.throughput_series(&labels));
+        black_box(e.top_received(5));
+        black_box(e.top_senders(5));
+        black_box(e.wash_trading_report());
+        black_box(e.boomerang_report());
+        black_box(e.tps());
+        black_box(e.graph().report(3));
+        let t = TezosSweep::compute(&data.tezos_blocks, period, &data.governance_periods);
+        black_box(t.op_distribution());
+        black_box(t.throughput_series().total());
+        black_box(t.top_senders(5));
+        black_box(t.governance_curves(&data.tezos_rolls));
+        black_box(t.governance_op_count());
+        black_box(t.tps());
+        let x = XrpSweep::compute(&data.xrp_blocks, period, &data.oracle);
+        black_box(x.tx_distribution());
+        black_box(x.throughput_series().total());
+        black_box(x.funnel());
+        black_box(x.most_active(10, &data.cluster));
+        black_box(x.value_flow(&data.cluster));
+        black_box(x.payment_spike_buckets(3.0));
+        black_box(x.concentration());
+        black_box(x.tps());
+        black_box(x.graph().report(3));
+        (e, t, x)
+    };
+    g.bench_function("fused_three_sweeps", |b| b.iter(|| black_box(three_sweeps())));
+
+    let max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let mut counts = vec![1usize, 2];
+    if max_threads > 2 {
+        counts.push(max_threads);
+    }
+    for threads in counts {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool");
+        g.bench_function(format!("fused_sweeps_{threads}_threads"), |b| {
+            b.iter(|| pool.install(|| black_box(three_sweeps())))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, figures, fused_report);
 criterion_main!(benches);

@@ -284,53 +284,87 @@ pub struct WashReport {
     pub top5_participation: f64,
 }
 
+/// Mergeable wash-trading state: the per-transaction detector shared by the
+/// legacy single-purpose scan and the fused [`EosSweep`].
+#[derive(Debug, Clone, Default)]
+struct WashAcc {
+    total: u64,
+    self_trades: u64,
+    participation: TopK<Name>,
+    self_by_account: HashMap<Name, u64>,
+    /// (buyer, seller) → trade count: bounded by the pair population, not
+    /// the trade count, so the accumulator stays O(accounts²) worst case
+    /// instead of O(trades).
+    pair_counts: HashMap<(Name, Name), u64>,
+}
+
+impl WashAcc {
+    fn observe_tx(&mut self, tx: &txstat_eos::types::Transaction) {
+        for a in &tx.actions {
+            if let ActionData::Trade { buyer, seller, .. } = a.data {
+                self.total += 1;
+                *self.pair_counts.entry((buyer, seller)).or_insert(0) += 1;
+                self.participation.inc(buyer);
+                if seller != buyer {
+                    self.participation.inc(seller);
+                }
+                if buyer == seller {
+                    self.self_trades += 1;
+                    *self.self_by_account.entry(buyer).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+
+    fn merge(&mut self, other: WashAcc) {
+        self.total += other.total;
+        self.self_trades += other.self_trades;
+        self.participation.merge(other.participation);
+        for (k, n) in other.self_by_account {
+            *self.self_by_account.entry(k).or_insert(0) += n;
+        }
+        for (k, n) in other.pair_counts {
+            *self.pair_counts.entry(k).or_insert(0) += n;
+        }
+    }
+
+    fn finalize(&self) -> WashReport {
+        let top = self.participation.top(5);
+        let top_set: HashSet<Name> = top.iter().map(|(n, _)| *n).collect();
+        let involving_top: u64 = self
+            .pair_counts
+            .iter()
+            .filter(|((b, s), _)| top_set.contains(b) || top_set.contains(s))
+            .map(|(_, n)| *n)
+            .sum();
+        let top_accounts = top
+            .into_iter()
+            .map(|(n, c)| {
+                let selfs = self.self_by_account.get(&n).copied().unwrap_or(0);
+                (n, c, selfs as f64 / c.max(1) as f64)
+            })
+            .collect();
+        WashReport {
+            total_trades: self.total,
+            self_trades: self.self_trades,
+            top_accounts,
+            top5_participation: involving_top as f64 / self.total.max(1) as f64,
+        }
+    }
+}
+
 /// Detect wash trading in DEX trade-report actions (`verifytrade2`-style).
 pub fn wash_trading_report(blocks: &[Block], period: Period) -> WashReport {
-    let mut total = 0u64;
-    let mut self_trades = 0u64;
-    let mut participation: TopK<Name> = TopK::new();
-    let mut self_by_account: HashMap<Name, u64> = HashMap::new();
-    let mut trades: Vec<(Name, Name)> = Vec::new();
+    let mut acc = WashAcc::default();
     for b in blocks {
         if !period.contains(b.time) {
             continue;
         }
         for tx in &b.transactions {
-            for a in &tx.actions {
-                if let ActionData::Trade { buyer, seller, .. } = a.data {
-                    total += 1;
-                    trades.push((buyer, seller));
-                    participation.inc(buyer);
-                    if seller != buyer {
-                        participation.inc(seller);
-                    }
-                    if buyer == seller {
-                        self_trades += 1;
-                        *self_by_account.entry(buyer).or_insert(0) += 1;
-                    }
-                }
-            }
+            acc.observe_tx(tx);
         }
     }
-    let top = participation.top(5);
-    let top_set: HashSet<Name> = top.iter().map(|(n, _)| *n).collect();
-    let involving_top = trades
-        .iter()
-        .filter(|(b, s)| top_set.contains(b) || top_set.contains(s))
-        .count() as u64;
-    let top_accounts = top
-        .into_iter()
-        .map(|(n, c)| {
-            let selfs = self_by_account.get(&n).copied().unwrap_or(0);
-            (n, c, selfs as f64 / c.max(1) as f64)
-        })
-        .collect();
-    WashReport {
-        total_trades: total,
-        self_trades,
-        top_accounts,
-        top5_participation: involving_top as f64 / total.max(1) as f64,
-    }
+    acc.finalize()
 }
 
 /// §4.1 EIDOS boomerang report.
@@ -350,73 +384,108 @@ pub struct BoomerangReport {
     pub transfer_share: f64,
 }
 
+/// Mergeable boomerang-detection state: the per-transaction pattern matcher
+/// shared by the legacy scan and the fused [`EosSweep`]. Detection is fully
+/// contained within one transaction, so counters merge by plain addition.
+#[derive(Debug, Clone, Default)]
+struct BoomAcc {
+    boomerang_txs: u64,
+    boomerangs: u64,
+    total_txs: u64,
+    transfer_actions: u64,
+    boomerang_transfers: u64,
+    hubs: TopK<Name>,
+    /// Reused per-transaction scratch (not merged state): the transfer legs
+    /// of the current transaction and their matched flags.
+    scratch: Vec<(usize, Name, Name, txstat_types::SymCode, i64)>,
+    used: Vec<bool>,
+}
+
+impl BoomAcc {
+    fn observe_tx(&mut self, tx: &txstat_eos::types::Transaction) {
+        self.total_txs += 1;
+        self.scratch.clear();
+        for (i, a) in tx.actions.iter().enumerate() {
+            if let ActionData::Transfer { from, to, symbol, amount } = a.data {
+                self.scratch.push((i, from, to, symbol, amount));
+            }
+        }
+        self.transfer_actions += self.scratch.len() as u64;
+        self.used.clear();
+        self.used.resize(self.scratch.len(), false);
+        let mut found = 0u64;
+        for idx in 0..self.scratch.len() {
+            if self.used[idx] {
+                continue;
+            }
+            let (_, from, to, symbol, amount) = self.scratch[idx];
+            // Look for the refund later in the same transaction (the legs
+            // are in action order, so positions order like action indices).
+            let refund = (idx + 1..self.scratch.len()).find(|&jdx| {
+                let (_, f2, t2, s2, a2) = self.scratch[jdx];
+                !self.used[jdx] && f2 == to && t2 == from && s2 == symbol && a2 == amount
+            });
+            if let Some(jdx) = refund {
+                found += 1;
+                self.used[idx] = true;
+                self.used[jdx] = true;
+                self.hubs.inc(to);
+                // Count an adjacent payout leg (different symbol, same
+                // hub → miner) as part of the boomerang.
+                let payout = (0..self.scratch.len()).find(|&kdx| {
+                    let (_, f3, t3, s3, _) = self.scratch[kdx];
+                    !self.used[kdx] && f3 == to && t3 == from && s3 != symbol
+                });
+                if let Some(kdx) = payout {
+                    self.used[kdx] = true;
+                    self.boomerang_transfers += 1;
+                }
+                self.boomerang_transfers += 2;
+            }
+        }
+        if found > 0 {
+            self.boomerang_txs += 1;
+            self.boomerangs += found;
+        }
+    }
+
+    fn merge(&mut self, other: BoomAcc) {
+        // scratch/used are per-transaction working memory, not merged state.
+        self.boomerang_txs += other.boomerang_txs;
+        self.boomerangs += other.boomerangs;
+        self.total_txs += other.total_txs;
+        self.transfer_actions += other.transfer_actions;
+        self.boomerang_transfers += other.boomerang_transfers;
+        self.hubs.merge(other.hubs);
+    }
+
+    fn finalize(&self) -> BoomerangReport {
+        BoomerangReport {
+            boomerang_txs: self.boomerang_txs,
+            boomerangs: self.boomerangs,
+            hub: self.hubs.top(1).first().map(|(n, _)| *n),
+            tx_share: self.boomerang_txs as f64 / self.total_txs.max(1) as f64,
+            transfer_actions: self.boomerang_transfers,
+            transfer_share: self.boomerang_transfers as f64
+                / self.transfer_actions.max(1) as f64,
+        }
+    }
+}
+
 /// Detect the boomerang pattern: within one transaction, a transfer A→C of
 /// (symbol, amount) matched by a later C→A refund of the same (symbol,
 /// amount), usually followed by a payout in a different token.
 pub fn boomerang_report(blocks: &[Block], period: Period) -> BoomerangReport {
-    let mut boomerang_txs = 0u64;
-    let mut boomerangs = 0u64;
-    let mut total_txs = 0u64;
-    let mut transfer_actions = 0u64;
-    let mut boomerang_transfers = 0u64;
-    let mut hubs: TopK<Name> = TopK::new();
+    let mut acc = BoomAcc::default();
     for b in blocks {
         if !period.contains(b.time) {
             continue;
         }
         for tx in &b.transactions {
-            total_txs += 1;
-            let transfers: Vec<(usize, Name, Name, txstat_types::SymCode, i64)> = tx
-                .actions
-                .iter()
-                .enumerate()
-                .filter_map(|(i, a)| match a.data {
-                    ActionData::Transfer { from, to, symbol, amount } => {
-                        Some((i, from, to, symbol, amount))
-                    }
-                    _ => None,
-                })
-                .collect();
-            transfer_actions += transfers.len() as u64;
-            let mut found = 0u64;
-            let mut used: HashSet<usize> = HashSet::new();
-            for (i, from, to, symbol, amount) in &transfers {
-                if used.contains(i) {
-                    continue;
-                }
-                // Look for the refund later in the same transaction.
-                if let Some((j, ..)) = transfers.iter().find(|(j, f2, t2, s2, a2)| {
-                    j > i && !used.contains(j) && f2 == to && t2 == from && s2 == symbol && a2 == amount
-                }) {
-                    found += 1;
-                    used.insert(*i);
-                    used.insert(*j);
-                    hubs.inc(*to);
-                    // Count an adjacent payout leg (different symbol, same
-                    // hub → miner) as part of the boomerang.
-                    if let Some((k, ..)) = transfers.iter().find(|(k, f3, t3, s3, _)| {
-                        !used.contains(k) && f3 == to && t3 == from && s3 != symbol
-                    }) {
-                        used.insert(*k);
-                        boomerang_transfers += 1;
-                    }
-                    boomerang_transfers += 2;
-                }
-            }
-            if found > 0 {
-                boomerang_txs += 1;
-                boomerangs += found;
-            }
+            acc.observe_tx(tx);
         }
     }
-    BoomerangReport {
-        boomerang_txs,
-        boomerangs,
-        hub: hubs.top(1).first().map(|(n, _)| *n),
-        tx_share: boomerang_txs as f64 / total_txs.max(1) as f64,
-        transfer_actions: boomerang_transfers,
-        transfer_share: boomerang_transfers as f64 / transfer_actions.max(1) as f64,
-    }
+    acc.finalize()
 }
 
 /// Transactions-per-second over the window (the "current throughput is only
@@ -428,6 +497,240 @@ pub fn tps(blocks: &[Block], period: Period) -> f64 {
         .map(|b| b.transactions.len() as u64)
         .sum();
     txs as f64 / period.seconds().max(1) as f64
+}
+
+/// The fused EOS accumulator: every EOS exhibit statistic from **one** pass
+/// over the block vector.
+///
+/// `identity` is [`EosSweep::new`], `observe` folds one block in, and
+/// [`EosSweep::merge`] combines two partial sweeps — all merged state is in
+/// exactly-mergeable domains (counters, count maps, bucketed series), so
+/// [`crate::accumulate::par_sweep`] produces results identical to the legacy
+/// sequential per-exhibit scans. The figure-shaped outputs are extracted by
+/// the accessor methods after the sweep.
+#[derive(Debug, Clone)]
+pub struct EosSweep {
+    period: Period,
+    // Figure 1. Keyed by `(class, Option<name>)` — `None` is the collapsed
+    // Others bucket — so the hot loop hashes a u64 instead of allocating a
+    // String per action; rows are stringified once, at finalization.
+    action_counts: HashMap<(EosActionClass, Option<Name>), u64>,
+    action_total: u64,
+    // Figures 4–5 + the top-contract labeling input. Action mixes are also
+    // Name-keyed here and stringified at finalization.
+    tx_contracts: TopK<Name>,
+    contract_actions: HashMap<Name, TopK<Name>>,
+    sent: TopK<Name>,
+    sender_receivers: HashMap<Name, TopK<Name>>,
+    // Figure 3a, keyed by each transaction's first-action contract; app
+    // categories are projected at finalization via [`EosSweep::throughput_series`].
+    contract_series: BucketSeries<Option<Name>>,
+    // §4.1 detectors.
+    wash: WashAcc,
+    boom: BoomAcc,
+    // §5 transfer graph.
+    graph: crate::graph::TransferGraph<Name>,
+    /// In-period transaction count (the headline TPS numerator).
+    txs_in_period: u64,
+    /// Reused per-transaction scratch for distinct-contract dedup.
+    contract_scratch: Vec<Name>,
+}
+
+impl EosSweep {
+    /// The sweep identity for an observation window.
+    pub fn new(period: Period) -> Self {
+        EosSweep {
+            period,
+            action_counts: HashMap::new(),
+            action_total: 0,
+            tx_contracts: TopK::new(),
+            contract_actions: HashMap::new(),
+            sent: TopK::new(),
+            sender_receivers: HashMap::new(),
+            contract_series: BucketSeries::new(period, SIX_HOURS),
+            wash: WashAcc::default(),
+            boom: BoomAcc::default(),
+            graph: crate::graph::TransferGraph::new(),
+            txs_in_period: 0,
+            contract_scratch: Vec::new(),
+        }
+    }
+
+    /// Fold one block into the sweep.
+    pub fn observe(&mut self, b: &Block) {
+        // The throughput series audits out-of-period events itself (legacy
+        // `throughput_series` records every block); everything else applies
+        // the observation-window filter up front.
+        for tx in &b.transactions {
+            self.contract_series.record(b.time, tx.actions.first().map(|a| a.contract), 1);
+        }
+        if !self.period.contains(b.time) {
+            return;
+        }
+        for tx in &b.transactions {
+            self.txs_in_period += 1;
+            for a in &tx.actions {
+                let class = classify_action(a.name, &a.data);
+                let key_name = match class {
+                    EosActionClass::Others => None,
+                    _ => Some(a.name),
+                };
+                *self.action_counts.entry((class, key_name)).or_insert(0) += 1;
+                self.action_total += 1;
+                self.sent.inc(a.actor);
+                self.sender_receivers.entry(a.actor).or_default().inc(a.contract);
+                self.contract_actions.entry(a.contract).or_default().inc(a.name);
+                if let ActionData::Transfer { from, to, .. } = a.data {
+                    self.graph.record(from, to);
+                }
+            }
+            // Transactions have a handful of actions, so a linear-scan dedup
+            // over a reused buffer beats building a HashSet per transaction.
+            self.contract_scratch.clear();
+            for a in &tx.actions {
+                if !self.contract_scratch.contains(&a.contract) {
+                    self.contract_scratch.push(a.contract);
+                }
+            }
+            for i in 0..self.contract_scratch.len() {
+                self.tx_contracts.inc(self.contract_scratch[i]);
+            }
+            self.wash.observe_tx(tx);
+            self.boom.observe_tx(tx);
+        }
+    }
+
+    /// Merge another partial sweep (associative, commutative).
+    pub fn merge(&mut self, other: EosSweep) {
+        for (k, n) in other.action_counts {
+            *self.action_counts.entry(k).or_insert(0) += n;
+        }
+        self.action_total += other.action_total;
+        self.tx_contracts.merge(other.tx_contracts);
+        for (k, t) in other.contract_actions {
+            self.contract_actions.entry(k).or_default().merge(t);
+        }
+        self.sent.merge(other.sent);
+        for (k, t) in other.sender_receivers {
+            self.sender_receivers.entry(k).or_default().merge(t);
+        }
+        self.contract_series.merge(other.contract_series);
+        self.wash.merge(other.wash);
+        self.boom.merge(other.boom);
+        self.graph.merge(other.graph);
+        self.txs_in_period += other.txs_in_period;
+    }
+
+    /// One parallel sweep over the blocks.
+    pub fn compute(blocks: &[Block], period: Period) -> Self {
+        crate::accumulate::par_sweep(
+            blocks,
+            || EosSweep::new(period),
+            |acc, b| acc.observe(b),
+            |a, b| a.merge(b),
+        )
+    }
+
+    /// Figure 1: per-action counts grouped by class.
+    pub fn action_distribution(&self) -> (Vec<ActionRow>, u64) {
+        let mut rows: Vec<ActionRow> = self
+            .action_counts
+            .iter()
+            .map(|((class, action), count)| ActionRow {
+                class: *class,
+                action: action.map(|n| n.to_string_repr()).unwrap_or_else(|| "Others".to_owned()),
+                count: *count,
+            })
+            .collect();
+        rows.sort_by(|a, b| {
+            a.class
+                .cmp(&b.class)
+                .then(b.count.cmp(&a.count))
+                .then(a.action.cmp(&b.action))
+        });
+        (rows, self.action_total)
+    }
+
+    /// The paper's top-`k` contract labeling session over the sweep's
+    /// received-transaction ranking.
+    pub fn labels(&self, k: usize, ground_truth: &dyn Fn(Name) -> Option<AppCategory>) -> EosLabels {
+        let mut l = EosLabels::new();
+        for (contract, _) in self.tx_contracts.top(k) {
+            if let Some(cat) = ground_truth(contract) {
+                l.label(contract, cat);
+            }
+        }
+        l
+    }
+
+    /// Figure 3a: project the contract-keyed series through the labels.
+    pub fn throughput_series(&self, labels: &EosLabels) -> BucketSeries<AppCategory> {
+        self.contract_series
+            .map_keys(|c| c.and_then(|c| labels.get(c)).unwrap_or(AppCategory::Others))
+    }
+
+    /// Figure 4: top `k` accounts by received transactions.
+    pub fn top_received(&self, k: usize) -> Vec<ReceivedStats> {
+        self.tx_contracts
+            .top(k)
+            .into_iter()
+            .map(|(account, tx_count)| {
+                // Stringify before ranking so count ties break on the
+                // rendered action name, exactly like the legacy scan's
+                // `TopK<String>`.
+                let actions = self
+                    .contract_actions
+                    .get(&account)
+                    .map(|t| {
+                        let mut v: Vec<(String, u64)> =
+                            t.iter().map(|(n, c)| (n.to_string_repr(), *c)).collect();
+                        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                        v.truncate(6);
+                        v
+                    })
+                    .unwrap_or_default();
+                ReceivedStats { account, tx_count, actions }
+            })
+            .collect()
+    }
+
+    /// Figure 5: top `k` senders and their receiver mix.
+    pub fn top_senders(&self, k: usize) -> Vec<SenderStats> {
+        self.sent
+            .top(k)
+            .into_iter()
+            .map(|(sender, sent_count)| {
+                let receivers_topk = self.sender_receivers.get(&sender).cloned().unwrap_or_default();
+                let unique = receivers_topk.distinct() as u64;
+                let receivers = receivers_topk
+                    .top(5)
+                    .into_iter()
+                    .map(|(r, c)| (r, c, c as f64 / sent_count as f64))
+                    .collect();
+                SenderStats { sender, sent_count, unique_receivers: unique, receivers }
+            })
+            .collect()
+    }
+
+    /// §4.1 WhaleEx wash-trading report.
+    pub fn wash_trading_report(&self) -> WashReport {
+        self.wash.finalize()
+    }
+
+    /// §4.1 EIDOS boomerang report.
+    pub fn boomerang_report(&self) -> BoomerangReport {
+        self.boom.finalize()
+    }
+
+    /// Headline transactions-per-second.
+    pub fn tps(&self) -> f64 {
+        self.txs_in_period as f64 / self.period.seconds().max(1) as f64
+    }
+
+    /// §5 token-transfer graph.
+    pub fn graph(&self) -> &crate::graph::TransferGraph<Name> {
+        &self.graph
+    }
 }
 
 #[cfg(test)]

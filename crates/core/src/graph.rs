@@ -91,6 +91,27 @@ impl<N: Eq + Hash + Clone + Ord> TransferGraph<N> {
         self.out_neighbors.get(n).map(|s| s.len() as u64).unwrap_or(0)
     }
 
+    /// Merge another graph: edge multiplicities and degrees add, neighbor
+    /// sets union. Associative and commutative, so the fused engine can
+    /// build per-chunk graphs in parallel and combine them.
+    pub fn merge(&mut self, other: TransferGraph<N>) {
+        for (e, n) in other.edges {
+            *self.edges.entry(e).or_insert(0) += n;
+        }
+        for (k, n) in other.out_degree {
+            *self.out_degree.entry(k).or_insert(0) += n;
+        }
+        for (k, n) in other.in_degree {
+            *self.in_degree.entry(k).or_insert(0) += n;
+        }
+        for (k, s) in other.out_neighbors {
+            self.out_neighbors.entry(k).or_default().extend(s);
+        }
+        for (k, s) in other.in_neighbors {
+            self.in_neighbors.entry(k).or_default().extend(s);
+        }
+    }
+
     /// Compute the summary report.
     pub fn report(&self, top_k: usize) -> GraphReport<N> {
         let out_values: Vec<f64> = self.out_degree.values().map(|v| *v as f64).collect();

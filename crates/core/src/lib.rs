@@ -1,30 +1,62 @@
-//! # txstat-core — the paper's analytics pipeline
+//! # txstat-core — the paper's analytics as a fused, parallel engine
 //!
 //! The primary contribution of *"Revisiting Transactional Statistics of
 //! High-scalability Blockchains"* is a measurement methodology: classify
 //! every transaction/operation/action of three high-throughput chains,
 //! decompose throughput over time, rank the accounts driving it, and — for
-//! XRP — determine how much of it carries actual economic value. This crate
-//! implements that methodology over the crawled chain data:
+//! XRP — determine how much of it carries actual economic value.
 //!
-//! - [`eos_analysis`] — Figure 1 (action taxonomy), Figure 3a (category
-//!   throughput), Figures 4–5 (top receivers/senders), §4.1 detectors
-//!   (WhaleEx wash trading, EIDOS boomerang mining).
-//! - [`tezos_analysis`] — Figure 1 (operation taxonomy), Figure 3b
-//!   (endorsements vs payments), Figure 6 (sender dispersion), Figure 9
-//!   (governance vote curves).
-//! - [`xrp_analysis`] — Figure 1 (type distribution), Figure 3c, Figure 7
-//!   (the value funnel), Figure 8 (most-active accounts), Figure 11 (IOU
-//!   rates), Figure 12 (value flows), §4.3 spam-wave detection.
+//! ## Architecture: one accumulator sweep per chain
+//!
+//! Every exhibit statistic is computed by a per-chain **accumulator** with a
+//! map-reduce algebra — `identity() / observe(block) / merge(other)`:
+//!
+//! - [`eos_analysis::EosSweep`] — Figure 1 (action taxonomy), Figure 3a
+//!   (category throughput), Figures 4–5 (top receivers/senders), the §4.1
+//!   detectors (WhaleEx wash trading, EIDOS boomerang mining), TPS, and the
+//!   §5 transfer graph.
+//! - [`tezos_analysis::TezosSweep`] — Figure 1 (operation taxonomy),
+//!   Figure 3b (endorsements vs payments), Figure 6 (sender dispersion),
+//!   Figure 9 (governance vote curves), §4.2 counts, TPS.
+//! - [`xrp_analysis::XrpSweep`] — Figure 1 (type distribution), Figure 3c,
+//!   Figure 7 (the value funnel), Figure 8 (most-active accounts),
+//!   Figure 12 (value flows), §4.3 spam waves, §3.3 concentration, TPS, and
+//!   the §5 payment graph.
+//!
+//! [`accumulate::par_sweep`] drives the sweep: rayon splits the block vector
+//! into chunks, folds each chunk through `observe`, and merges the partial
+//! accumulators in slice order. All merged state lives in exactly-mergeable
+//! domains (integer counters, count maps, [`txstat_types::BucketSeries`],
+//! vector concatenation), so the parallel result is **bit-identical** to a
+//! sequential fold regardless of worker count or chunk boundaries; the
+//! floating-point conversions happen once, at finalization, over
+//! deterministic orderings. Producing the full report therefore costs three
+//! parallel sweeps — one per chain — instead of the ~14 sequential
+//! per-exhibit scans of the naive layout.
+//!
+//! The original single-purpose scan functions (`action_distribution`,
+//! `funnel`, `top_senders`, …) remain available with unchanged signatures:
+//! they are the legacy baseline the equivalence suite and the
+//! `fused_report` criterion benches compare against, and stay convenient
+//! when only one statistic is needed.
+//!
+//! Supporting modules:
+//!
+//! - [`accumulate`] — the chunked parallel map-reduce driver.
 //! - [`cluster`] — XRP entity clustering by username/parent (§3.3).
-//! - [`graph`] — transaction-graph metrics (degree distributions, hubs,
-//!   fan-out outliers), the §5 related-work lens applied to these chains.
+//! - [`graph`] — mergeable transaction-graph metrics (degree distributions,
+//!   hubs, fan-out outliers), the §5 related-work lens.
 
+pub mod accumulate;
 pub mod cluster;
 pub mod graph;
 pub mod eos_analysis;
 pub mod tezos_analysis;
 pub mod xrp_analysis;
 
+pub use accumulate::par_sweep;
 pub use cluster::ClusterInfo;
+pub use eos_analysis::EosSweep;
 pub use graph::{GraphReport, TransferGraph};
+pub use tezos_analysis::TezosSweep;
+pub use xrp_analysis::XrpSweep;

@@ -134,6 +134,16 @@ pub fn top_senders(blocks: &[TezosBlock], period: Period, k: usize) -> Vec<Sende
             }
         }
     }
+    dispersion_rows(&sent, &per_receiver, k)
+}
+
+/// The Figure 6 finalization shared by the legacy scan and [`TezosSweep`]:
+/// rank senders and compute their receiver-dispersion statistics.
+fn dispersion_rows(
+    sent: &TopK<Address>,
+    per_receiver: &HashMap<Address, TopK<Address>>,
+    k: usize,
+) -> Vec<SenderDispersion> {
     sent.top(k)
         .into_iter()
         .map(|(sender, sent_count)| {
@@ -267,6 +277,222 @@ pub fn tps(blocks: &[TezosBlock], period: Period) -> f64 {
         .filter(|o| o.kind() == OperationKind::Transaction)
         .count() as u64;
     txs as f64 / period.seconds().max(1) as f64
+}
+
+/// One raw governance event: (block time, curve label, voting baker).
+type GovEvent = (ChainTime, String, Address);
+
+/// The fused Tezos accumulator: every Tezos exhibit statistic from **one**
+/// pass over the block vector. See [`crate::accumulate`] for the algebra.
+#[derive(Debug, Clone)]
+pub struct TezosSweep {
+    period: Period,
+    periods: Vec<(PeriodKind, Period)>,
+    // Figure 1.
+    op_counts: HashMap<OperationKind, u64>,
+    op_total: u64,
+    // Figure 3b.
+    series: BucketSeries<TezosThroughputCat>,
+    // Figure 6.
+    sent: TopK<Address>,
+    per_receiver: HashMap<Address, TopK<Address>>,
+    // Figure 9: raw events per governance period, in block order (the
+    // sweep's order-preserving merge keeps concatenation == block order).
+    gov_events: Vec<Vec<GovEvent>>,
+    // §4.2 and the headline.
+    gov_ops_in_window: u64,
+    txs_in_period: u64,
+}
+
+impl TezosSweep {
+    /// The sweep identity for an observation window and its chain's
+    /// governance period boundaries.
+    pub fn new(period: Period, periods: Vec<(PeriodKind, Period)>) -> Self {
+        let gov_events = periods.iter().map(|_| Vec::new()).collect();
+        TezosSweep {
+            period,
+            periods,
+            op_counts: HashMap::new(),
+            op_total: 0,
+            series: BucketSeries::new(period, SIX_HOURS),
+            sent: TopK::new(),
+            per_receiver: HashMap::new(),
+            gov_events,
+            gov_ops_in_window: 0,
+            txs_in_period: 0,
+        }
+    }
+
+    /// Fold one block into the sweep.
+    pub fn observe(&mut self, b: &TezosBlock) {
+        for op in &b.operations {
+            let cat = match op.kind() {
+                OperationKind::Endorsement => TezosThroughputCat::Endorsement,
+                OperationKind::Transaction => TezosThroughputCat::Transaction,
+                _ => TezosThroughputCat::Others,
+            };
+            self.series.record(b.time, cat, 1);
+        }
+        // Governance events accumulate per period window (the windows tile
+        // the chain's life, independent of the observation window).
+        for (idx, (kind, window)) in self.periods.iter().enumerate() {
+            if !window.contains(b.time) {
+                continue;
+            }
+            for op in &b.operations {
+                match &op.payload {
+                    OpPayload::Proposals { proposals } if *kind == PeriodKind::Proposal => {
+                        for p in proposals {
+                            self.gov_events[idx].push((b.time, short_hash(p), op.source));
+                        }
+                    }
+                    OpPayload::Ballot { vote, .. }
+                        if matches!(kind, PeriodKind::Exploration | PeriodKind::Promotion) =>
+                    {
+                        let label = match vote {
+                            Vote::Yay => "yay",
+                            Vote::Nay => "nay",
+                            Vote::Pass => "pass",
+                        };
+                        self.gov_events[idx].push((b.time, label.to_owned(), op.source));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if !self.period.contains(b.time) {
+            return;
+        }
+        for op in &b.operations {
+            *self.op_counts.entry(op.kind()).or_insert(0) += 1;
+            self.op_total += 1;
+            if matches!(op.kind(), OperationKind::Ballot | OperationKind::Proposals) {
+                self.gov_ops_in_window += 1;
+            }
+            if let OpPayload::Transaction { destination, .. } = &op.payload {
+                self.txs_in_period += 1;
+                self.sent.inc(op.source);
+                self.per_receiver.entry(op.source).or_default().inc(*destination);
+            }
+        }
+    }
+
+    /// Merge another partial sweep.
+    pub fn merge(&mut self, other: TezosSweep) {
+        assert_eq!(
+            self.periods, other.periods,
+            "merge requires identical governance period lists"
+        );
+        for (k, n) in other.op_counts {
+            *self.op_counts.entry(k).or_insert(0) += n;
+        }
+        self.op_total += other.op_total;
+        self.series.merge(other.series);
+        self.sent.merge(other.sent);
+        for (k, t) in other.per_receiver {
+            self.per_receiver.entry(k).or_default().merge(t);
+        }
+        for (mine, theirs) in self.gov_events.iter_mut().zip(other.gov_events) {
+            mine.extend(theirs);
+        }
+        self.gov_ops_in_window += other.gov_ops_in_window;
+        self.txs_in_period += other.txs_in_period;
+    }
+
+    /// One parallel sweep over the blocks.
+    pub fn compute(
+        blocks: &[TezosBlock],
+        period: Period,
+        periods: &[(PeriodKind, Period)],
+    ) -> Self {
+        crate::accumulate::par_sweep(
+            blocks,
+            || TezosSweep::new(period, periods.to_vec()),
+            |acc, b| acc.observe(b),
+            |a, b| a.merge(b),
+        )
+    }
+
+    /// Figure 1: counts per operation kind.
+    pub fn op_distribution(&self) -> (Vec<OpRow>, u64) {
+        let mut rows: Vec<OpRow> = self
+            .op_counts
+            .iter()
+            .map(|(kind, count)| OpRow { class: classify_op(*kind), kind: *kind, count: *count })
+            .collect();
+        rows.sort_by(|a, b| {
+            a.class.cmp(&b.class).then(b.count.cmp(&a.count)).then(a.kind.cmp(&b.kind))
+        });
+        (rows, self.op_total)
+    }
+
+    /// Figure 3b: the category throughput series.
+    pub fn throughput_series(&self) -> &BucketSeries<TezosThroughputCat> {
+        &self.series
+    }
+
+    /// Figure 6: top `k` senders with receiver-dispersion statistics.
+    pub fn top_senders(&self, k: usize) -> Vec<SenderDispersion> {
+        dispersion_rows(&self.sent, &self.per_receiver, k)
+    }
+
+    /// Figure 9: build the vote curves from the accumulated events.
+    pub fn governance_curves(&self, rolls: &HashMap<Address, u64>) -> Vec<PeriodCurves> {
+        let total_rolls: u64 = rolls.values().sum();
+        self.periods
+            .iter()
+            .zip(&self.gov_events)
+            .map(|((kind, window), events)| {
+                // Blocks arrive chronologically and the merge is
+                // order-preserving, so the log is almost always already
+                // sorted — only clone and sort when it is not.
+                let sorted_storage;
+                let events: &[GovEvent] =
+                    if events.windows(2).all(|w| w[0].0 <= w[1].0) {
+                        events
+                    } else {
+                        let mut v = events.clone();
+                        v.sort_by_key(|(t, ..)| *t);
+                        sorted_storage = v;
+                        &sorted_storage
+                    };
+                let mut curves: HashMap<String, VoteCurve> = HashMap::new();
+                let mut cumulative: HashMap<String, u64> = HashMap::new();
+                let mut participants: HashMap<Address, ()> = HashMap::new();
+                for (t, label, baker) in events {
+                    let w = rolls.get(baker).copied().unwrap_or(0);
+                    let c = cumulative.entry(label.clone()).or_insert(0);
+                    *c += w;
+                    participants.insert(*baker, ());
+                    curves
+                        .entry(label.clone())
+                        .or_insert_with(|| VoteCurve { label: label.clone(), points: Vec::new() })
+                        .points
+                        .push((*t, *c));
+                }
+                let participated: u64 =
+                    participants.keys().map(|a| rolls.get(a).copied().unwrap_or(0)).sum();
+                let mut curves: Vec<VoteCurve> = curves.into_values().collect();
+                curves.sort_by(|a, b| b.total().cmp(&a.total()).then(a.label.cmp(&b.label)));
+                PeriodCurves {
+                    kind: *kind,
+                    window: *window,
+                    curves,
+                    participation_pct: participated as f64 * 100.0 / total_rolls.max(1) as f64,
+                }
+            })
+            .collect()
+    }
+
+    /// §4.2: governance operations inside the observation window.
+    pub fn governance_op_count(&self) -> u64 {
+        self.gov_ops_in_window
+    }
+
+    /// Headline payment-transactions-per-second.
+    pub fn tps(&self) -> f64 {
+        self.txs_in_period as f64 / self.period.seconds().max(1) as f64
+    }
 }
 
 #[cfg(test)]

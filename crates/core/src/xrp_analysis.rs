@@ -137,6 +137,34 @@ pub struct Funnel {
 }
 
 impl Funnel {
+    /// Merge another funnel (parallel aggregation). Destructures every
+    /// field so adding one to the struct breaks this method at compile
+    /// time instead of silently dropping it from chunked merges.
+    pub fn merge(&mut self, other: Funnel) {
+        let Funnel {
+            total,
+            failed,
+            successful,
+            payments,
+            payments_with_value,
+            payments_no_value,
+            offers,
+            offers_exchanged,
+            offers_no_exchange,
+            others,
+        } = other;
+        self.total += total;
+        self.failed += failed;
+        self.successful += successful;
+        self.payments += payments;
+        self.payments_with_value += payments_with_value;
+        self.payments_no_value += payments_no_value;
+        self.offers += offers;
+        self.offers_exchanged += offers_exchanged;
+        self.offers_no_exchange += offers_no_exchange;
+        self.others += others;
+    }
+
     pub fn pct(&self, part: u64) -> f64 {
         part as f64 * 100.0 / self.total.max(1) as f64
     }
@@ -254,19 +282,31 @@ pub fn most_active(
             }
         }
     }
+    active_rows(&per_account, &tags, grand_total, k, cluster)
+}
+
+/// The Figure 8 finalization shared by the legacy scan and [`XrpSweep`]:
+/// rank accounts by activity and resolve their entities and top tags.
+fn active_rows(
+    per_account: &HashMap<AccountId, (u64, u64, u64)>,
+    tags: &HashMap<AccountId, TopK<u32>>,
+    grand_total: u64,
+    k: usize,
+    cluster: &ClusterInfo,
+) -> Vec<ActiveAccount> {
     let mut rows: Vec<ActiveAccount> = per_account
-        .into_iter()
+        .iter()
         .map(|(account, (oc, pay, others))| {
             let total = oc + pay + others;
             ActiveAccount {
-                account,
-                offer_creates: oc,
-                payments: pay,
-                others,
+                account: *account,
+                offer_creates: *oc,
+                payments: *pay,
+                others: *others,
                 total,
                 share_pct: total as f64 * 100.0 / grand_total.max(1) as f64,
-                top_tag: tags.get(&account).and_then(|t| t.top(1).first().cloned()),
-                entity: cluster.entity(account),
+                top_tag: tags.get(account).and_then(|t| t.top(1).first().cloned()),
+                entity: cluster.entity(*account),
             }
         })
         .collect();
@@ -403,12 +443,18 @@ pub fn payment_spike_buckets(blocks: &[LedgerBlock], period: Period, threshold: 
             }
         }
     }
-    let mut counts: Vec<u64> = (0..series.bucket_count()).map(|i| series.bucket_total(i)).collect();
+    spikes_of(&series, threshold)
+}
+
+/// The spike rule shared by the legacy scan and [`XrpSweep`]: bucket totals
+/// above `threshold ×` the median.
+fn spikes_of(series: &BucketSeries<()>, threshold: f64) -> Vec<usize> {
+    let counts: Vec<u64> = (0..series.bucket_count()).map(|i| series.bucket_total(i)).collect();
     let mut sorted = counts.clone();
     sorted.sort_unstable();
     let median = sorted[sorted.len() / 2].max(1);
     counts
-        .drain(..)
+        .into_iter()
         .enumerate()
         .filter(|(_, c)| *c as f64 > threshold * median as f64)
         .map(|(i, _)| i)
@@ -448,7 +494,12 @@ pub fn concentration(blocks: &[LedgerBlock], period: Period) -> ConcentrationRep
             total += 1;
         }
     }
-    let mut counts: Vec<u64> = per_account.values().copied().collect();
+    concentration_of(per_account.values().copied().collect(), total)
+}
+
+/// The concentration statistics shared by the legacy scan and [`XrpSweep`],
+/// over per-account activity counts.
+fn concentration_of(mut counts: Vec<u64>, total: u64) -> ConcentrationReport {
     counts.sort_unstable_by(|a, b| b.cmp(a));
     let single = counts.iter().filter(|c| **c == 1).count() as u64;
     let mut acc = 0u64;
@@ -479,6 +530,313 @@ pub fn tps(blocks: &[LedgerBlock], period: Period) -> f64 {
         .map(|b| b.transactions.len() as u64)
         .sum();
     txs as f64 / period.seconds().max(1) as f64
+}
+
+/// The fused XRP accumulator: every XRP exhibit statistic from **one** pass
+/// over the ledger vector. See [`crate::accumulate`] for the algebra.
+///
+/// The oracle is consulted *per transaction* during the sweep (value
+/// classification and drop-denominated valuation are integral per tx), so
+/// all merged state stays in exactly-mergeable integer domains; entity
+/// resolution and the f64 conversions happen once, at finalization, over
+/// deterministic orderings.
+#[derive(Debug, Clone)]
+pub struct XrpSweep {
+    period: Period,
+    // Figure 1.
+    type_counts: HashMap<TxType, u64>,
+    type_total: u64,
+    // Figure 3c.
+    series: BucketSeries<XrpThroughputCat>,
+    // Figure 7 (integer counters throughout).
+    funnel: Funnel,
+    // Figure 8 + §3.3 concentration: (OfferCreate, Payment, other) per account.
+    per_account: HashMap<AccountId, (u64, u64, u64)>,
+    tags: HashMap<AccountId, TopK<u32>>,
+    grand_total: u64,
+    // Figure 12, all in integer drops / raw units (both scaled 1e6).
+    xrp_volume_drops: i128,
+    sender_drops: HashMap<AccountId, i128>,
+    receiver_drops: HashMap<AccountId, i128>,
+    /// ticker → (nominal raw units, valuable raw units, valuable drops).
+    currencies: HashMap<String, (i128, i128, i128)>,
+    // §4.3 spam waves.
+    payment_series: BucketSeries<()>,
+    // §5 payment graph.
+    graph: crate::graph::TransferGraph<AccountId>,
+}
+
+impl XrpSweep {
+    /// The sweep identity for an observation window.
+    pub fn new(period: Period) -> Self {
+        XrpSweep {
+            period,
+            type_counts: HashMap::new(),
+            type_total: 0,
+            series: BucketSeries::new(period, SIX_HOURS),
+            funnel: Funnel::default(),
+            per_account: HashMap::new(),
+            tags: HashMap::new(),
+            grand_total: 0,
+            xrp_volume_drops: 0,
+            sender_drops: HashMap::new(),
+            receiver_drops: HashMap::new(),
+            currencies: HashMap::new(),
+            payment_series: BucketSeries::new(period, SIX_HOURS),
+            graph: crate::graph::TransferGraph::new(),
+        }
+    }
+
+    /// Fold one ledger into the sweep, valuing payments through `oracle`.
+    pub fn observe(&mut self, b: &LedgerBlock, oracle: &RateOracle) {
+        // The two bucket series audit out-of-period events themselves
+        // (matching the legacy scans); the rest filters up front.
+        for tx in &b.transactions {
+            let cat = if !tx.result.is_success() {
+                XrpThroughputCat::Unsuccessful
+            } else {
+                match tx.tx.tx_type() {
+                    TxType::Payment => XrpThroughputCat::Payment,
+                    TxType::OfferCreate => XrpThroughputCat::OfferCreate,
+                    _ => XrpThroughputCat::Others,
+                }
+            };
+            self.series.record(b.close_time, cat, 1);
+            if tx.tx.tx_type() == TxType::Payment && tx.result.is_success() {
+                self.payment_series.record(b.close_time, (), 1);
+            }
+        }
+        if !self.period.contains(b.close_time) {
+            return;
+        }
+        for tx in &b.transactions {
+            let tx_type = tx.tx.tx_type();
+            *self.type_counts.entry(tx_type).or_insert(0) += 1;
+            self.type_total += 1;
+            self.grand_total += 1;
+
+            let e = self.per_account.entry(tx.tx.account).or_insert((0, 0, 0));
+            match tx_type {
+                TxType::OfferCreate => e.0 += 1,
+                TxType::Payment => {
+                    e.1 += 1;
+                    if let Some(tag) = tx.tx.destination_tag {
+                        self.tags.entry(tx.tx.account).or_default().inc(tag);
+                    }
+                }
+                _ => e.2 += 1,
+            }
+
+            // Figure 7 funnel.
+            self.funnel.total += 1;
+            if !tx.result.is_success() {
+                self.funnel.failed += 1;
+                continue;
+            }
+            self.funnel.successful += 1;
+            match tx_type {
+                TxType::Payment => {
+                    self.funnel.payments += 1;
+                    let has_value = match &tx.delivered {
+                        Some(a) => match a.asset {
+                            Asset::Xrp => true,
+                            Asset::Iou(ic) => oracle.has_value(ic),
+                        },
+                        None => false,
+                    };
+                    if has_value {
+                        self.funnel.payments_with_value += 1;
+                    } else {
+                        self.funnel.payments_no_value += 1;
+                    }
+                }
+                TxType::OfferCreate => {
+                    self.funnel.offers += 1;
+                    if tx.crossed {
+                        self.funnel.offers_exchanged += 1;
+                    } else {
+                        self.funnel.offers_no_exchange += 1;
+                    }
+                }
+                _ => self.funnel.others += 1,
+            }
+
+            // Figure 12 value flows + §5 graph (successful payments only).
+            if tx_type != TxType::Payment {
+                continue;
+            }
+            let destination = match &tx.tx.payload {
+                txstat_xrp::tx::TxPayload::Payment { destination, .. } => *destination,
+                _ => continue,
+            };
+            self.graph.record(tx.tx.account, destination);
+            let delivered = match &tx.delivered {
+                Some(a) => a,
+                None => continue,
+            };
+            let (ticker, valuable_drops) = match delivered.asset {
+                Asset::Xrp => {
+                    self.xrp_volume_drops += delivered.value;
+                    ("XRP".to_owned(), Some(delivered.value))
+                }
+                Asset::Iou(ic) => (
+                    ic.currency.as_str().to_owned(),
+                    oracle
+                        .value_in_drops(ic, delivered.value)
+                        .filter(|d| *d > 0)
+                        .map(|d| d as i128),
+                ),
+            };
+            let c = self.currencies.entry(ticker).or_insert((0, 0, 0));
+            c.0 += delivered.value;
+            if let Some(drops) = valuable_drops {
+                c.1 += delivered.value;
+                c.2 += drops;
+                *self.sender_drops.entry(tx.tx.account).or_insert(0) += drops;
+                *self.receiver_drops.entry(destination).or_insert(0) += drops;
+            }
+        }
+    }
+
+    /// Merge another partial sweep (associative, commutative).
+    pub fn merge(&mut self, other: XrpSweep) {
+        for (k, n) in other.type_counts {
+            *self.type_counts.entry(k).or_insert(0) += n;
+        }
+        self.type_total += other.type_total;
+        self.series.merge(other.series);
+        self.funnel.merge(other.funnel);
+        for (k, (a, b, c)) in other.per_account {
+            let e = self.per_account.entry(k).or_insert((0, 0, 0));
+            e.0 += a;
+            e.1 += b;
+            e.2 += c;
+        }
+        for (k, t) in other.tags {
+            self.tags.entry(k).or_default().merge(t);
+        }
+        self.grand_total += other.grand_total;
+        self.xrp_volume_drops += other.xrp_volume_drops;
+        for (k, v) in other.sender_drops {
+            *self.sender_drops.entry(k).or_insert(0) += v;
+        }
+        for (k, v) in other.receiver_drops {
+            *self.receiver_drops.entry(k).or_insert(0) += v;
+        }
+        for (k, (a, b, c)) in other.currencies {
+            let e = self.currencies.entry(k).or_insert((0, 0, 0));
+            e.0 += a;
+            e.1 += b;
+            e.2 += c;
+        }
+        self.payment_series.merge(other.payment_series);
+        self.graph.merge(other.graph);
+    }
+
+    /// One parallel sweep over the ledgers.
+    pub fn compute(blocks: &[LedgerBlock], period: Period, oracle: &RateOracle) -> Self {
+        crate::accumulate::par_sweep(
+            blocks,
+            || XrpSweep::new(period),
+            |acc, b| acc.observe(b, oracle),
+            |a, b| a.merge(b),
+        )
+    }
+
+    /// Figure 1: counts per transaction type.
+    pub fn tx_distribution(&self) -> (Vec<TxRow>, u64) {
+        let mut rows: Vec<TxRow> = self
+            .type_counts
+            .iter()
+            .map(|(tx_type, count)| TxRow {
+                class: classify_tx(*tx_type),
+                tx_type: *tx_type,
+                count: *count,
+            })
+            .collect();
+        rows.sort_by(|a, b| {
+            a.class.cmp(&b.class).then(b.count.cmp(&a.count)).then(a.tx_type.cmp(&b.tx_type))
+        });
+        (rows, self.type_total)
+    }
+
+    /// Figure 3c: the category throughput series.
+    pub fn throughput_series(&self) -> &BucketSeries<XrpThroughputCat> {
+        &self.series
+    }
+
+    /// Figure 7: the value funnel.
+    pub fn funnel(&self) -> Funnel {
+        self.funnel.clone()
+    }
+
+    /// Figure 8: the `k` most active accounts.
+    pub fn most_active(&self, k: usize, cluster: &ClusterInfo) -> Vec<ActiveAccount> {
+        active_rows(&self.per_account, &self.tags, self.grand_total, k, cluster)
+    }
+
+    /// Figure 12: the entity-level value flows.
+    pub fn value_flow(&self, cluster: &ClusterInfo) -> ValueFlowReport {
+        // Deterministic account order before the f64 entity aggregation.
+        let by_entity = |drops: &HashMap<AccountId, i128>, fallback: &str| {
+            let mut accounts: Vec<(&AccountId, &i128)> = drops.iter().collect();
+            accounts.sort_by_key(|(a, _)| **a);
+            let mut m: HashMap<String, f64> = HashMap::new();
+            for (a, d) in accounts {
+                let e = cluster.entity_or(*a, fallback);
+                *m.entry(e).or_insert(0.0) += *d as f64 / DROPS_PER_XRP as f64;
+            }
+            let mut v: Vec<(String, f64)> = m.into_iter().collect();
+            v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+            v
+        };
+        let mut currencies: Vec<(String, f64, f64, f64)> = self
+            .currencies
+            .iter()
+            .map(|(t, (nominal, valuable, drops))| {
+                // The XRP bucket accumulates drops, IOU buckets accumulate
+                // IOU units; divide each by its own scale (they are both
+                // 1e6 today, but the asset kinds are distinct).
+                let unit =
+                    if t == "XRP" { DROPS_PER_XRP as f64 } else { IOU_UNIT as f64 };
+                (
+                    t.clone(),
+                    *nominal as f64 / unit,
+                    *valuable as f64 / unit,
+                    *drops as f64 / DROPS_PER_XRP as f64,
+                )
+            })
+            .collect();
+        currencies.sort_by(|a, b| b.3.partial_cmp(&a.3).expect("finite").then(a.0.cmp(&b.0)));
+        ValueFlowReport {
+            xrp_payment_volume: self.xrp_volume_drops as f64 / DROPS_PER_XRP as f64,
+            top_senders: by_entity(&self.sender_drops, "Other senders"),
+            top_receivers: by_entity(&self.receiver_drops, "Other receivers"),
+            currencies,
+        }
+    }
+
+    /// §4.3: six-hour buckets whose payment count exceeds `threshold ×` the
+    /// median payment rate.
+    pub fn payment_spike_buckets(&self, threshold: f64) -> Vec<usize> {
+        spikes_of(&self.payment_series, threshold)
+    }
+
+    /// §3.3: the account-concentration statistics.
+    pub fn concentration(&self) -> ConcentrationReport {
+        let counts: Vec<u64> = self.per_account.values().map(|(a, b, c)| a + b + c).collect();
+        concentration_of(counts, self.grand_total)
+    }
+
+    /// Headline transactions-per-second.
+    pub fn tps(&self) -> f64 {
+        self.grand_total as f64 / self.period.seconds().max(1) as f64
+    }
+
+    /// §5 payment graph.
+    pub fn graph(&self) -> &crate::graph::TransferGraph<AccountId> {
+        &self.graph
+    }
 }
 
 #[cfg(test)]

@@ -33,7 +33,9 @@ mod tests {
     use txstat_workload::Scenario;
 
     fn tiny_scenario() -> Scenario {
-        let mut sc = Scenario::small(3);
+        // Seed chosen so the 3-day window contains USD@Bitstamp trades
+        // (the metadata test depends on at least one).
+        let mut sc = Scenario::small(6);
         sc.period = Period::new(
             ChainTime::from_ymd(2019, 10, 30),
             ChainTime::from_ymd(2019, 11, 2),

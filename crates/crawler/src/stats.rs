@@ -45,7 +45,7 @@ impl CrawlStats {
     /// Record one payload.
     pub fn record_payload(&mut self, index: u64, payload: &[u8]) {
         self.wire_bytes += payload.len() as u64;
-        if index % COMPRESSION_SAMPLE_EVERY == 0 {
+        if index.is_multiple_of(COMPRESSION_SAMPLE_EVERY) {
             self.sampled_bytes += payload.len() as u64;
             self.sampled_compressed_bytes +=
                 txstat_types::lzss::compressed_len(payload) as u64;

@@ -276,7 +276,7 @@ impl EosChain {
             tx.id = fnv1a64(&[num.to_le_bytes(), (idx as u64).to_le_bytes()].concat());
             // NET usage is billed in 8-byte words on EOS; normalize so the
             // wire encoding (net_usage_words) is lossless.
-            tx.net_bytes = (tx.net_bytes + 7) / 8 * 8;
+            tx.net_bytes = tx.net_bytes.div_ceil(8) * 8;
             match self.apply_transaction(&mut tx, time) {
                 Ok(_) => {
                     block_cpu += tx.cpu_us as u64;

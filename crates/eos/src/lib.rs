@@ -12,6 +12,10 @@
 //! [`rpc_model`] serializes blocks into the `get_block` wire shape the
 //! measurement crawler consumes.
 
+// EOS asset amounts are 4-decimal fixed point; literals group as
+// <whole>_<4 decimals> on purpose.
+#![allow(clippy::inconsistent_digit_grouping)]
+
 pub mod account;
 pub mod chain;
 pub mod contract;

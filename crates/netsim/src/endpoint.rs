@@ -80,9 +80,17 @@ impl TokenBucket {
 
     /// Try to take one token.
     pub fn try_take(&mut self) -> bool {
-        let now = std::time::Instant::now();
-        let dt = now.duration_since(self.last).as_secs_f64();
-        self.last = now;
+        self.try_take_at(std::time::Instant::now())
+    }
+
+    /// Try to take one token at an explicit instant. Refill is computed from
+    /// the previous call's instant, so tests can drive a virtual clock
+    /// instead of sleeping wall-clock time.
+    pub fn try_take_at(&mut self, now: std::time::Instant) -> bool {
+        let dt = now.saturating_duration_since(self.last).as_secs_f64();
+        // Never move the watermark backward: a stale instant must not let a
+        // later call re-credit an interval that was already refilled.
+        self.last = self.last.max(now);
         self.tokens = (self.tokens + dt * self.rate_per_sec).min(self.capacity);
         if self.tokens >= 1.0 {
             self.tokens -= 1.0;
@@ -146,7 +154,7 @@ impl EndpointSim {
     /// to apply before answering.
     pub fn gate(&self) -> (Gate, Duration) {
         let mut rng = self.rng.lock();
-        let jitter = rng.gen_range(-1.0..1.0) * self.profile.jitter_ms;
+        let jitter: f64 = rng.gen_range(-1.0..1.0f64) * self.profile.jitter_ms;
         let delay = Duration::from_micros(
             ((self.profile.latency_ms + jitter).max(0.0) * 1_000.0) as u64,
         );
@@ -167,18 +175,23 @@ mod tests {
 
     #[test]
     fn token_bucket_enforces_burst_then_rate() {
+        // Drive a virtual clock through `try_take_at` — no wall-clock sleeps.
         let mut b = TokenBucket::new(1000.0, 5.0);
-        let mut granted = 0;
-        for _ in 0..10 {
-            if b.try_take() {
-                granted += 1;
-            }
-        }
-        // Only the burst is instantly available (plus maybe one refill tick).
-        assert!((5..=6).contains(&granted), "granted={granted}");
-        // After a pause, tokens refill.
-        std::thread::sleep(Duration::from_millis(20));
-        assert!(b.try_take());
+        let start = std::time::Instant::now();
+        let granted = (0..10).filter(|_| b.try_take_at(start)).count();
+        // Only the burst is instantly available.
+        assert_eq!(granted, 5, "granted={granted}");
+        assert!(!b.try_take_at(start), "burst exhausted");
+        // 20 virtual milliseconds refill 20 tokens at 1000/s (capped at the
+        // burst capacity of 5).
+        let later = start + Duration::from_millis(20);
+        let refilled = (0..10).filter(|_| b.try_take_at(later)).count();
+        assert_eq!(refilled, 5, "refill is capped at burst capacity");
+        // A stale instant (before `last`) must not panic or mint tokens —
+        // and must not rewind the watermark so the same interval refills
+        // twice on the next in-order call.
+        assert!(!b.try_take_at(start), "clock going backwards grants nothing");
+        assert!(!b.try_take_at(later), "stale call must not re-credit [start, later)");
     }
 
     #[test]

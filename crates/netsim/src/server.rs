@@ -182,7 +182,7 @@ mod tests {
     struct Pong;
     impl JsonHandler for Pong {
         fn handle(&self, request: &Value) -> Value {
-            json!({"id": request["id"], "status": "success", "pong": true})
+            json!({"id": request["id"].clone(), "status": "success", "pong": true})
         }
     }
 

@@ -2,10 +2,14 @@
 //! [`crate::pipeline::PipelineData`] and returns the
 //! regenerated table/series as plain text (plus typed rows where callers
 //! need them — the benches and EXPERIMENTS comparison use those).
+//!
+//! Each renderer is a thin adapter over [`PipelineData::sweeps`]: the fused
+//! per-chain accumulators computed in one parallel sweep per chain and
+//! shared by every figure, so rendering the full report never re-scans the
+//! block vectors.
 
 use crate::pipeline::{local_storage_stats, PipelineData};
 use txstat_core::eos_analysis as eos;
-use txstat_core::tezos_analysis as tezos;
 use txstat_core::xrp_analysis as xrp;
 use txstat_types::amount::{fmt_pct, fmt_thousands};
 use txstat_types::table::{render_series, Align, TextTable};
@@ -15,10 +19,9 @@ use txstat_xrp::AccountId;
 
 /// Figure 1: distribution of transaction types per blockchain.
 pub fn fig1(data: &PipelineData) -> String {
-    let period = data.scenario.period;
     let mut out = String::from("Figure 1 — Distribution of transaction types per blockchain\n\n");
 
-    let (eos_rows, eos_total) = eos::action_distribution(&data.eos_blocks, period);
+    let (eos_rows, eos_total) = data.sweeps().eos.action_distribution();
     let mut t = TextTable::new(&["Category", "Action name", "#", "%"])
         .with_title("EOS (actions)")
         .with_aligns(&[Align::Left, Align::Left, Align::Right, Align::Right]);
@@ -34,7 +37,7 @@ pub fn fig1(data: &PipelineData) -> String {
     out.push_str(&t.render());
     out.push('\n');
 
-    let (tz_rows, tz_total) = tezos::op_distribution(&data.tezos_blocks, period);
+    let (tz_rows, tz_total) = data.sweeps().tezos.op_distribution();
     let mut t = TextTable::new(&["Category", "Operation kind", "#", "%"])
         .with_title("Tezos (operations)")
         .with_aligns(&[Align::Left, Align::Left, Align::Right, Align::Right]);
@@ -50,7 +53,7 @@ pub fn fig1(data: &PipelineData) -> String {
     out.push_str(&t.render());
     out.push('\n');
 
-    let (x_rows, x_total) = xrp::tx_distribution(&data.xrp_blocks, period);
+    let (x_rows, x_total) = data.sweeps().xrp.tx_distribution();
     let mut t = TextTable::new(&["Category", "Transaction type", "#", "%"])
         .with_title("XRP (transactions)")
         .with_aligns(&[Align::Left, Align::Left, Align::Right, Align::Right]);
@@ -156,13 +159,11 @@ pub fn fig2(data: &PipelineData) -> String {
 
 /// Figure 3: throughput across time (three sub-figures).
 pub fn fig3(data: &PipelineData) -> String {
-    let period = data.scenario.period;
     let mut out = String::from("Figure 3 — Throughput across time (per 6-hour bucket)\n\n");
 
-    let labels = eos::EosLabels::from_top_contracts(&data.eos_blocks, period, 100, &|n| {
-        eos::EosLabels::curated().get(n)
-    });
-    let series = eos::throughput_series(&data.eos_blocks, period, &labels);
+    let curated = eos::EosLabels::curated();
+    let labels = data.sweeps().eos.labels(100, &|n| curated.get(n));
+    let series = data.sweeps().eos.throughput_series(&labels);
     out.push_str("(a) EOS transactions by category\n");
     for cat in series.categories_sorted() {
         let pts: Vec<(String, f64)> = series
@@ -176,7 +177,7 @@ pub fn fig3(data: &PipelineData) -> String {
         ));
     }
 
-    let series = tezos::throughput_series(&data.tezos_blocks, period);
+    let series = data.sweeps().tezos.throughput_series();
     out.push_str("\n(b) Tezos operations by category\n");
     for cat in series.categories_sorted() {
         let pts: Vec<(String, f64)> = series
@@ -190,7 +191,7 @@ pub fn fig3(data: &PipelineData) -> String {
         ));
     }
 
-    let series = xrp::throughput_series(&data.xrp_blocks, period);
+    let series = data.sweeps().xrp.throughput_series();
     out.push_str("\n(c) XRP transactions by category\n");
     for cat in series.categories_sorted() {
         let pts: Vec<(String, f64)> = series
@@ -208,7 +209,7 @@ pub fn fig3(data: &PipelineData) -> String {
 
 /// Figure 4: EOS top applications by received transactions.
 pub fn fig4(data: &PipelineData) -> String {
-    let rows = eos::top_received(&data.eos_blocks, data.scenario.period, 5);
+    let rows = data.sweeps().eos.top_received(5);
     let mut t = TextTable::new(&["Name", "Tx count", "Top actions (name share%)"])
         .with_title("Figure 4 — EOS top applications by received transactions")
         .with_aligns(&[Align::Left, Align::Right, Align::Left]);
@@ -228,7 +229,7 @@ pub fn fig4(data: &PipelineData) -> String {
 
 /// Figure 5: EOS account pairs with the most sent transactions.
 pub fn fig5(data: &PipelineData) -> String {
-    let rows = eos::top_senders(&data.eos_blocks, data.scenario.period, 5);
+    let rows = data.sweeps().eos.top_senders(5);
     let mut t = TextTable::new(&["Sender", "Sent", "Uniq recv", "Top receivers (share%)"])
         .with_title("Figure 5 — EOS top senders and their receivers")
         .with_aligns(&[Align::Left, Align::Right, Align::Right, Align::Left]);
@@ -273,7 +274,7 @@ pub fn fig5(data: &PipelineData) -> String {
 
 /// Figure 6: Tezos top senders with receiver-dispersion statistics.
 pub fn fig6(data: &PipelineData) -> String {
-    let rows = tezos::top_senders(&data.tezos_blocks, data.scenario.period, 5);
+    let rows = data.sweeps().tezos.top_senders(5);
     let mut t = TextTable::new(&["Sender", "Kind", "Sent", "Uniq recv", "Avg/recv", "Stdev/recv"])
         .with_title("Figure 6 — Tezos accounts with the most sent transactions")
         .with_aligns(&[
@@ -315,7 +316,7 @@ pub fn fig6(data: &PipelineData) -> String {
 
 /// Figure 7: the XRP value funnel.
 pub fn fig7(data: &PipelineData) -> String {
-    let f = xrp::funnel(&data.xrp_blocks, data.scenario.period, &data.oracle);
+    let f = data.sweeps().xrp.funnel();
     let mut out = String::from("Figure 7 — XRP throughput value funnel\n");
     out.push_str(&format!("Total transactions: {}\n", fmt_thousands(f.total as u128)));
     out.push_str(&format!(
@@ -348,7 +349,7 @@ pub fn fig7(data: &PipelineData) -> String {
 
 /// Figure 8: most active XRP accounts.
 pub fn fig8(data: &PipelineData) -> String {
-    let rows = xrp::most_active(&data.xrp_blocks, data.scenario.period, 10, &data.cluster);
+    let rows = data.sweeps().xrp.most_active(10, &data.cluster);
     let mut t = TextTable::new(&[
         "Account", "Entity", "OfferCreate", "Payment", "Others", "Total", "% of total", "Top tag",
     ])
@@ -380,11 +381,7 @@ pub fn fig8(data: &PipelineData) -> String {
 
 /// Figure 9: the Babylon governance vote curves.
 pub fn fig9(data: &PipelineData) -> String {
-    let curves = tezos::governance_curves(
-        &data.tezos_blocks,
-        &data.governance_periods,
-        &data.tezos_rolls,
-    );
+    let curves = data.sweeps().tezos.governance_curves(&data.tezos_rolls);
     let mut out = String::from("Figure 9 — Tezos Babylon on-chain amendment voting\n");
     for pc in &curves {
         if pc.curves.is_empty() {
@@ -410,7 +407,7 @@ pub fn fig9(data: &PipelineData) -> String {
             ));
         }
     }
-    let gov_ops = tezos::governance_op_count(&data.tezos_blocks, data.scenario.period);
+    let gov_ops = data.sweeps().tezos.governance_op_count();
     out.push_str(&format!(
         "\nGovernance operations inside the observation window: {gov_ops}\n"
     ));
@@ -461,7 +458,7 @@ pub fn fig11(data: &PipelineData) -> String {
 
 /// Figure 12: value flows on the XRP ledger.
 pub fn fig12(data: &PipelineData) -> String {
-    let flow = xrp::value_flow(&data.xrp_blocks, data.scenario.period, &data.oracle, &data.cluster);
+    let flow = data.sweeps().xrp.value_flow(&data.cluster);
     let mut out = String::from("Figure 12 — Value flow on the XRP ledger (XRP-denominated)\n");
     out.push_str(&format!(
         "Total XRP moved by payments: {} XRP\n\n",
@@ -508,18 +505,18 @@ pub fn fig12(data: &PipelineData) -> String {
 
 /// The headline findings (abstract/§1): TPS and the three percentages.
 pub fn headline(data: &PipelineData) -> String {
-    let period = data.scenario.period;
-    let eos_tps = eos::tps(&data.eos_blocks, period);
-    let tz_tps = tezos::tps(&data.tezos_blocks, period);
-    let x_tps = xrp::tps(&data.xrp_blocks, period);
-    let boomerang = eos::boomerang_report(&data.eos_blocks, period);
-    let (tz_rows, tz_total) = tezos::op_distribution(&data.tezos_blocks, period);
+    let sweeps = data.sweeps();
+    let eos_tps = sweeps.eos.tps();
+    let tz_tps = sweeps.tezos.tps();
+    let x_tps = sweeps.xrp.tps();
+    let boomerang = sweeps.eos.boomerang_report();
+    let (tz_rows, tz_total) = sweeps.tezos.op_distribution();
     let endorse = tz_rows
         .iter()
         .find(|r| r.kind == txstat_tezos::OperationKind::Endorsement)
         .map(|r| r.count)
         .unwrap_or(0);
-    let funnel = xrp::funnel(&data.xrp_blocks, period, &data.oracle);
+    let funnel = sweeps.xrp.funnel();
 
     let mut out = String::from("Headline findings (scenario scale; ×divisor ≈ mainnet)\n");
     out.push_str(&format!(
@@ -557,11 +554,11 @@ pub fn headline(data: &PipelineData) -> String {
 
 /// §4.1 / §4.3 case studies.
 pub fn case_studies(data: &PipelineData) -> String {
-    let period = data.scenario.period;
+    let sweeps = data.sweeps();
     let mut out = String::from("Case studies\n\n");
 
     // WhaleEx wash trading.
-    let wash = eos::wash_trading_report(&data.eos_blocks, period);
+    let wash = sweeps.eos.wash_trading_report();
     out.push_str(&format!(
         "§4.1 WhaleEx wash trading: {} trades; top-5 accounts in {:.0}% of trades (paper: >70%)\n",
         fmt_thousands(wash.total_trades as u128),
@@ -598,7 +595,7 @@ pub fn case_studies(data: &PipelineData) -> String {
     ));
 
     // XRP spam.
-    let spikes = xrp::payment_spike_buckets(&data.xrp_blocks, period, 3.0);
+    let spikes = sweeps.xrp.payment_spike_buckets(3.0);
     out.push_str(&format!(
         "\n§4.3 XRP payment-spam waves: {} six-hour buckets above 3× the median payment rate\n",
         spikes.len()
@@ -612,7 +609,7 @@ pub fn case_studies(data: &PipelineData) -> String {
 
     // §3.3 concentration: "the 18 most active accounts are responsible for
     // half of the total traffic".
-    let conc = xrp::concentration(&data.xrp_blocks, period);
+    let conc = sweeps.xrp.concentration();
     out.push_str(&format!(
         "\n§3.3 XRP account concentration: {} accounts, {:.1} tx each on average;\n\
          \x20   {:.0}% transacted exactly once (paper: ~33%); the {} most active\n\
@@ -625,8 +622,8 @@ pub fn case_studies(data: &PipelineData) -> String {
     ));
 
     // §5-style transaction-graph metrics (Ron & Shamir / Kondor et al. lens).
-    let eos_graph = txstat_core::graph::eos_transfer_graph(&data.eos_blocks, period).report(3);
-    let xrp_graph = txstat_core::graph::xrp_payment_graph(&data.xrp_blocks, period).report(3);
+    let eos_graph = sweeps.eos.graph().report(3);
+    let xrp_graph = sweeps.xrp.graph().report(3);
     out.push_str(&format!(
         "\n§5 transfer-graph metrics:\n\
          \x20   EOS: {} nodes, {} transfer edges, out-degree Gini {:.2}; top sink {}\n\

@@ -4,8 +4,6 @@
 
 use crate::pipeline::PipelineData;
 use txstat_core::eos_analysis as eos;
-use txstat_core::tezos_analysis as tezos;
-use txstat_core::xrp_analysis as xrp;
 use txstat_types::table::{Align, TextTable};
 use txstat_xrp::amount::IssuedCurrency;
 
@@ -40,10 +38,11 @@ fn row(
 /// Compute every comparison row.
 pub fn comparison(data: &PipelineData) -> Vec<ComparisonRow> {
     let period = data.scenario.period;
+    let sweeps = data.sweeps();
     let mut rows = Vec::new();
 
     // --- Figure 1 shares ----------------------------------------------------
-    let (eos_rows, eos_total) = eos::action_distribution(&data.eos_blocks, period);
+    let (eos_rows, eos_total) = sweeps.eos.action_distribution();
     let transfer_share = eos_rows
         .iter()
         .filter(|r| r.class == eos::EosActionClass::P2pTransaction)
@@ -59,7 +58,7 @@ pub fn comparison(data: &PipelineData) -> Vec<ComparisonRow> {
         (80.0..=97.0).contains(&transfer_share),
     ));
 
-    let (tz_rows, tz_total) = tezos::op_distribution(&data.tezos_blocks, period);
+    let (tz_rows, tz_total) = sweeps.tezos.op_distribution();
     let endorse_share = tz_rows
         .iter()
         .find(|r| r.kind == txstat_tezos::OperationKind::Endorsement)
@@ -75,7 +74,7 @@ pub fn comparison(data: &PipelineData) -> Vec<ComparisonRow> {
         (65.0..=92.0).contains(&endorse_share),
     ));
 
-    let (x_rows, x_total) = xrp::tx_distribution(&data.xrp_blocks, period);
+    let (x_rows, x_total) = sweeps.xrp.tx_distribution();
     let share_of = |t: txstat_xrp::TxType| {
         x_rows.iter().find(|r| r.tx_type == t).map(|r| r.count).unwrap_or(0) as f64 * 100.0
             / x_total.max(1) as f64
@@ -98,7 +97,7 @@ pub fn comparison(data: &PipelineData) -> Vec<ComparisonRow> {
     ));
 
     // --- Headline TPS (normalized back to mainnet scale) ---------------------
-    let eos_tps = eos::tps(&data.eos_blocks, period) * data.scenario.eos_divisor;
+    let eos_tps = sweeps.eos.tps() * data.scenario.eos_divisor;
     rows.push(row(
         "§1",
         "EOS TPS (divisor-normalized)",
@@ -106,7 +105,7 @@ pub fn comparison(data: &PipelineData) -> Vec<ComparisonRow> {
         format!("{eos_tps:.0}"),
         (20.0..=80.0).contains(&eos_tps),
     ));
-    let tz_tps = tezos::tps(&data.tezos_blocks, period) * data.scenario.tezos_divisor;
+    let tz_tps = sweeps.tezos.tps() * data.scenario.tezos_divisor;
     rows.push(row(
         "§1",
         "Tezos payment TPS (normalized)",
@@ -114,7 +113,7 @@ pub fn comparison(data: &PipelineData) -> Vec<ComparisonRow> {
         format!("{tz_tps:.3}"),
         (0.04..=0.16).contains(&tz_tps),
     ));
-    let x_tps = xrp::tps(&data.xrp_blocks, period) * data.scenario.xrp_divisor;
+    let x_tps = sweeps.xrp.tps() * data.scenario.xrp_divisor;
     rows.push(row(
         "§1",
         "XRP TPS (normalized)",
@@ -126,10 +125,9 @@ pub fn comparison(data: &PipelineData) -> Vec<ComparisonRow> {
     // --- Figure 3a spike ------------------------------------------------------
     let launch = txstat_workload::eidos_launch();
     if period.contains(launch) {
-        let labels = eos::EosLabels::from_top_contracts(&data.eos_blocks, period, 100, &|n| {
-            eos::EosLabels::curated().get(n)
-        });
-        let series = eos::throughput_series(&data.eos_blocks, period, &labels);
+        let curated = eos::EosLabels::curated();
+        let labels = sweeps.eos.labels(100, &|n| curated.get(n));
+        let series = sweeps.eos.throughput_series(&labels);
         let launch_bucket = launch.bucket_index(period.start, txstat_types::SIX_HOURS).max(0) as usize;
         let tokens = txstat_eos::AppCategory::Tokens;
         let pre: u64 = (0..launch_bucket.min(series.bucket_count()))
@@ -151,7 +149,7 @@ pub fn comparison(data: &PipelineData) -> Vec<ComparisonRow> {
     }
 
     // --- Figure 7 --------------------------------------------------------------
-    let f = xrp::funnel(&data.xrp_blocks, period, &data.oracle);
+    let f = sweeps.xrp.funnel();
     rows.push(row(
         "Fig 7",
         "failed transactions, % of total",
@@ -189,7 +187,7 @@ pub fn comparison(data: &PipelineData) -> Vec<ComparisonRow> {
     ));
 
     // --- Figure 8 ----------------------------------------------------------------
-    let active = xrp::most_active(&data.xrp_blocks, period, 10, &data.cluster);
+    let active = sweeps.xrp.most_active(10, &data.cluster);
     if let Some(top) = active.first() {
         let offer_dom = top.offer_creates as f64 * 100.0 / top.total.max(1) as f64;
         rows.push(row(
@@ -223,7 +221,7 @@ pub fn comparison(data: &PipelineData) -> Vec<ComparisonRow> {
     }
 
     // --- §3.3 concentration -------------------------------------------------------
-    let conc = xrp::concentration(&data.xrp_blocks, period);
+    let conc = sweeps.xrp.concentration();
     rows.push(row(
         "§3.3",
         "accounts carrying half the XRP traffic",
@@ -233,11 +231,7 @@ pub fn comparison(data: &PipelineData) -> Vec<ComparisonRow> {
     ));
 
     // --- Figure 9 -----------------------------------------------------------------
-    let curves = tezos::governance_curves(
-        &data.tezos_blocks,
-        &data.governance_periods,
-        &data.tezos_rolls,
-    );
+    let curves = sweeps.tezos.governance_curves(&data.tezos_rolls);
     if let Some(exploration) = curves
         .iter()
         .find(|c| c.kind == txstat_tezos::PeriodKind::Exploration && !c.curves.is_empty())
@@ -297,7 +291,7 @@ pub fn comparison(data: &PipelineData) -> Vec<ComparisonRow> {
     ));
 
     // --- Figure 12 -----------------------------------------------------------------------
-    let flow = xrp::value_flow(&data.xrp_blocks, period, &data.oracle, &data.cluster);
+    let flow = sweeps.xrp.value_flow(&data.cluster);
     let xrp_vol_normalized = flow.xrp_payment_volume * data.scenario.xrp_divisor / 1e9;
     rows.push(row(
         "Fig 12",
@@ -321,7 +315,7 @@ pub fn comparison(data: &PipelineData) -> Vec<ComparisonRow> {
     ));
 
     // --- Case studies -----------------------------------------------------------------------
-    let wash = eos::wash_trading_report(&data.eos_blocks, period);
+    let wash = sweeps.eos.wash_trading_report();
     rows.push(row(
         "§4.1",
         "trades involving top-5 accounts",
@@ -345,7 +339,7 @@ pub fn comparison(data: &PipelineData) -> Vec<ComparisonRow> {
             share >= 0.55,
         ));
     }
-    let boomerang = eos::boomerang_report(&data.eos_blocks, period);
+    let boomerang = sweeps.eos.boomerang_report();
     rows.push(row(
         "§4.1 / §6",
         "EIDOS share of transfer actions",
@@ -353,8 +347,7 @@ pub fn comparison(data: &PipelineData) -> Vec<ComparisonRow> {
         format!("{:.0}%", boomerang.transfer_share * 100.0),
         boomerang.transfer_share >= 0.75,
     ));
-    let gov_ops =
-        tezos::governance_op_count(&data.tezos_blocks, period) as f64 * data.scenario.tezos_divisor;
+    let gov_ops = sweeps.tezos.governance_op_count() as f64 * data.scenario.tezos_divisor;
     rows.push(row(
         "§4.2",
         "governance ops in window (normalized)",

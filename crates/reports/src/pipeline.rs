@@ -9,8 +9,8 @@
 //!   §3.1 measurement path (used by the `reproduce` binary).
 
 use std::collections::{HashMap, HashSet};
-use std::sync::Arc;
-use txstat_core::ClusterInfo;
+use std::sync::{Arc, OnceLock};
+use txstat_core::{ClusterInfo, EosSweep, TezosSweep, XrpSweep};
 use txstat_crawler::{
     benchmark_endpoints, crawl_eos, crawl_tezos, crawl_xrp, eos_head, fetch_account_meta,
     fetch_exchange_rate, fetch_exchanges, shortlist, tezos_head, xrp_head, Advertised,
@@ -48,6 +48,31 @@ pub struct PipelineData {
     pub governance_periods: Vec<(PeriodKind, Period)>,
     /// Crawl accounting when the RPC path was used.
     pub crawl: Option<CrawlSummary>,
+    /// Lazily-computed fused accumulators (one parallel sweep per chain);
+    /// every exhibit renders from these instead of re-scanning the blocks.
+    sweeps: OnceLock<ChainSweeps>,
+}
+
+/// The three per-chain accumulators behind the full report.
+pub struct ChainSweeps {
+    pub eos: EosSweep,
+    pub tezos: TezosSweep,
+    pub xrp: XrpSweep,
+}
+
+impl PipelineData {
+    /// The fused analytics state: computed on first use with one rayon
+    /// map-reduce sweep per chain, then shared by every exhibit.
+    pub fn sweeps(&self) -> &ChainSweeps {
+        self.sweeps.get_or_init(|| {
+            let period = self.scenario.period;
+            ChainSweeps {
+                eos: EosSweep::compute(&self.eos_blocks, period),
+                tezos: TezosSweep::compute(&self.tezos_blocks, period, &self.governance_periods),
+                xrp: XrpSweep::compute(&self.xrp_blocks, period, &self.oracle),
+            }
+        })
+    }
 }
 
 /// Per-chain crawl accounting for Figure 2.
@@ -109,6 +134,7 @@ pub fn generate(sc: &Scenario) -> PipelineData {
         tezos_rolls,
         governance_periods,
         crawl: None,
+        sweeps: OnceLock::new(),
     }
 }
 
@@ -316,36 +342,48 @@ pub async fn generate_with_crawl(
             eos_advertised: opts.eos_advertised,
             eos_shortlisted: opts.eos_shortlisted,
         }),
+        sweeps: OnceLock::new(),
     })
 }
 
 /// Local storage accounting when no crawl ran: serialize every block to its
 /// wire JSON and sample-compress (same methodology as the crawler's
-/// Figure 2 accounting).
+/// Figure 2 accounting). Serialization and LZSS sampling are the heaviest
+/// per-block work in the report, so the sweep is parallel; sampling is keyed
+/// by block index, making the result independent of chunking.
 pub fn local_storage_stats(data: &PipelineData) -> (CrawlStats, CrawlStats, CrawlStats) {
-    let mut eos = CrawlStats::default();
-    for (i, b) in data.eos_blocks.iter().enumerate() {
-        let wire = serde_json::to_vec(&txstat_eos::rpc_model::block_to_json(b))
-            .expect("serializable");
-        eos.record_payload(i as u64, &wire);
-        eos.blocks += 1;
-        eos.transactions += b.transactions.len() as u64;
+    fn stats_par<B: Sync>(
+        blocks: &[B],
+        wire: impl Fn(&B) -> Vec<u8> + Sync,
+        txs: impl Fn(&B) -> u64 + Sync,
+    ) -> CrawlStats {
+        let indices: Vec<u64> = (0..blocks.len() as u64).collect();
+        txstat_core::par_sweep(
+            &indices,
+            CrawlStats::default,
+            |s, i| {
+                let b = &blocks[*i as usize];
+                s.record_payload(*i, &wire(b));
+                s.blocks += 1;
+                s.transactions += txs(b);
+            },
+            |a, b| a.merge(&b),
+        )
     }
-    let mut tezos = CrawlStats::default();
-    for (i, b) in data.tezos_blocks.iter().enumerate() {
-        let wire = serde_json::to_vec(&txstat_tezos::rpc_model::block_to_json(b))
-            .expect("serializable");
-        tezos.record_payload(i as u64, &wire);
-        tezos.blocks += 1;
-        tezos.transactions += b.operations.len() as u64;
-    }
-    let mut xrp = CrawlStats::default();
-    for (i, b) in data.xrp_blocks.iter().enumerate() {
-        let wire = serde_json::to_vec(&txstat_xrp::rpc_model::ledger_to_json(b))
-            .expect("serializable");
-        xrp.record_payload(i as u64, &wire);
-        xrp.blocks += 1;
-        xrp.transactions += b.transactions.len() as u64;
-    }
+    let eos = stats_par(
+        &data.eos_blocks,
+        |b| serde_json::to_vec(&txstat_eos::rpc_model::block_to_json(b)).expect("serializable"),
+        |b| b.transactions.len() as u64,
+    );
+    let tezos = stats_par(
+        &data.tezos_blocks,
+        |b| serde_json::to_vec(&txstat_tezos::rpc_model::block_to_json(b)).expect("serializable"),
+        |b| b.operations.len() as u64,
+    );
+    let xrp = stats_par(
+        &data.xrp_blocks,
+        |b| serde_json::to_vec(&txstat_xrp::rpc_model::ledger_to_json(b)).expect("serializable"),
+        |b| b.transactions.len() as u64,
+    );
     (eos, tezos, xrp)
 }

@@ -430,7 +430,7 @@ mod tests {
                 .iter()
                 .filter(|o| matches!(o.payload, OpPayload::Endorsement { .. }))
                 .count();
-            assert!(ops <= 32 && ops >= 2, "ops={ops}");
+            assert!((2..=32).contains(&ops), "ops={ops}");
         }
     }
 

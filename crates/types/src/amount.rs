@@ -155,7 +155,7 @@ pub fn fmt_thousands(n: u128) -> String {
     let mut out = String::with_capacity(digits.len() + digits.len() / 3);
     let lead = digits.len() % 3;
     for (i, c) in digits.chars().enumerate() {
-        if i != 0 && (i + 3 - lead) % 3 == 0 {
+        if i != 0 && (i + 3 - lead).is_multiple_of(3) {
             out.push(',');
         }
         out.push(c);

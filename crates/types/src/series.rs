@@ -106,6 +106,35 @@ impl<K: Eq + Hash + Clone> BucketSeries<K> {
             .map(|i| (i, self.bucket_total(i)))
             .max_by_key(|(i, c)| (*c, std::cmp::Reverse(*i)))
     }
+
+    /// Merge another series over the same period and bucket width.
+    /// Counts add per `(bucket, category)`; the operation is associative and
+    /// commutative, which is what makes parallel map-reduce sweeps exact.
+    pub fn merge(&mut self, other: BucketSeries<K>) {
+        assert_eq!(self.period, other.period, "merge requires identical periods");
+        assert_eq!(self.width, other.width, "merge requires identical bucket widths");
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets) {
+            for (k, n) in theirs {
+                *mine.entry(k).or_insert(0) += n;
+            }
+        }
+        self.out_of_range += other.out_of_range;
+    }
+
+    /// Re-key every count through `f`, combining categories that map to the
+    /// same key. Used by the fused engine to record cheap raw keys during the
+    /// sweep (e.g. contract names) and project them onto report categories
+    /// (e.g. app labels) once, at finalization.
+    pub fn map_keys<K2: Eq + Hash + Clone>(&self, f: impl Fn(&K) -> K2) -> BucketSeries<K2> {
+        let mut out = BucketSeries::new(self.period, self.width);
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            for (k, n) in bucket {
+                *out.buckets[i].entry(f(k)).or_insert(0) += n;
+            }
+        }
+        out.out_of_range = self.out_of_range;
+        out
+    }
 }
 
 impl<K: Eq + Hash + Clone + Ord> BucketSeries<K> {
@@ -164,6 +193,43 @@ mod tests {
         assert_eq!(ser[1].1, 9);
         assert_eq!(ser[0].1, 0);
         assert_eq!(ser[1].0.hms(), (6, 0, 0));
+    }
+
+    #[test]
+    fn merge_matches_combined_recording() {
+        let t = |h: u32| ChainTime::from_ymd_hms(2019, 10, 1, h, 0, 0);
+        let mut whole = BucketSeries::six_hourly(small_period());
+        let mut a = BucketSeries::six_hourly(small_period());
+        let mut b = BucketSeries::six_hourly(small_period());
+        a.record(t(1), "x", 3);
+        a.record(t(7), "y", 1);
+        b.record(t(1), "x", 2);
+        b.record(t(13), "z", 5);
+        for (hour, key, n) in [(1, "x", 3), (7, "y", 1), (1, "x", 2), (13, "z", 5)] {
+            whole.record(t(hour), key, n);
+        }
+        b.record(ChainTime::from_ymd(2019, 9, 1), "oob", 4);
+        whole.record(ChainTime::from_ymd(2019, 9, 1), "oob", 4);
+        a.merge(b);
+        assert_eq!(a.total(), whole.total());
+        assert_eq!(a.out_of_range(), whole.out_of_range());
+        for key in ["x", "y", "z"] {
+            assert_eq!(a.series_for(&key), whole.series_for(&key), "{key}");
+        }
+    }
+
+    #[test]
+    fn map_keys_projects_categories() {
+        let mut s = BucketSeries::six_hourly(small_period());
+        s.record(ChainTime::from_ymd_hms(2019, 10, 1, 1, 0, 0), 10u32, 2);
+        s.record(ChainTime::from_ymd_hms(2019, 10, 1, 2, 0, 0), 11u32, 3);
+        s.record(ChainTime::from_ymd_hms(2019, 10, 2, 1, 0, 0), 20u32, 7);
+        s.record(ChainTime::from_ymd(2019, 9, 1), 99u32, 1);
+        let projected = s.map_keys(|k| if *k < 20 { "teens" } else { "twenties" });
+        assert_eq!(projected.get(0, &"teens"), 5, "10 and 11 fold together");
+        assert_eq!(projected.category_total(&"twenties"), 7);
+        assert_eq!(projected.out_of_range(), 1);
+        assert_eq!(projected.total(), s.total());
     }
 
     #[test]

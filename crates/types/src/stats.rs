@@ -124,6 +124,18 @@ impl<T: Eq + Hash + Clone> TopK<T> {
     pub fn iter(&self) -> impl Iterator<Item = (&T, &u64)> {
         self.counts.iter()
     }
+
+    /// Merge another counter: per-key counts add. Associative and
+    /// commutative, so chunked parallel accumulation is exact.
+    pub fn merge(&mut self, other: TopK<T>) {
+        if self.counts.is_empty() {
+            self.counts = other.counts;
+            return;
+        }
+        for (k, n) in other.counts {
+            *self.counts.entry(k).or_insert(0) += n;
+        }
+    }
 }
 
 impl<T: Eq + Hash + Clone + Ord> TopK<T> {
@@ -245,6 +257,24 @@ mod tests {
         assert_eq!(t.distinct(), 4);
         assert_eq!(t.count_of(&"d"), 1);
         assert_eq!(t.count_of(&"zz"), 0);
+    }
+
+    #[test]
+    fn topk_merge_matches_combined_stream() {
+        let items = ["a", "b", "a", "c", "b", "a", "d"];
+        let mut whole = TopK::new();
+        items.iter().for_each(|k| whole.inc(*k));
+        let mut left = TopK::new();
+        let mut right = TopK::new();
+        items[..3].iter().for_each(|k| left.inc(*k));
+        items[3..].iter().for_each(|k| right.inc(*k));
+        left.merge(right);
+        assert_eq!(left.top(4), whole.top(4));
+        assert_eq!(left.total(), whole.total());
+        // Merging into an empty counter is the identity.
+        let mut empty = TopK::new();
+        empty.merge(whole.clone());
+        assert_eq!(empty.top(4), whole.top(4));
     }
 
     #[test]

@@ -79,11 +79,11 @@ impl TextTable {
                     Align::Left => {
                         line.push_str(c);
                         if i + 1 < ncol {
-                            line.extend(std::iter::repeat(' ').take(pad));
+                            line.extend(std::iter::repeat_n(' ', pad));
                         }
                     }
                     Align::Right => {
-                        line.extend(std::iter::repeat(' ').take(pad));
+                        line.extend(std::iter::repeat_n(' ', pad));
                         line.push_str(c);
                     }
                 }
@@ -93,7 +93,7 @@ impl TextTable {
         out.push_str(&fmt_row(&self.headers, &widths, &vec![Align::Left; ncol]));
         out.push('\n');
         let rule_len = widths.iter().sum::<usize>() + 2 * (ncol - 1);
-        out.extend(std::iter::repeat('-').take(rule_len));
+        out.extend(std::iter::repeat_n('-', rule_len));
         out.push('\n');
         for row in &self.rows {
             out.push_str(&fmt_row(row, &widths, &self.aligns));

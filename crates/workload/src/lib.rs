@@ -18,6 +18,10 @@
 //! Counts are scaled by per-chain divisors (DESIGN.md §1); all shares and
 //! shapes are divisor-invariant.
 
+// EOS asset amounts are 4-decimal fixed point; literals group as
+// <whole>_<4 decimals> on purpose.
+#![allow(clippy::inconsistent_digit_grouping)]
+
 pub mod eos;
 pub mod tezos;
 pub mod xrp;

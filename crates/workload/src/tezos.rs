@@ -304,7 +304,7 @@ pub fn build_tezos(sc: &Scenario) -> TezosChain {
             // Other manager/anonymous operations at Figure 1 rates.
             for _ in 0..poisson(&mut rng, per(ORIGINATION_PER_DAY)) {
                 let src = cast.user(&mut rng);
-                let kt = Address::originated(5_000_000 + rng.gen_range(0..1_000_000));
+                let kt = Address::originated(5_000_000 + rng.gen_range(0..1_000_000u64));
                 ops.push(Operation::new(src, OpPayload::Origination {
                     contract: kt,
                     balance_mutez: MUTEZ_PER_TEZ,
@@ -312,13 +312,13 @@ pub fn build_tezos(sc: &Scenario) -> TezosChain {
             }
             for _ in 0..poisson(&mut rng, per(REVEAL_PER_DAY)) {
                 ops.push(Operation::new(
-                    Address::implicit(6_000_000 + rng.gen_range(0..10_000_000)),
+                    Address::implicit(6_000_000 + rng.gen_range(0..10_000_000u64)),
                     OpPayload::Reveal,
                 ));
             }
             for _ in 0..poisson(&mut rng, per(ACTIVATION_PER_DAY)) {
                 ops.push(Operation::new(
-                    Address::implicit(7_000_000 + rng.gen_range(0..10_000_000)),
+                    Address::implicit(7_000_000 + rng.gen_range(0..10_000_000u64)),
                     OpPayload::Activation { secret_hash: rng.gen() },
                 ));
             }

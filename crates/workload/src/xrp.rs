@@ -667,8 +667,8 @@ fn gen_close_txs(
     ] {
         let n = poisson(rng, per(daily));
         for _ in 0..n {
-            let from = AccountId(USER_BASE + 200 + rng.gen_range(0..200));
-            let mut to = AccountId(USER_BASE + 200 + rng.gen_range(0..200));
+            let from = AccountId(USER_BASE + 200 + rng.gen_range(0..200u64));
+            let mut to = AccountId(USER_BASE + 200 + rng.gen_range(0..200u64));
             if to == from {
                 to = AccountId(USER_BASE + 200 + ((from.0 - USER_BASE - 200 + 1) % 200));
             }
@@ -689,8 +689,8 @@ fn gen_close_txs(
     // Shadow fiat IOU payments (huge nominal volume, no value).
     let n = poisson(rng, per(SHADOW_FIAT_PAYMENTS_PER_DAY));
     for _ in 0..n {
-        let from = AccountId(USER_BASE + rng.gen_range(0..200));
-        let mut to = AccountId(USER_BASE + rng.gen_range(0..200));
+        let from = AccountId(USER_BASE + rng.gen_range(0..200u64));
+        let mut to = AccountId(USER_BASE + rng.gen_range(0..200u64));
         if to == from {
             to = AccountId(USER_BASE + ((from.0 - USER_BASE + 1) % 200));
         }

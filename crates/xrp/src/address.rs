@@ -87,7 +87,7 @@ fn b58_decode(s: &str) -> Option<Vec<u8>> {
         bytes.push((n & 0xff) as u8);
         n >>= 8;
     }
-    bytes.extend(std::iter::repeat(0).take(leading));
+    bytes.extend(std::iter::repeat_n(0, leading));
     bytes.reverse();
     Some(bytes)
 }

@@ -756,7 +756,7 @@ mod tests {
                     );
                     prop_assert!(fill.maker_gives.value > 0 && fill.maker_receives.value > 0);
                 }
-                dex.check_books_sorted().map_err(|e| TestCaseError::fail(e))?;
+                dex.check_books_sorted().map_err(TestCaseError::fail)?;
             }
 
             /// Book stays sorted and stats stay consistent under random
@@ -782,7 +782,7 @@ mod tests {
                         };
                         dex.create_offer(acct, gets, pays, funds).expect("offer ok");
                     }
-                    dex.check_books_sorted().map_err(|e| TestCaseError::fail(e))?;
+                    dex.check_books_sorted().map_err(TestCaseError::fail)?;
                 }
                 prop_assert!(dex.stats.offers_touched <= dex.stats.offers_created);
             }

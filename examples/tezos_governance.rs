@@ -32,7 +32,7 @@ fn main() {
     let mut periods = Vec::new();
     for result in &chain.governance.history {
         periods.push((result.kind, Period::new(start, start + plen)));
-        start = start + plen;
+        start += plen;
     }
 
     let curves = tezos_analysis::governance_curves(chain.blocks(), &periods, &rolls);

@@ -1,0 +1,227 @@
+//! Workspace-local stand-in for `criterion` (offline build; no registry
+//! access). Provides the group/`bench_function`/`iter` API the workspace's
+//! benches use, with a straightforward timing loop:
+//!
+//! - warm-up, then `sample_size` samples of adaptively-batched iterations;
+//! - reports min/median/mean per iteration on stdout;
+//! - appends one JSON line per benchmark to `$TXSTAT_BENCH_JSON` (if set),
+//!   which the repo uses to record baselines (BENCH_figures.json);
+//! - `$TXSTAT_BENCH_SAMPLES` / `$TXSTAT_BENCH_WARMUP_MS` shrink runs for CI
+//!   smoke tests.
+
+pub use std::hint::black_box;
+
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 50,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("");
+        g.bench_function(id, f);
+        g.finish();
+        self
+    }
+
+    #[doc(hidden)]
+    pub fn final_summary(&mut self) {}
+}
+
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full_name = if self.name.is_empty() {
+            id
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        let mut b = Bencher {
+            sample_size: env_usize("TXSTAT_BENCH_SAMPLES").unwrap_or(self.sample_size),
+            warmup: Duration::from_millis(env_usize("TXSTAT_BENCH_WARMUP_MS").unwrap_or(300) as u64),
+            samples_ns: Vec::new(),
+        };
+        f(&mut b);
+        report(&full_name, &b.samples_ns, self.throughput);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+pub struct Bencher {
+    sample_size: usize,
+    warmup: Duration,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time the closure: warm-up, estimate batch size, then collect
+    /// `sample_size` samples of `batch` iterations each.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + per-iteration estimate.
+        let warmup_started = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_started.elapsed() < self.warmup {
+            black_box(f());
+            warmup_iters += 1;
+        }
+        let est_ns = warmup_started.elapsed().as_nanos() as f64 / warmup_iters.max(1) as f64;
+        // Aim for ~5ms per sample so cheap closures are not timer-noise.
+        let batch = ((5_000_000.0 / est_ns.max(1.0)).ceil() as u64).clamp(1, 1_000_000);
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let started = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = started.elapsed().as_nanos() as f64;
+            self.samples_ns.push(elapsed / batch as f64);
+        }
+    }
+
+    /// `iter_batched`-style interface used by some criterion consumers.
+    pub fn iter_with_setup<S, O, Setup, F>(&mut self, mut setup: Setup, mut f: F)
+    where
+        Setup: FnMut() -> S,
+        F: FnMut(S) -> O,
+    {
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let started = Instant::now();
+            black_box(f(input));
+            self.samples_ns.push(started.elapsed().as_nanos() as f64);
+        }
+    }
+}
+
+fn env_usize(key: &str) -> Option<usize> {
+    std::env::var(key).ok()?.parse().ok()
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn report(name: &str, samples_ns: &[f64], throughput: Option<Throughput>) {
+    if samples_ns.is_empty() {
+        println!("bench {name}: no samples collected");
+        return;
+    }
+    let mut sorted = samples_ns.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = sorted[sorted.len() / 2];
+    let min = sorted[0];
+    let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    let mut line = format!(
+        "bench {name}: median {} (min {}, mean {}, {} samples)",
+        fmt_ns(median),
+        fmt_ns(min),
+        fmt_ns(mean),
+        sorted.len()
+    );
+    if let Some(t) = throughput {
+        let per_sec = match t {
+            Throughput::Bytes(n) => format!("{:.1} MiB/s", n as f64 / (median / 1e9) / (1 << 20) as f64),
+            Throughput::Elements(n) => format!("{:.0} elem/s", n as f64 / (median / 1e9)),
+        };
+        line.push_str(&format!(" — {per_sec}"));
+    }
+    println!("{line}");
+    if let Ok(path) = std::env::var("TXSTAT_BENCH_JSON") {
+        use std::io::Write;
+        if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+            let _ = writeln!(
+                f,
+                "{{\"name\":\"{name}\",\"median_ns\":{median:.1},\"min_ns\":{min:.1},\"mean_ns\":{mean:.1},\"samples\":{}}}",
+                sorted.len()
+            );
+        }
+    }
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Entry point running the declared groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_loop_produces_samples() {
+        std::env::set_var("TXSTAT_BENCH_SAMPLES", "5");
+        std::env::set_var("TXSTAT_BENCH_WARMUP_MS", "5");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(5);
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.finish();
+        std::env::remove_var("TXSTAT_BENCH_SAMPLES");
+        std::env::remove_var("TXSTAT_BENCH_WARMUP_MS");
+    }
+}

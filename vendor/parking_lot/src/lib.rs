@@ -1,0 +1,168 @@
+//! Workspace-local stand-in for the `parking_lot` crate (the offline build
+//! environment has no registry access). Wraps `std::sync` primitives and
+//! recovers from poisoning, matching parking_lot's non-poisoning semantics.
+
+use std::sync::PoisonError;
+
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+
+impl<T> RwLock<T> {
+    pub fn new(value: T) -> Self {
+        RwLock(std::sync::RwLock::new(value))
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[derive(Debug, Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    pub fn new() -> Self {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+
+    pub fn wait<'a, T>(&self, guard: &mut MutexGuard<'a, T>) {
+        // std's API consumes and returns the guard; emulate parking_lot's
+        // in-place wait with a take/replace dance through Option.
+        replace_with(guard, |g| self.0.wait(g).unwrap_or_else(PoisonError::into_inner));
+    }
+
+    pub fn wait_for<'a, T>(
+        &self,
+        guard: &mut MutexGuard<'a, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let mut timed_out = false;
+        replace_with(guard, |g| {
+            let (g, r) = self
+                .0
+                .wait_timeout(g, timeout)
+                .unwrap_or_else(PoisonError::into_inner);
+            timed_out = r.timed_out();
+            g
+        });
+        WaitTimeoutResult(timed_out)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+fn replace_with<'a, T>(
+    guard: &mut MutexGuard<'a, T>,
+    f: impl FnOnce(MutexGuard<'a, T>) -> MutexGuard<'a, T>,
+) {
+    // SAFETY: `guard` is written back before the function returns, and the
+    // closure either returns a valid guard or unwinds (in which case the
+    // process aborts before the duplicated guard could be observed).
+    unsafe {
+        let taken = std::ptr::read(guard);
+        let abort_on_unwind = AbortOnUnwind;
+        let new_guard = f(taken);
+        std::mem::forget(abort_on_unwind);
+        std::ptr::write(guard, new_guard);
+    }
+}
+
+struct AbortOnUnwind;
+
+impl Drop for AbortOnUnwind {
+    fn drop(&mut self) {
+        std::process::abort();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_lock_and_mutate() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        use std::sync::Arc;
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = pair.clone();
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            *m.lock() = true;
+            cv.notify_all();
+        });
+        let (m, cv) = &*pair;
+        let mut done = m.lock();
+        while !*done {
+            let r = cv.wait_for(&mut done, std::time::Duration::from_secs(5));
+            assert!(!r.timed_out(), "worker must signal promptly");
+        }
+        t.join().unwrap();
+    }
+}

@@ -1,0 +1,352 @@
+//! Workspace-local stand-in for the `rayon` crate (offline build; no
+//! registry access). Implements the data-parallel subset the fused
+//! analytics engine uses — `par_chunks(..).map(..).reduce(..)`,
+//! `par_iter().map(..).collect()` — over `std::thread::scope`.
+//!
+//! Semantics preserved from real rayon:
+//! - the reduction is **order-preserving**: chunk results are combined in
+//!   slice order, so any associative (not necessarily commutative)
+//!   reduction yields the same value as the sequential fold;
+//! - work runs on the calling thread when only one worker is warranted;
+//! - `ThreadPool::install` scopes the worker count, enabling 1/2/N-thread
+//!   scaling measurements.
+
+use std::cell::Cell;
+
+thread_local! {
+    /// Worker-count override installed by [`ThreadPool::install`].
+    static THREADS_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads parallel operations will use on this thread.
+pub fn current_num_threads() -> usize {
+    THREADS_OVERRIDE.with(|o| o.get()).unwrap_or_else(|| {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    })
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder` for scoped worker counts.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { num_threads: self.num_threads })
+    }
+}
+
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A worker-count scope. Parallel operations invoked inside `install` use
+/// at most the configured number of threads.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPool {
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads.unwrap_or_else(current_num_threads)
+    }
+
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        THREADS_OVERRIDE.with(|o| {
+            let prev = o.replace(self.num_threads);
+            let out = op();
+            o.set(prev);
+            out
+        })
+    }
+}
+
+/// Run `f` over contiguous index partitions of `0..n` on up to
+/// [`current_num_threads`] workers and return the per-partition outputs in
+/// partition order. The backbone of every adapter below.
+fn run_partitioned<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(std::ops::Range<usize>) -> T + Sync,
+{
+    let workers = current_num_threads().max(1).min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        return vec![f(0..n)];
+    }
+    let chunk = n.div_ceil(workers);
+    let ranges: Vec<std::ops::Range<usize>> = (0..workers)
+        .map(|w| (w * chunk).min(n)..((w + 1) * chunk).min(n))
+        .filter(|r| !r.is_empty())
+        .collect();
+    let mut out: Vec<Option<T>> = ranges.iter().map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        let mut rest = out.as_mut_slice();
+        for range in &ranges {
+            let (slot, tail) = rest.split_first_mut().expect("one slot per range");
+            rest = tail;
+            let f = &f;
+            let range = range.clone();
+            handles.push(scope.spawn(move || {
+                *slot = Some(f(range));
+            }));
+        }
+        for h in handles {
+            h.join().expect("rayon-shim worker panicked");
+        }
+    });
+    out.into_iter().map(|v| v.expect("worker filled slot")).collect()
+}
+
+/// Parallel iterator over `&[T]` items.
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+/// Parallel iterator over fixed-size chunks of a slice.
+pub struct ParChunks<'a, T> {
+    slice: &'a [T],
+    chunk_size: usize,
+}
+
+/// A mapped parallel chunk iterator.
+pub struct ParChunksMap<'a, T, F> {
+    slice: &'a [T],
+    chunk_size: usize,
+    map: F,
+}
+
+/// A mapped parallel item iterator.
+pub struct ParIterMap<'a, T, F> {
+    slice: &'a [T],
+    map: F,
+}
+
+/// Slice entry points, mirroring `rayon::prelude::ParallelSlice` /
+/// `IntoParallelRefIterator`.
+pub trait ParallelSlice<T: Sync> {
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+    fn par_iter(&self) -> ParIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunks { slice: self, chunk_size }
+    }
+
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync> ParChunks<'a, T> {
+    pub fn map<U, F>(self, map: F) -> ParChunksMap<'a, T, F>
+    where
+        U: Send,
+        F: Fn(&'a [T]) -> U + Sync,
+    {
+        ParChunksMap { slice: self.slice, chunk_size: self.chunk_size, map }
+    }
+
+    pub fn len(&self) -> usize {
+        self.slice.chunks(self.chunk_size).len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.slice.is_empty()
+    }
+}
+
+impl<'a, T: Sync, U: Send, F> ParChunksMap<'a, T, F>
+where
+    F: Fn(&'a [T]) -> U + Sync,
+{
+    /// Reduce mapped chunk values in slice order (associative `op`).
+    pub fn reduce<Id, Op>(self, identity: Id, op: Op) -> U
+    where
+        Id: Fn() -> U + Sync,
+        Op: Fn(U, U) -> U + Sync,
+    {
+        let chunks: Vec<&'a [T]> = self.slice.chunks(self.chunk_size).collect();
+        let map = &self.map;
+        let op_ref = &op;
+        let partials = run_partitioned(chunks.len(), move |range| {
+            let mut acc: Option<U> = None;
+            for &chunk in &chunks[range] {
+                let v = map(chunk);
+                acc = Some(match acc {
+                    None => v,
+                    Some(a) => op_ref(a, v),
+                });
+            }
+            acc
+        });
+        partials
+            .into_iter()
+            .flatten()
+            .fold(None, |acc, v| {
+                Some(match acc {
+                    None => v,
+                    Some(a) => op(a, v),
+                })
+            })
+            .unwrap_or_else(identity)
+    }
+
+    /// Collect mapped chunk values in slice order.
+    pub fn collect_vec(self) -> Vec<U> {
+        let chunks: Vec<&'a [T]> = self.slice.chunks(self.chunk_size).collect();
+        let map = &self.map;
+        run_partitioned(chunks.len(), move |range| {
+            chunks[range].iter().map(|c| map(c)).collect::<Vec<U>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    pub fn map<U, F>(self, map: F) -> ParIterMap<'a, T, F>
+    where
+        U: Send,
+        F: Fn(&'a T) -> U + Sync,
+    {
+        ParIterMap { slice: self.slice, map }
+    }
+}
+
+impl<'a, T: Sync, U: Send, F> ParIterMap<'a, T, F>
+where
+    F: Fn(&'a T) -> U + Sync,
+{
+    /// Collect mapped values in slice order.
+    pub fn collect_vec(self) -> Vec<U> {
+        let map = &self.map;
+        let slice = self.slice;
+        run_partitioned(slice.len(), move |range| {
+            slice[range].iter().map(map).collect::<Vec<U>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+
+    /// Reduce mapped values in slice order.
+    pub fn reduce<Id, Op>(self, identity: Id, op: Op) -> U
+    where
+        Id: Fn() -> U + Sync,
+        Op: Fn(U, U) -> U + Sync,
+    {
+        let map = &self.map;
+        let slice = self.slice;
+        let op_ref = &op;
+        let partials = run_partitioned(slice.len(), move |range| {
+            let mut acc: Option<U> = None;
+            for item in &slice[range] {
+                let v = map(item);
+                acc = Some(match acc {
+                    None => v,
+                    Some(a) => op_ref(a, v),
+                });
+            }
+            acc
+        });
+        partials
+            .into_iter()
+            .flatten()
+            .fold(None, |acc, v| {
+                Some(match acc {
+                    None => v,
+                    Some(a) => op(a, v),
+                })
+            })
+            .unwrap_or_else(identity)
+    }
+}
+
+pub mod prelude {
+    pub use crate::ParallelSlice;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunked_reduce_matches_sequential() {
+        let data: Vec<u64> = (0..10_000).collect();
+        let seq: u64 = data.iter().sum();
+        let par = data
+            .par_chunks(97)
+            .map(|c| c.iter().sum::<u64>())
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn reduce_preserves_order() {
+        // String concatenation is associative but not commutative; the
+        // parallel reduce must equal the sequential left fold.
+        let data: Vec<String> = (0..500).map(|i| format!("{i},")).collect();
+        let seq: String = data.concat();
+        let par = data
+            .par_chunks(13)
+            .map(|c| c.concat())
+            .reduce(String::new, |a, b| a + &b);
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 2);
+        let nested = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        pool.install(|| {
+            assert_eq!(nested.install(current_num_threads), 1);
+            assert_eq!(current_num_threads(), 2);
+        });
+    }
+
+    #[test]
+    fn par_iter_collect_in_order() {
+        let data: Vec<u32> = (0..1000).collect();
+        let doubled = data.par_iter().map(|x| x * 2).collect_vec();
+        assert_eq!(doubled, data.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u64> = vec![];
+        let sum = empty
+            .par_chunks(8)
+            .map(|c| c.iter().sum::<u64>())
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(sum, 0);
+        let one = [41u64];
+        let sum = one
+            .par_chunks(8)
+            .map(|c| c.iter().sum::<u64>())
+            .reduce(|| 1, |a, b| a + b);
+        assert_eq!(sum, 41);
+    }
+}

@@ -1,0 +1,510 @@
+//! Workspace-local `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored serde shim. Parses the item's token stream directly (no syn) and
+//! emits impls of `serde::Serialize` / `serde::Deserialize` over the shim's
+//! JSON `Value` data model.
+//!
+//! Supported shapes — exactly what this workspace declares:
+//! - named-field structs (with `#[serde(skip_serializing_if = "Option::is_none")]`)
+//! - enums with unit, one-field tuple (newtype) and struct variants,
+//!   externally tagged like real serde
+//! - containers with `#[serde(into = "String", try_from = "String")]`
+//!
+//! Anything else produces a compile error naming the unsupported construct.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---- item model -------------------------------------------------------------
+
+struct Field {
+    name: String,
+    skip_serializing_if: Option<String>,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Body {
+    Struct(Vec<Field>),
+    /// Tuple struct with the given arity: newtypes serialize transparently
+    /// (like real serde), wider tuples as arrays.
+    Tuple(usize),
+    /// Unit struct: only valid together with into/try_from.
+    Opaque,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+    /// `#[serde(into = "...", try_from = "...")]` on the container.
+    string_conv: bool,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("valid error tokens")
+}
+
+// ---- token-stream parsing ---------------------------------------------------
+
+/// Collect the `#[...]` attributes at the head of `iter`; returns the raw
+/// text of every `#[serde(...)]` payload seen.
+fn take_attrs(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> Vec<String> {
+    let mut serde_attrs = Vec::new();
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                match iter.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        let mut inner = g.stream().into_iter();
+                        if let Some(TokenTree::Ident(name)) = inner.next() {
+                            if name.to_string() == "serde" {
+                                if let Some(TokenTree::Group(payload)) = inner.next() {
+                                    serde_attrs.push(payload.stream().to_string());
+                                }
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            _ => return serde_attrs,
+        }
+    }
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, …).
+fn skip_vis(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if matches!(iter.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        iter.next();
+        if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            iter.next();
+        }
+    }
+}
+
+/// Parse the named fields inside a brace group: `[attrs] [pub] name: Type,`*
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let serde_attrs = take_attrs(&mut iter);
+        skip_vis(&mut iter);
+        let name = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            Some(other) => return Err(format!("unexpected token in fields: {other}")),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field `{name}`, got {other:?}")),
+        }
+        // Skip the type: tokens until a comma at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        loop {
+            match iter.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    angle_depth += 1;
+                    iter.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    angle_depth -= 1;
+                    iter.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => {
+                    iter.next();
+                    break;
+                }
+                Some(_) => {
+                    iter.next();
+                }
+            }
+        }
+        let skip_serializing_if = serde_attrs
+            .iter()
+            .find_map(|a| attr_value(a, "skip_serializing_if"));
+        fields.push(Field { name, skip_serializing_if });
+    }
+    Ok(fields)
+}
+
+/// Parse enum variants: `[attrs] Name [(Type) | {fields}],`*
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        let _attrs = take_attrs(&mut iter);
+        let name = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            Some(other) => return Err(format!("unexpected token in variants: {other}")),
+        };
+        let kind = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let payload = g.stream();
+                iter.next();
+                // Single-type (newtype) payloads only: reject a top-level
+                // comma that is not inside nested groups or angle brackets.
+                let mut angle = 0i32;
+                for t in payload.into_iter() {
+                    match t {
+                        TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                            return Err(format!(
+                                "variant `{name}`: multi-field tuple variants are unsupported"
+                            ))
+                        }
+                        _ => {}
+                    }
+                }
+                VariantKind::Newtype
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                iter.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Optional trailing comma.
+        if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            iter.next();
+        } else if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            return Err(format!("variant `{name}`: discriminants are unsupported"));
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+/// Extract `key = "value"` from a serde attribute payload string.
+fn attr_value(payload: &str, key: &str) -> Option<String> {
+    let idx = payload.find(key)?;
+    let rest = &payload[idx + key.len()..];
+    let rest = rest.trim_start().strip_prefix('=')?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    let end = rest.find('"')?;
+    Some(rest[..end].to_owned())
+}
+
+/// Count the top-level comma-separated fields of a tuple-struct body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut angle = 0i32;
+    let mut fields = 0usize;
+    let mut pending = false;
+    for t in stream {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                fields += 1;
+                pending = false;
+                continue;
+            }
+            _ => {}
+        }
+        pending = true;
+    }
+    fields + usize::from(pending)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut iter = input.into_iter().peekable();
+    let container_attrs = take_attrs(&mut iter);
+    let string_conv = container_attrs.iter().any(|a| {
+        attr_value(a, "try_from").as_deref() == Some("String")
+            || attr_value(a, "into").as_deref() == Some("String")
+    });
+    skip_vis(&mut iter);
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("`{name}`: generic types are unsupported by the vendored derive"));
+    }
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                break if kind == "struct" {
+                    Body::Struct(parse_named_fields(g.stream())?)
+                } else {
+                    Body::Enum(parse_variants(g.stream())?)
+                };
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                break Body::Tuple(count_tuple_fields(g.stream()));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => break Body::Opaque,
+            Some(TokenTree::Ident(_)) | Some(TokenTree::Punct(_)) => continue, // `where`, etc.
+            other => return Err(format!("`{name}`: unexpected item shape at {other:?}")),
+        }
+    };
+    Ok(Item { name, body, string_conv })
+}
+
+// ---- code generation --------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> Result<String, String> {
+    let name = &item.name;
+    if item.string_conv {
+        return Ok(format!(
+            "impl serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> serde::Value {{\n\
+                     serde::Value::String(<String as ::std::convert::From<{name}>>::from(self.clone()))\n\
+                 }}\n\
+             }}\n"
+        ));
+    }
+    match &item.body {
+        Body::Opaque => Err(format!(
+            "`{name}`: unit structs need #[serde(into/try_from = \"String\")]"
+        )),
+        Body::Tuple(1) => Ok(format!(
+            "impl serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> serde::Value {{\n\
+                     serde::Serialize::serialize(&self.0)\n\
+                 }}\n\
+             }}\n"
+        )),
+        Body::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            Ok(format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> serde::Value {{\n\
+                         serde::Value::Array(vec![{}])\n\
+                     }}\n\
+                 }}\n",
+                elems.join(", ")
+            ))
+        }
+        Body::Struct(fields) => {
+            let mut body = String::from("let mut m = serde::Map::new();\n");
+            for f in fields {
+                let fname = &f.name;
+                let insert = format!(
+                    "m.insert({fname:?}.to_string(), serde::Serialize::serialize(&self.{fname}));\n"
+                );
+                match &f.skip_serializing_if {
+                    Some(pred) => body.push_str(&format!(
+                        "if !{pred}(&self.{fname}) {{ {insert} }}\n"
+                    )),
+                    None => body.push_str(&insert),
+                }
+            }
+            body.push_str("serde::Value::Object(m)\n");
+            Ok(format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> serde::Value {{\n{body}}}\n\
+                 }}\n"
+            ))
+        }
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => serde::Value::String({vname:?}.to_string()),\n"
+                    )),
+                    VariantKind::Newtype => arms.push_str(&format!(
+                        "{name}::{vname}(inner) => {{\n\
+                             let mut m = serde::Map::new();\n\
+                             m.insert({vname:?}.to_string(), serde::Serialize::serialize(inner));\n\
+                             serde::Value::Object(m)\n\
+                         }}\n"
+                    )),
+                    VariantKind::Struct(fields) => {
+                        let pats: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let pat = pats.join(", ");
+                        let mut inner = String::from("let mut fields = serde::Map::new();\n");
+                        for f in fields {
+                            let fname = &f.name;
+                            inner.push_str(&format!(
+                                "fields.insert({fname:?}.to_string(), serde::Serialize::serialize({fname}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {pat} }} => {{\n\
+                                 {inner}\
+                                 let mut m = serde::Map::new();\n\
+                                 m.insert({vname:?}.to_string(), serde::Value::Object(fields));\n\
+                                 serde::Value::Object(m)\n\
+                             }}\n"
+                        ));
+                    }
+                }
+            }
+            Ok(format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}\n"
+            ))
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> Result<String, String> {
+    let name = &item.name;
+    if item.string_conv {
+        return Ok(format!(
+            "impl serde::Deserialize for {name} {{\n\
+                 fn deserialize(v: &serde::Value) -> ::std::result::Result<Self, serde::Error> {{\n\
+                     let s = v.as_str().ok_or_else(|| serde::Error::custom(\"expected string for {name}\"))?;\n\
+                     <{name} as ::std::convert::TryFrom<String>>::try_from(s.to_string())\n\
+                         .map_err(|e| serde::Error::custom(format!(\"invalid {name}: {{e}}\")))\n\
+                 }}\n\
+             }}\n"
+        ));
+    }
+    match &item.body {
+        Body::Opaque => Err(format!(
+            "`{name}`: unit structs need #[serde(into/try_from = \"String\")]"
+        )),
+        Body::Tuple(1) => Ok(format!(
+            "impl serde::Deserialize for {name} {{\n\
+                 fn deserialize(v: &serde::Value) -> ::std::result::Result<Self, serde::Error> {{\n\
+                     Ok({name}(serde::Deserialize::deserialize(v)?))\n\
+                 }}\n\
+             }}\n"
+        )),
+        Body::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Deserialize::deserialize(&a[{i}])?"))
+                .collect();
+            Ok(format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn deserialize(v: &serde::Value) -> ::std::result::Result<Self, serde::Error> {{\n\
+                         let a = v.as_array().ok_or_else(|| serde::Error::custom(\"expected array for {name}\"))?;\n\
+                         if a.len() != {n} {{\n\
+                             return Err(serde::Error::custom(\"wrong arity for {name}\"));\n\
+                         }}\n\
+                         Ok({name}({}))\n\
+                     }}\n\
+                 }}\n",
+                elems.join(", ")
+            ))
+        }
+        Body::Struct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                let fname = &f.name;
+                inits.push_str(&format!(
+                    "{fname}: serde::__private::field(obj, {fname:?})?,\n"
+                ));
+            }
+            Ok(format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn deserialize(v: &serde::Value) -> ::std::result::Result<Self, serde::Error> {{\n\
+                         let obj = serde::__private::expect_object(v, {name:?})?;\n\
+                         Ok({name} {{\n{inits}}})\n\
+                     }}\n\
+                 }}\n"
+            ))
+        }
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!("{vname:?} => Ok({name}::{vname}),\n"));
+                        // Unit variants may also arrive externally tagged.
+                        tagged_arms.push_str(&format!(
+                            "{vname:?} => Ok({name}::{vname}),\n"
+                        ));
+                    }
+                    VariantKind::Newtype => tagged_arms.push_str(&format!(
+                        "{vname:?} => Ok({name}::{vname}(serde::Deserialize::deserialize(payload)?)),\n"
+                    )),
+                    VariantKind::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            let fname = &f.name;
+                            inits.push_str(&format!(
+                                "{fname}: serde::__private::field(fields, {fname:?})?,\n"
+                            ));
+                        }
+                        tagged_arms.push_str(&format!(
+                            "{vname:?} => {{\n\
+                                 let fields = serde::__private::expect_object(payload, {vname:?})?;\n\
+                                 Ok({name}::{vname} {{\n{inits}}})\n\
+                             }}\n"
+                        ));
+                    }
+                }
+            }
+            Ok(format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn deserialize(v: &serde::Value) -> ::std::result::Result<Self, serde::Error> {{\n\
+                         match v {{\n\
+                             serde::Value::String(s) => match s.as_str() {{\n\
+                                 {unit_arms}\
+                                 other => Err(serde::Error::custom(format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                             }},\n\
+                             serde::Value::Object(m) => {{\n\
+                                 let (tag, payload) = m.iter().next()\n\
+                                     .ok_or_else(|| serde::Error::custom(\"empty {name} variant object\"))?;\n\
+                                 match tag.as_str() {{\n\
+                                     {tagged_arms}\
+                                     other => Err(serde::Error::custom(format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             _ => Err(serde::Error::custom(\"expected string or object for {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}\n"
+            ))
+        }
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(i) => i,
+        Err(e) => return compile_error(&e),
+    };
+    match gen_serialize(&item) {
+        Ok(code) => code
+            .replace("serde::", "::serde::")
+            .parse()
+            .expect("generated Serialize impl parses"),
+        Err(e) => compile_error(&e),
+    }
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(i) => i,
+        Err(e) => return compile_error(&e),
+    };
+    match gen_deserialize(&item) {
+        Ok(code) => code
+            .replace("serde::", "::serde::")
+            .parse()
+            .expect("generated Deserialize impl parses"),
+        Err(e) => compile_error(&e),
+    }
+}

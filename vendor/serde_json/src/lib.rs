@@ -1,0 +1,487 @@
+//! Workspace-local stand-in for `serde_json` (offline build; no registry
+//! access): a compact-output JSON serializer and a recursive-descent parser
+//! over the vendored serde shim's [`Value`] tree, plus the `json!` macro.
+
+pub use serde::{Error, Map, Value};
+
+use serde::{Deserialize, Serialize};
+
+// ---- serialization ----------------------------------------------------------
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(f) => {
+            if f.is_finite() {
+                if f.fract() == 0.0 && f.abs() < 1e15 {
+                    // Match serde_json: integral floats keep a ".0".
+                    out.push_str(&format!("{f:.1}"));
+                } else {
+                    out.push_str(&format!("{f}"));
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(out, item);
+            }
+            out.push(']');
+        }
+        Value::Object(m) => {
+            out.push('{');
+            for (i, (k, item)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(out, k);
+                out.push(':');
+                write_value(out, item);
+            }
+            out.push('}');
+        }
+    }
+}
+
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize());
+    Ok(out)
+}
+
+pub fn to_vec<T: Serialize>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+pub fn to_value<T: Serialize>(value: T) -> Result<Value, Error> {
+    Ok(value.serialize())
+}
+
+pub fn from_value<T: Deserialize>(value: &Value) -> Result<T, Error> {
+    T::deserialize(value)
+}
+
+// ---- parsing ----------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser { bytes: input.as_bytes(), pos: 0 }
+    }
+
+    fn err(&self, msg: &str) -> Error {
+        Error::custom(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::String),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-') | Some(b'0'..=b'9') => self.parse_number(),
+            _ => Err(self.err("unexpected character")),
+        }
+    }
+
+    fn parse_keyword(&mut self, kw: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected `{kw}`")))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number bytes"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| self.err("invalid float"))
+        } else {
+            text.parse::<i128>()
+                .map(Value::Int)
+                .map_err(|_| self.err("invalid integer"))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            self.pos += 4;
+                            if (0xD800..=0xDBFF).contains(&cp) {
+                                // Surrogate pair: expect a trailing \uXXXX.
+                                if self.bytes.get(self.pos + 1..self.pos + 3) != Some(b"\\u") {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                let lo_hex = self
+                                    .bytes
+                                    .get(self.pos + 3..self.pos + 7)
+                                    .ok_or_else(|| self.err("truncated surrogate"))?;
+                                let lo_hex = std::str::from_utf8(lo_hex)
+                                    .map_err(|_| self.err("invalid surrogate"))?;
+                                let lo = u32::from_str_radix(lo_hex, 16)
+                                    .map_err(|_| self.err("invalid surrogate"))?;
+                                if !(0xDC00..=0xDFFF).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let c = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                out.push(
+                                    char::from_u32(c)
+                                        .ok_or_else(|| self.err("invalid surrogate pair"))?,
+                                );
+                                self.pos += 6;
+                            } else {
+                                out.push(
+                                    char::from_u32(cp).ok_or_else(|| self.err("invalid codepoint"))?,
+                                );
+                            }
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut m = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(m));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            m.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(m));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+}
+
+pub fn from_str<T: Deserialize>(input: &str) -> Result<T, Error> {
+    let mut p = Parser::new(input);
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    T::deserialize(&v)
+}
+
+pub fn from_slice<T: Deserialize>(input: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(input).map_err(|_| Error::custom("invalid utf-8"))?;
+    from_str(s)
+}
+
+// ---- the json! macro --------------------------------------------------------
+
+/// Build a [`Value`] from JSON-ish syntax. Supports `null`, scalars, nested
+/// `{...}` objects with string-literal keys, `[...]` arrays, and arbitrary
+/// Rust expressions as values (via `Into<Value>`).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => { $crate::json_array!([ $($tt)* ]) };
+    ({ $($tt:tt)* }) => { $crate::json_object!({} () { $($tt)* }) };
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+/// Internal: array builder. A tt-muncher (not `$elem:expr`) so nested
+/// `{...}` object literals inside arrays route back through `json!` instead
+/// of parsing as Rust block expressions.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array {
+    ([]) => { $crate::Value::Array(Vec::new()) };
+    ([ $($tt:tt)* ]) => { $crate::json_array_munch!([] () $($tt)*) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array_munch {
+    // End of input with a pending element.
+    ([$($out:tt)*] ($($val:tt)+)) => {
+        $crate::Value::Array(vec![ $($out)* $crate::json!($($val)+) ])
+    };
+    // End of input after a trailing comma.
+    ([$($out:tt)*] ()) => {
+        $crate::Value::Array(vec![ $($out)* ])
+    };
+    // Top-level comma terminates the current element.
+    ([$($out:tt)*] ($($val:tt)+) , $($rest:tt)*) => {
+        $crate::json_array_munch!([$($out)* $crate::json!($($val)+),] () $($rest)*)
+    };
+    // Consume one token of the current element.
+    ([$($out:tt)*] ($($val:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json_array_munch!([$($out)*] ($($val)* $next) $($rest)*)
+    };
+}
+
+/// Internal TT muncher: accumulates `key => value-tokens` pairs, splitting
+/// on top-level commas.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object {
+    // Entry/next-pair: take `"key":` then munch value tokens.
+    ({$($out:tt)*} () { $key:literal : $($rest:tt)* }) => {
+        $crate::json_object!({$($out)*} ($key) () { $($rest)* })
+    };
+    // Done.
+    ({$($out:tt)*} () {}) => {{
+        #[allow(unused_mut)]
+        let mut m = $crate::Map::new();
+        $crate::json_insert!(m $($out)*);
+        $crate::Value::Object(m)
+    }};
+    // Trailing comma before close.
+    ({$($out:tt)*} () { , }) => { $crate::json_object!({$($out)*} () {}) };
+    // Value munching: comma at top level ends the pair.
+    ({$($out:tt)*} ($key:literal) ($($val:tt)*) { , $($rest:tt)* }) => {
+        $crate::json_object!({$($out)* [$key => $($val)*]} () { $($rest)* })
+    };
+    // Value munching: end of input ends the pair.
+    ({$($out:tt)*} ($key:literal) ($($val:tt)*) {}) => {
+        $crate::json_object!({$($out)* [$key => $($val)*]} () {})
+    };
+    // Value munching: consume one token.
+    ({$($out:tt)*} ($key:literal) ($($val:tt)*) { $next:tt $($rest:tt)* }) => {
+        $crate::json_object!({$($out)*} ($key) ($($val)* $next) { $($rest)* })
+    };
+}
+
+/// Internal: insert accumulated pairs into the map.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_insert {
+    ($m:ident) => {};
+    ($m:ident [$key:literal => $($val:tt)*] $($rest:tt)*) => {
+        $m.insert($key.to_string(), $crate::json!($($val)*));
+        $crate::json_insert!($m $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_object() {
+        let v: Value = from_str(r#"{"a": 1, "b": [true, null, "x\n"], "c": {"d": -2.5}}"#).unwrap();
+        assert_eq!(v["a"], 1);
+        assert_eq!(v["b"][0], true);
+        assert!(v["b"][1].is_null());
+        assert_eq!(v["b"][2], "x\n");
+        assert_eq!(v.pointer("/c/d").and_then(Value::as_f64), Some(-2.5));
+        let text = to_string(&v).unwrap();
+        let v2: Value = from_str(&text).unwrap();
+        assert_eq!(v, v2);
+    }
+
+    #[test]
+    fn compact_output_is_stable() {
+        let v: Value = from_str(r#"{"b":1,"a":2}"#).unwrap();
+        // Insertion order is preserved through parse → serialize.
+        assert_eq!(to_string(&v).unwrap(), r#"{"b":1,"a":2}"#);
+    }
+
+    #[test]
+    fn integral_floats_keep_point() {
+        assert_eq!(to_string(&Value::Float(5.0)).unwrap(), "5.0");
+        assert_eq!(to_string(&Value::Float(2.25)).unwrap(), "2.25");
+        assert_eq!(to_string(&Value::Int(5)).unwrap(), "5");
+    }
+
+    #[test]
+    fn json_macro_shapes() {
+        let id = 7u32;
+        let v = json!({
+            "id": id,
+            "command": "ledger",
+            "nested": {"deep": [1, 2, 3]},
+            "expr": format!("x{}", 1),
+            "opt": Option::<u32>::None,
+        });
+        assert_eq!(v["id"], 7);
+        assert_eq!(v["command"], "ledger");
+        assert_eq!(v.pointer("/nested/deep/2"), Some(&Value::Int(3)));
+        assert_eq!(v["expr"], "x1");
+        assert!(v["opt"].is_null());
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(json!(3.5), Value::Float(3.5));
+        let arr = json!([1, "two"]);
+        assert_eq!(arr[1], "two");
+    }
+
+    #[test]
+    fn method_call_values_in_json_macro() {
+        let v: Value = from_str(r#"{"id": 9}"#).unwrap();
+        let echoed = json!({"id": v.get("id").cloned().unwrap_or(Value::Null), "ok": true});
+        assert_eq!(echoed["id"], 9);
+        assert_eq!(echoed["ok"], true);
+    }
+
+    #[test]
+    fn parse_errors_are_errors() {
+        assert!(from_str::<Value>("this is not json").is_err());
+        assert!(from_str::<Value>(r#"{"a": }"#).is_err());
+        assert!(from_str::<Value>(r#"{"a": 1} trailing"#).is_err());
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        let v: Value = from_str(r#""é😀""#).unwrap();
+        assert_eq!(v, "é😀");
+    }
+}

@@ -1,0 +1,614 @@
+//! Workspace-local stand-in for the `tokio` API subset this workspace uses
+//! (offline build; no registry access).
+//!
+//! Execution model: **thread-per-task over blocking I/O**. Every
+//! `tokio::spawn` runs its future on a dedicated OS thread via a small
+//! park/unpark executor; the "async" I/O primitives complete their work with
+//! blocking `std::net` calls inside a single poll. This preserves tokio's
+//! observable semantics for this workspace's loopback RPC substrate —
+//! concurrency across tasks, `JoinHandle::await`, keep-alive connections —
+//! at the cost of one thread per in-flight task, which is bounded here by
+//! crawler concurrency (≤ a few dozen).
+//!
+//! Known simplifications (acceptable for the loopback simulator):
+//! - `time::timeout` detects deadline overruns after the inner future
+//!   completes rather than cancelling it mid-flight; sockets carry a
+//!   defensive read timeout so a hung peer cannot block forever.
+//! - `JoinHandle::abort` marks the task detached instead of killing the
+//!   thread; accept-loop tasks end when their process does (daemon-style).
+
+pub mod runtime {
+    use std::future::Future;
+    use std::pin::pin;
+    use std::sync::{Arc, Mutex};
+    use std::task::{Context, Poll, Wake, Waker};
+
+    struct ThreadWaker {
+        unparked: Mutex<bool>,
+        thread: std::thread::Thread,
+    }
+
+    impl Wake for ThreadWaker {
+        fn wake(self: Arc<Self>) {
+            *self.unparked.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = true;
+            self.thread.unpark();
+        }
+    }
+
+    /// Drive a future to completion on the current thread.
+    pub fn block_on<F: Future>(future: F) -> F::Output {
+        let waker_state = Arc::new(ThreadWaker {
+            unparked: Mutex::new(false),
+            thread: std::thread::current(),
+        });
+        let waker = Waker::from(waker_state.clone());
+        let mut cx = Context::from_waker(&waker);
+        let mut future = pin!(future);
+        loop {
+            match future.as_mut().poll(&mut cx) {
+                Poll::Ready(out) => return out,
+                Poll::Pending => loop {
+                    let mut unparked = waker_state
+                        .unparked
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    if *unparked {
+                        *unparked = false;
+                        break;
+                    }
+                    drop(unparked);
+                    std::thread::park();
+                },
+            }
+        }
+    }
+
+    /// Mirror of `tokio::runtime::Runtime` for `Runtime::new()?.block_on(..)`.
+    pub struct Runtime {
+        _private: (),
+    }
+
+    impl Runtime {
+        pub fn new() -> std::io::Result<Runtime> {
+            Ok(Runtime { _private: () })
+        }
+
+        pub fn block_on<F: Future>(&self, future: F) -> F::Output {
+            block_on(future)
+        }
+
+        pub fn spawn<F>(&self, future: F) -> super::task::JoinHandle<F::Output>
+        where
+            F: Future + Send + 'static,
+            F::Output: Send + 'static,
+        {
+            super::spawn(future)
+        }
+    }
+
+    /// Used by the `#[tokio::main]`/`#[tokio::test]` attribute expansions.
+    #[doc(hidden)]
+    pub fn block_on_entry<F: Future>(future: F) -> F::Output {
+        block_on(future)
+    }
+}
+
+pub mod task {
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::sync::{Arc, Mutex, PoisonError};
+    use std::task::{Context, Poll, Waker};
+
+    struct Inner<T> {
+        state: Mutex<State<T>>,
+    }
+
+    enum State<T> {
+        Running(Option<Waker>),
+        Done(Option<Result<T, JoinError>>),
+    }
+
+    /// Handle to a spawned task.
+    pub struct JoinHandle<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// Task failure (panic).
+    #[derive(Debug)]
+    pub struct JoinError(pub(crate) String);
+
+    impl std::fmt::Display for JoinError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "task failed: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for JoinError {}
+
+    impl<T> JoinHandle<T> {
+        /// Detach interest in the task. The backing thread is not killed;
+        /// server accept loops terminate with the process.
+        pub fn abort(&self) {}
+
+        pub fn is_finished(&self) -> bool {
+            matches!(
+                &*self.inner.state.lock().unwrap_or_else(PoisonError::into_inner),
+                State::Done(_)
+            )
+        }
+    }
+
+    impl<T> Future for JoinHandle<T> {
+        type Output = Result<T, JoinError>;
+
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let mut state = self.inner.state.lock().unwrap_or_else(PoisonError::into_inner);
+            match &mut *state {
+                State::Running(waker) => {
+                    *waker = Some(cx.waker().clone());
+                    Poll::Pending
+                }
+                State::Done(result) => {
+                    Poll::Ready(result.take().expect("JoinHandle polled after completion"))
+                }
+            }
+        }
+    }
+
+    pub(crate) fn spawn_task<F>(future: F) -> JoinHandle<F::Output>
+    where
+        F: Future + Send + 'static,
+        F::Output: Send + 'static,
+    {
+        let inner = Arc::new(Inner { state: Mutex::new(State::Running(None)) });
+        let inner2 = inner.clone();
+        std::thread::Builder::new()
+            .name("tokio-shim-task".into())
+            .spawn(move || {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    crate::runtime::block_on(future)
+                }))
+                .map_err(|panic| {
+                    let msg = panic
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| panic.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "panic".into());
+                    JoinError(msg)
+                });
+                let waker = {
+                    let mut state =
+                        inner2.state.lock().unwrap_or_else(PoisonError::into_inner);
+                    let waker = match &mut *state {
+                        State::Running(w) => w.take(),
+                        State::Done(_) => None,
+                    };
+                    *state = State::Done(Some(result));
+                    waker
+                };
+                if let Some(w) = waker {
+                    w.wake();
+                }
+            })
+            .expect("spawn task thread");
+        JoinHandle { inner }
+    }
+}
+
+/// Spawn a task on its own thread.
+pub fn spawn<F>(future: F) -> task::JoinHandle<F::Output>
+where
+    F: std::future::Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    task::spawn_task(future)
+}
+
+pub mod time {
+    use std::time::{Duration, Instant};
+
+    /// Asynchronous sleep (blocks this task's dedicated thread).
+    pub async fn sleep(duration: Duration) {
+        std::thread::sleep(duration);
+    }
+
+    /// Deadline-overrun marker returned by [`timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Elapsed;
+
+    impl std::fmt::Display for Elapsed {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "deadline has elapsed")
+        }
+    }
+
+    impl std::error::Error for Elapsed {}
+
+    /// Run `future`, reporting `Err(Elapsed)` if it finished after the
+    /// deadline. Under the blocking-I/O shim the inner future cannot be
+    /// cancelled mid-poll; socket-level read timeouts bound the worst case.
+    pub async fn timeout<F: std::future::Future>(
+        duration: Duration,
+        future: F,
+    ) -> Result<F::Output, Elapsed> {
+        let started = Instant::now();
+        let out = future.await;
+        if started.elapsed() > duration {
+            Err(Elapsed)
+        } else {
+            Ok(out)
+        }
+    }
+}
+
+pub mod net {
+    use std::io::{Read, Write};
+    use std::net::{SocketAddr, ToSocketAddrs};
+
+    /// Defensive ceiling so a hung peer cannot block a task thread forever
+    /// (the shim's `timeout` cannot cancel an in-flight blocking read).
+    const SOCKET_READ_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(60);
+
+    /// Blocking-backed TCP stream with tokio's async surface.
+    #[derive(Debug)]
+    pub struct TcpStream {
+        pub(crate) inner: std::net::TcpStream,
+    }
+
+    impl TcpStream {
+        pub async fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<TcpStream> {
+            let inner = std::net::TcpStream::connect(addr)?;
+            inner.set_nodelay(true)?;
+            inner.set_read_timeout(Some(SOCKET_READ_TIMEOUT))?;
+            Ok(TcpStream { inner })
+        }
+
+        pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+            self.inner.local_addr()
+        }
+
+        pub fn peer_addr(&self) -> std::io::Result<SocketAddr> {
+            self.inner.peer_addr()
+        }
+
+        pub(crate) fn from_std(inner: std::net::TcpStream) -> std::io::Result<TcpStream> {
+            inner.set_nodelay(true)?;
+            inner.set_read_timeout(Some(SOCKET_READ_TIMEOUT))?;
+            Ok(TcpStream { inner })
+        }
+    }
+
+    impl crate::io::AsyncRead for TcpStream {
+        fn blocking_read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            self.inner.read(buf)
+        }
+    }
+
+    impl crate::io::AsyncWrite for TcpStream {
+        fn blocking_write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.inner.write(buf)
+        }
+
+        fn blocking_flush(&mut self) -> std::io::Result<()> {
+            self.inner.flush()
+        }
+    }
+
+    /// Blocking-backed TCP listener with tokio's async surface.
+    #[derive(Debug)]
+    pub struct TcpListener {
+        inner: std::net::TcpListener,
+    }
+
+    impl TcpListener {
+        pub async fn bind<A: ToSocketAddrs>(addr: A) -> std::io::Result<TcpListener> {
+            Ok(TcpListener { inner: std::net::TcpListener::bind(addr)? })
+        }
+
+        pub async fn accept(&self) -> std::io::Result<(TcpStream, SocketAddr)> {
+            let (sock, addr) = self.inner.accept()?;
+            Ok((TcpStream::from_std(sock)?, addr))
+        }
+
+        pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+            self.inner.local_addr()
+        }
+    }
+}
+
+pub mod io {
+    /// Blocking-backed read half of the async surface.
+    pub trait AsyncRead {
+        fn blocking_read(&mut self, buf: &mut [u8]) -> std::io::Result<usize>;
+    }
+
+    /// Blocking-backed write half of the async surface.
+    pub trait AsyncWrite {
+        fn blocking_write(&mut self, buf: &[u8]) -> std::io::Result<usize>;
+        fn blocking_flush(&mut self) -> std::io::Result<()>;
+    }
+
+    impl<T: AsyncRead + ?Sized> AsyncRead for &mut T {
+        fn blocking_read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            (**self).blocking_read(buf)
+        }
+    }
+
+    impl<T: AsyncWrite + ?Sized> AsyncWrite for &mut T {
+        fn blocking_write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            (**self).blocking_write(buf)
+        }
+
+        fn blocking_flush(&mut self) -> std::io::Result<()> {
+            (**self).blocking_flush()
+        }
+    }
+
+    /// Read extension methods (`read_exact`, `read_to_end`).
+    pub trait AsyncReadExt: AsyncRead {
+        fn read_exact(
+            &mut self,
+            buf: &mut [u8],
+        ) -> impl std::future::Future<Output = std::io::Result<usize>>
+        where
+            Self: Unpin,
+        {
+            async move {
+                let mut filled = 0;
+                while filled < buf.len() {
+                    let n = self.blocking_read(&mut buf[filled..])?;
+                    if n == 0 {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::UnexpectedEof,
+                            "early eof",
+                        ));
+                    }
+                    filled += n;
+                }
+                Ok(filled)
+            }
+        }
+
+        fn read(
+            &mut self,
+            buf: &mut [u8],
+        ) -> impl std::future::Future<Output = std::io::Result<usize>>
+        where
+            Self: Unpin,
+        {
+            async move { self.blocking_read(buf) }
+        }
+    }
+
+    impl<T: AsyncRead + ?Sized> AsyncReadExt for T {}
+
+    /// Write extension methods (`write_all`, `flush`).
+    pub trait AsyncWriteExt: AsyncWrite {
+        fn write_all(
+            &mut self,
+            buf: &[u8],
+        ) -> impl std::future::Future<Output = std::io::Result<()>>
+        where
+            Self: Unpin,
+        {
+            async move {
+                let mut rest = buf;
+                while !rest.is_empty() {
+                    let n = self.blocking_write(rest)?;
+                    if n == 0 {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::WriteZero,
+                            "write returned 0",
+                        ));
+                    }
+                    rest = &rest[n..];
+                }
+                Ok(())
+            }
+        }
+
+        fn flush(&mut self) -> impl std::future::Future<Output = std::io::Result<()>>
+        where
+            Self: Unpin,
+        {
+            async move { self.blocking_flush() }
+        }
+    }
+
+    impl<T: AsyncWrite + ?Sized> AsyncWriteExt for T {}
+
+    /// Buffered-line reading (`read_line`).
+    pub trait AsyncBufReadExt: AsyncRead {
+        fn read_line(
+            &mut self,
+            out: &mut String,
+        ) -> impl std::future::Future<Output = std::io::Result<usize>>;
+    }
+
+    /// A buffered reader + writer around a stream, mirroring
+    /// `tokio::io::BufStream`.
+    #[derive(Debug)]
+    pub struct BufStream<S> {
+        inner: S,
+        read_buf: Vec<u8>,
+        read_pos: usize,
+        write_buf: Vec<u8>,
+    }
+
+    impl<S> BufStream<S> {
+        pub fn new(inner: S) -> Self {
+            BufStream {
+                inner,
+                read_buf: Vec::with_capacity(16 * 1024),
+                read_pos: 0,
+                write_buf: Vec::with_capacity(16 * 1024),
+            }
+        }
+
+        pub fn get_ref(&self) -> &S {
+            &self.inner
+        }
+
+        pub fn get_mut(&mut self) -> &mut S {
+            &mut self.inner
+        }
+
+        pub fn into_inner(self) -> S {
+            self.inner
+        }
+    }
+
+    impl<S: AsyncRead> BufStream<S> {
+        fn fill(&mut self) -> std::io::Result<usize> {
+            if self.read_pos >= self.read_buf.len() {
+                self.read_buf.resize(16 * 1024, 0);
+                let n = self.inner.blocking_read(&mut self.read_buf)?;
+                self.read_buf.truncate(n);
+                self.read_pos = 0;
+            }
+            Ok(self.read_buf.len() - self.read_pos)
+        }
+    }
+
+    impl<S: AsyncRead + AsyncWrite> AsyncRead for BufStream<S> {
+        fn blocking_read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            // Write-through before reading: request/response protocols
+            // expect buffered writes to be visible before a read blocks.
+            self.blocking_flush()?;
+            let available = self.fill()?;
+            let n = available.min(buf.len());
+            buf[..n].copy_from_slice(&self.read_buf[self.read_pos..self.read_pos + n]);
+            self.read_pos += n;
+            Ok(n)
+        }
+    }
+
+    impl<S: AsyncWrite> AsyncWrite for BufStream<S> {
+        fn blocking_write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.write_buf.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn blocking_flush(&mut self) -> std::io::Result<()> {
+            if !self.write_buf.is_empty() {
+                let mut rest: &[u8] = &self.write_buf;
+                while !rest.is_empty() {
+                    let n = self.inner.blocking_write(rest)?;
+                    if n == 0 {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::WriteZero,
+                            "write returned 0",
+                        ));
+                    }
+                    rest = &rest[n..];
+                }
+                self.write_buf.clear();
+            }
+            self.inner.blocking_flush()
+        }
+    }
+
+    impl<S: AsyncRead + AsyncWrite + Unpin> AsyncBufReadExt for BufStream<S> {
+        // Trait methods return `impl Future` explicitly (not `async fn`) so
+        // the trait stays object-safe-shaped like real tokio's extension
+        // traits; clippy's suggestion would change the trait surface.
+        #[allow(clippy::manual_async_fn)]
+        fn read_line(
+            &mut self,
+            out: &mut String,
+        ) -> impl std::future::Future<Output = std::io::Result<usize>> {
+            async move {
+                self.blocking_flush()?;
+                let mut bytes = Vec::new();
+                loop {
+                    if self.fill()? == 0 {
+                        break; // EOF
+                    }
+                    let chunk = &self.read_buf[self.read_pos..];
+                    match chunk.iter().position(|b| *b == b'\n') {
+                        Some(i) => {
+                            bytes.extend_from_slice(&chunk[..=i]);
+                            self.read_pos += i + 1;
+                            break;
+                        }
+                        None => {
+                            bytes.extend_from_slice(chunk);
+                            self.read_pos = self.read_buf.len();
+                        }
+                    }
+                }
+                let text = String::from_utf8(bytes).map_err(|_| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, "stream not utf-8")
+                })?;
+                out.push_str(&text);
+                Ok(text.len())
+            }
+        }
+    }
+}
+
+/// Attribute macros: `#[tokio::main]`, `#[tokio::test]`.
+pub use tokio_macros::{main, test};
+
+#[cfg(test)]
+mod tests {
+    use super::io::{AsyncBufReadExt, AsyncWriteExt, BufStream};
+    use super::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn spawn_join_and_block_on() {
+        let out = crate::runtime::block_on(async {
+            let h = crate::spawn(async { 40 + 2 });
+            h.await.expect("task succeeds")
+        });
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn join_handle_reports_panics() {
+        let out = crate::runtime::block_on(async {
+            let h = crate::spawn(async { panic!("boom") });
+            h.await
+        });
+        assert!(out.is_err());
+        assert!(out.unwrap_err().to_string().contains("boom"));
+    }
+
+    #[test]
+    fn tcp_echo_line() {
+        crate::runtime::block_on(async {
+            let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+            let addr = listener.local_addr().unwrap();
+            let server = crate::spawn(async move {
+                let (sock, _) = listener.accept().await.unwrap();
+                let mut stream = BufStream::new(sock);
+                let mut line = String::new();
+                stream.read_line(&mut line).await.unwrap();
+                stream.write_all(line.to_uppercase().as_bytes()).await.unwrap();
+                stream.flush().await.unwrap();
+            });
+            let sock = TcpStream::connect(addr).await.unwrap();
+            let mut stream = BufStream::new(sock);
+            stream.write_all(b"hello\n").await.unwrap();
+            let mut reply = String::new();
+            stream.read_line(&mut reply).await.unwrap();
+            assert_eq!(reply, "HELLO\n");
+            server.await.unwrap();
+        });
+    }
+
+    #[test]
+    fn timeout_detects_overrun() {
+        use std::time::Duration;
+        crate::runtime::block_on(async {
+            let quick = crate::time::timeout(Duration::from_secs(5), async { 1 }).await;
+            assert_eq!(quick, Ok(1));
+            let slow = crate::time::timeout(Duration::from_millis(5), async {
+                crate::time::sleep(Duration::from_millis(30)).await;
+                1
+            })
+            .await;
+            assert!(slow.is_err());
+        });
+    }
+}

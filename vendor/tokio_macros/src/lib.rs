@@ -1,0 +1,44 @@
+//! `#[tokio::main]` and `#[tokio::test]` for the vendored tokio shim:
+//! rewrite `async fn name() { body }` into a sync fn that drives the body
+//! with the shim's `block_on`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Split an `async fn` item into (tokens before `async`, signature tokens
+/// between `fn` and the body, body group). Attributes and visibility pass
+/// through untouched.
+fn rewrite(item: TokenStream, extra_attr: &str) -> TokenStream {
+    let tokens: Vec<TokenTree> = item.into_iter().collect();
+    let async_pos = tokens.iter().position(
+        |t| matches!(t, TokenTree::Ident(i) if i.to_string() == "async"),
+    );
+    let body_pos = tokens.iter().rposition(
+        |t| matches!(t, TokenTree::Group(g) if g.delimiter() == Delimiter::Brace),
+    );
+    let (Some(async_pos), Some(body_pos)) = (async_pos, body_pos) else {
+        return "compile_error!(\"expected an async fn\");".parse().expect("tokens");
+    };
+    let head: String = tokens[..async_pos].iter().map(|t| t.to_string() + " ").collect();
+    let sig: String = tokens[async_pos + 1..body_pos]
+        .iter()
+        .map(|t| t.to_string() + " ")
+        .collect();
+    let body = tokens[body_pos].to_string();
+    format!(
+        "{extra_attr}\n{head}{sig}{{\n    ::tokio::runtime::block_on_entry(async move {body})\n}}"
+    )
+    .parse()
+    .expect("rewritten fn parses")
+}
+
+/// `#[tokio::test]`: async test entry point.
+#[proc_macro_attribute]
+pub fn test(_args: TokenStream, item: TokenStream) -> TokenStream {
+    rewrite(item, "#[test]")
+}
+
+/// `#[tokio::main]`: async main entry point.
+#[proc_macro_attribute]
+pub fn main(_args: TokenStream, item: TokenStream) -> TokenStream {
+    rewrite(item, "")
+}

@@ -7,6 +7,7 @@ use std::hint::black_box;
 use txstat_bench::{bench_data, bench_scenario};
 use txstat_core::{eos_analysis as eos, graph, tezos_analysis as tezos, xrp_analysis as xrp};
 use txstat_core::{EosSweep, TezosSweep, XrpSweep};
+use txstat_ingest::{spawn_sharded, BlockSource, IngestOptions, MemorySource};
 use txstat_reports::exhibits;
 
 fn figures(c: &mut Criterion) {
@@ -177,5 +178,49 @@ fn fused_report(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, figures, fused_report);
+/// Streamed ingestion vs materialize-then-sweep over the EOS chain (the
+/// heaviest accumulator): blocks flow through bounded channels into 1/2/N
+/// shard workers and the shards merge, versus one `par_sweep` over the
+/// materialized slice. Block references stream out of the static fixture,
+/// so both arms pay zero per-block copies and the comparison isolates the
+/// channel + shard-fold overhead.
+fn fused_stream(c: &mut Criterion) {
+    let data = bench_data();
+    let period = data.scenario.period;
+    let blocks: &'static [txstat_eos::Block] = &data.eos_blocks;
+    let mut g = c.benchmark_group("fused_stream");
+    g.sample_size(10);
+
+    g.bench_function("materialize_then_sweep", |b| {
+        b.iter(|| black_box(EosSweep::compute(blocks, period)))
+    });
+
+    let max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let mut counts = vec![1usize, 2];
+    if max_threads > 2 {
+        counts.push(max_threads);
+    }
+    for shards in counts {
+        g.bench_function(format!("stream_{shards}_shards"), |b| {
+            b.iter(|| {
+                tokio::runtime::block_on(async {
+                    let opts = IngestOptions { shards, channel_capacity: 256 };
+                    let (sink, pool) = spawn_sharded(
+                        opts,
+                        move || EosSweep::new(period),
+                        |acc: &mut EosSweep, _n, b: &&txstat_eos::Block| acc.observe(b),
+                    );
+                    let src = MemorySource::numbered(blocks.iter(), |b| b.num);
+                    let producer = tokio::spawn(src.produce(sink));
+                    let out = pool.finish().await;
+                    producer.await.expect("producer").expect("memory source");
+                    black_box(out.merged(|a, b| a.merge(b)))
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, figures, fused_report, fused_stream);
 criterion_main!(benches);

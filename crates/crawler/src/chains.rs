@@ -86,6 +86,24 @@ pub async fn eos_head(pool: &Arc<RotatingPool>, cfg: &ClientConfig) -> Result<u6
         .ok_or_else(|| CrawlError::Protocol("missing head_block_num".into()))
 }
 
+/// Fetch and decode one EOS block, returning it with its wire payload.
+/// Shared by the materializing and streaming crawlers — Figure 2's byte
+/// accounting depends on both using the identical wire path.
+pub async fn fetch_eos_block(
+    pool: &Arc<RotatingPool>,
+    cfg: &ClientConfig,
+    n: u64,
+) -> Result<(txstat_eos::Block, Vec<u8>), CrawlError> {
+    let body = serde_json::to_vec(&json!({ "block_num_or_id": n })).expect("serializable");
+    let req = HttpRequest::post("/v1/chain/get_block", body);
+    let (resp, _) = http_with_retries(pool, cfg, &req).await?;
+    let wire: txstat_eos::rpc_model::BlockJson = serde_json::from_slice(&resp.body)
+        .map_err(|e| CrawlError::Protocol(e.to_string()))?;
+    let block = txstat_eos::rpc_model::block_from_json(&wire)
+        .map_err(|e| CrawlError::Protocol(e.to_string()))?;
+    Ok((block, resp.body))
+}
+
 /// Crawl EOS blocks `[low, high]` in reverse order.
 pub async fn crawl_eos(
     pool: Arc<RotatingPool>,
@@ -97,17 +115,7 @@ pub async fn crawl_eos(
     let mut crawl = crawl_range(high, low, concurrency, move |n| {
         let pool = pool.clone();
         let cfg = cfg.clone();
-        async move {
-            let body = serde_json::to_vec(&json!({ "block_num_or_id": n }))
-                .expect("serializable");
-            let req = HttpRequest::post("/v1/chain/get_block", body);
-            let (resp, _) = http_with_retries(&pool, &cfg, &req).await?;
-            let wire: txstat_eos::rpc_model::BlockJson = serde_json::from_slice(&resp.body)
-                .map_err(|e| CrawlError::Protocol(e.to_string()))?;
-            let block = txstat_eos::rpc_model::block_from_json(&wire)
-                .map_err(|e| CrawlError::Protocol(e.to_string()))?;
-            Ok((block, resp.body))
-        }
+        async move { fetch_eos_block(&pool, &cfg, n).await }
     })
     .await?;
     crawl.stats.transactions = crawl.blocks.iter().map(|b| b.transactions.len() as u64).sum();
@@ -127,6 +135,22 @@ pub async fn tezos_head(pool: &Arc<RotatingPool>, cfg: &ClientConfig) -> Result<
         .ok_or_else(|| CrawlError::Protocol("missing header.level".into()))
 }
 
+/// Fetch and decode one Tezos block, returning it with its wire payload
+/// (shared by the materializing and streaming crawlers).
+pub async fn fetch_tezos_block(
+    pool: &Arc<RotatingPool>,
+    cfg: &ClientConfig,
+    n: u64,
+) -> Result<(txstat_tezos::TezosBlock, Vec<u8>), CrawlError> {
+    let req = HttpRequest::get(&format!("/chains/main/blocks/{n}"));
+    let (resp, _) = http_with_retries(pool, cfg, &req).await?;
+    let wire: txstat_tezos::rpc_model::BlockJson = serde_json::from_slice(&resp.body)
+        .map_err(|e| CrawlError::Protocol(e.to_string()))?;
+    let block = txstat_tezos::rpc_model::block_from_json(&wire)
+        .map_err(|e| CrawlError::Protocol(e.to_string()))?;
+    Ok((block, resp.body))
+}
+
 /// Crawl Tezos blocks `[low, high]` in reverse order.
 pub async fn crawl_tezos(
     pool: Arc<RotatingPool>,
@@ -138,15 +162,7 @@ pub async fn crawl_tezos(
     let mut crawl = crawl_range(high, low, concurrency, move |n| {
         let pool = pool.clone();
         let cfg = cfg.clone();
-        async move {
-            let req = HttpRequest::get(&format!("/chains/main/blocks/{n}"));
-            let (resp, _) = http_with_retries(&pool, &cfg, &req).await?;
-            let wire: txstat_tezos::rpc_model::BlockJson = serde_json::from_slice(&resp.body)
-                .map_err(|e| CrawlError::Protocol(e.to_string()))?;
-            let block = txstat_tezos::rpc_model::block_from_json(&wire)
-                .map_err(|e| CrawlError::Protocol(e.to_string()))?;
-            Ok((block, resp.body))
-        }
+        async move { fetch_tezos_block(&pool, &cfg, n).await }
     })
     .await?;
     crawl.stats.transactions = crawl.blocks.iter().map(|b| b.operations.len() as u64).sum();
@@ -164,6 +180,29 @@ pub async fn xrp_head(pool: &Arc<RotatingPool>, cfg: &ClientConfig) -> Result<u6
         .ok_or_else(|| CrawlError::Protocol("missing validated_ledger.seq".into()))
 }
 
+/// Fetch and decode one XRP ledger, returning it with its wire frame
+/// (shared by the materializing and streaming crawlers).
+pub async fn fetch_xrp_ledger(
+    pool: &Arc<RotatingPool>,
+    cfg: &ClientConfig,
+    n: u64,
+) -> Result<(txstat_xrp::LedgerBlock, Vec<u8>), CrawlError> {
+    let req = json!({
+        "id": n, "command": "ledger", "ledger_index": n,
+        "transactions": true, "expand": true,
+    });
+    let (v, size) = ndjson_with_retries(pool, cfg, &req).await?;
+    let result = v
+        .get("result")
+        .ok_or_else(|| CrawlError::Protocol("missing result".into()))?;
+    let block = txstat_xrp::rpc_model::ledger_from_json(result)
+        .map_err(|e| CrawlError::Protocol(e.to_string()))?;
+    // Account the full frame size.
+    let payload = serde_json::to_vec(&v).expect("serializable");
+    debug_assert!(payload.len() <= size + 1);
+    Ok((block, payload))
+}
+
 /// Crawl XRP ledgers `[low, high]` in reverse order.
 pub async fn crawl_xrp(
     pool: Arc<RotatingPool>,
@@ -175,22 +214,7 @@ pub async fn crawl_xrp(
     let mut crawl = crawl_range(high, low, concurrency, move |n| {
         let pool = pool.clone();
         let cfg = cfg.clone();
-        async move {
-            let req = json!({
-                "id": n, "command": "ledger", "ledger_index": n,
-                "transactions": true, "expand": true,
-            });
-            let (v, size) = ndjson_with_retries(&pool, &cfg, &req).await?;
-            let result = v
-                .get("result")
-                .ok_or_else(|| CrawlError::Protocol("missing result".into()))?;
-            let block = txstat_xrp::rpc_model::ledger_from_json(result)
-                .map_err(|e| CrawlError::Protocol(e.to_string()))?;
-            // Account the full frame size.
-            let payload = serde_json::to_vec(&v).expect("serializable");
-            debug_assert!(payload.len() <= size + 1);
-            Ok((block, payload))
-        }
+        async move { fetch_xrp_ledger(&pool, &cfg, n).await }
     })
     .await?;
     crawl.stats.transactions =

@@ -1,0 +1,249 @@
+//! Range-keyed checkpoints of per-shard accumulators — the groundwork for
+//! incremental re-sweep.
+//!
+//! A [`Checkpoint`] freezes the state of a sharded ingestion run: the
+//! per-shard accumulators (still unmerged, in shard order), the inclusive
+//! block range they observed, and the per-shard observation counts. Because
+//! the sweep algebra is a commutative monoid, appending new blocks only
+//! requires routing the *tail* (`n > high`) through [`Checkpoint::observe_tail`]
+//! — the already-observed prefix is never re-scanned — and
+//! [`Checkpoint::merged`] re-merges the shards into a full accumulator in
+//! O(shards) instead of O(chain).
+//!
+//! Checkpoints serialize to JSON keyed by their range
+//! ([`Checkpoint::range_key`]), so a cache of per-range shard states can be
+//! persisted between runs and looked up by block range.
+
+use crate::shard::IngestOutcome;
+use crate::IngestError;
+use serde_json::{json, Value};
+
+/// Frozen sharded sweep state over the inclusive block range `[low, high]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint<A> {
+    /// Per-shard accumulators, in shard-index order. Block `n` lives in
+    /// shard `n % shards.len()`.
+    pub shards: Vec<A>,
+    /// Per-shard observed-block counts (same order).
+    pub counts: Vec<u64>,
+    /// Inclusive observed block range.
+    pub low: u64,
+    pub high: u64,
+}
+
+impl<A> Checkpoint<A> {
+    /// Freeze an ingestion outcome over the range it streamed.
+    pub fn from_outcome(outcome: IngestOutcome<A>, low: u64, high: u64) -> Self {
+        Checkpoint { counts: outcome.observed.clone(), shards: outcome.shards, low, high }
+    }
+
+    /// The cache key: range plus shard layout (a checkpoint with a
+    /// different shard count routes blocks differently and cannot be
+    /// extended in place).
+    pub fn range_key(&self) -> String {
+        format!("{}..={}/{}", self.low, self.high, self.shards.len())
+    }
+
+    /// Total blocks observed.
+    pub fn observed(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Fold an appended tail of blocks into the existing shard
+    /// accumulators, extending the range. The tail may arrive in any order
+    /// (crawl sources emit reverse-chronologically) as long as every block
+    /// is strictly above the high-water mark the checkpoint had when the
+    /// call started and appears at most once — anything already covered, or
+    /// repeated within the tail, would double-count and is rejected. On
+    /// `Err` the checkpoint has absorbed an unspecified prefix of the tail
+    /// and must be discarded.
+    pub fn observe_tail<B>(
+        &mut self,
+        tail: impl IntoIterator<Item = (u64, B)>,
+        observe: impl Fn(&mut A, u64, &B),
+    ) -> Result<u64, IngestError> {
+        let shards = self.shards.len() as u64;
+        let floor = self.high;
+        let mut seen = std::collections::HashSet::new();
+        let mut appended = 0u64;
+        for (n, block) in tail {
+            if n <= floor || !seen.insert(n) {
+                return Err(IngestError::RangeRegression { n, high: floor });
+            }
+            let shard = (n % shards) as usize;
+            observe(&mut self.shards[shard], n, &block);
+            self.counts[shard] += 1;
+            self.high = self.high.max(n);
+            appended += 1;
+        }
+        Ok(appended)
+    }
+
+    /// Merge the shard accumulators (cloned, so the checkpoint stays
+    /// extendable) in shard-index order.
+    pub fn merged(&self, mut merge: impl FnMut(&mut A, A)) -> A
+    where
+        A: Clone,
+    {
+        let mut it = self.shards.iter().cloned();
+        let mut acc = it.next().expect("at least one shard");
+        for other in it {
+            merge(&mut acc, other);
+        }
+        acc
+    }
+}
+
+impl<A: serde::Serialize> Checkpoint<A> {
+    /// Serialize to a self-describing JSON value.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "version": 1,
+            "low": self.low,
+            "high": self.high,
+            "counts": self.counts.clone(),
+            "shards": Value::Array(self.shards.iter().map(|s| s.serialize()).collect()),
+        })
+    }
+}
+
+impl<A: serde::Deserialize> Checkpoint<A> {
+    /// Parse a serialized checkpoint, validating the layout invariants.
+    pub fn from_json(v: &Value) -> Result<Self, IngestError> {
+        let bad = |m: &str| IngestError::Checkpoint(m.to_owned());
+        if v.get("version").and_then(Value::as_u64) != Some(1) {
+            return Err(bad("unsupported checkpoint version"));
+        }
+        let low = v.get("low").and_then(Value::as_u64).ok_or_else(|| bad("missing low"))?;
+        let high = v.get("high").and_then(Value::as_u64).ok_or_else(|| bad("missing high"))?;
+        let counts: Vec<u64> = v
+            .get("counts")
+            .and_then(Value::as_array)
+            .ok_or_else(|| bad("missing counts"))?
+            .iter()
+            .map(|c| c.as_u64().ok_or_else(|| bad("non-integer count")))
+            .collect::<Result<_, _>>()?;
+        let shards: Vec<A> = v
+            .get("shards")
+            .and_then(Value::as_array)
+            .ok_or_else(|| bad("missing shards"))?
+            .iter()
+            .map(|s| A::deserialize(s).map_err(|e| bad(&format!("bad shard state: {e}"))))
+            .collect::<Result<_, _>>()?;
+        if shards.is_empty() || shards.len() != counts.len() {
+            return Err(bad("shard/count arity mismatch"));
+        }
+        Ok(Checkpoint { shards, counts, low, high })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+
+    /// A miniature mergeable accumulator with the same shape as the chain
+    /// sweeps: counters plus a bucketed series.
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct MiniAcc {
+        blocks: u64,
+        weight: u64,
+        buckets: Vec<u64>,
+    }
+
+    impl MiniAcc {
+        fn identity() -> Self {
+            MiniAcc { blocks: 0, weight: 0, buckets: vec![0; 4] }
+        }
+
+        fn observe(&mut self, n: u64, w: &u64) {
+            self.blocks += 1;
+            self.weight += *w;
+            self.buckets[(n % 4) as usize] += *w;
+        }
+
+        fn merge(&mut self, other: MiniAcc) {
+            self.blocks += other.blocks;
+            self.weight += other.weight;
+            for (a, b) in self.buckets.iter_mut().zip(other.buckets) {
+                *a += b;
+            }
+        }
+    }
+
+    /// Build a checkpoint by folding `range` (1-based, like block numbers)
+    /// through `observe_tail` from an empty shard layout.
+    fn fold_range(range: std::ops::RangeInclusive<u64>, shards: usize) -> Checkpoint<MiniAcc> {
+        let low = *range.start();
+        assert!(low >= 1, "test helper uses low-1 as the empty high-water mark");
+        let mut cp = Checkpoint {
+            shards: vec![MiniAcc::identity(); shards],
+            counts: vec![0; shards],
+            low,
+            high: low - 1,
+        };
+        cp.observe_tail(range.map(|n| (n, n * 7 % 13)), |a, n, w| a.observe(n, w))
+            .expect("ascending tail");
+        cp
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        let cp = fold_range(10..=99, 3);
+        let v = cp.to_json();
+        let back: Checkpoint<MiniAcc> = Checkpoint::from_json(&v).expect("valid checkpoint");
+        assert_eq!(back, cp);
+        assert_eq!(back.range_key(), "10..=99/3");
+        assert_eq!(back.observed(), 90);
+    }
+
+    #[test]
+    fn tail_extension_equals_full_fold() {
+        // Checkpoint the prefix, extend with the tail: must equal folding
+        // the whole range in one go.
+        let mut prefix = fold_range(1..=49, 4);
+        prefix
+            .observe_tail((50..=80).map(|n| (n, n * 7 % 13)), |a, n, w| a.observe(n, w))
+            .expect("tail extends");
+        let whole = fold_range(1..=80, 4);
+        assert_eq!(prefix, whole);
+        assert_eq!(
+            prefix.merged(MiniAcc::merge),
+            whole.merged(MiniAcc::merge)
+        );
+    }
+
+    #[test]
+    fn tail_order_does_not_matter() {
+        // Crawl sources emit reverse-chronologically; a descending tail
+        // must be accepted (everything is above the entry high-water mark)
+        // and fold to the same state as an ascending one.
+        let mut desc = fold_range(1..=49, 4);
+        desc.observe_tail((50..=80).rev().map(|n| (n, n * 7 % 13)), |a, n, w| a.observe(n, w))
+            .expect("descending tail is still strictly above the old high");
+        let whole = fold_range(1..=80, 4);
+        assert_eq!(desc, whole);
+    }
+
+    #[test]
+    fn rejects_reobserving_the_prefix() {
+        let mut cp = fold_range(1..=9, 2);
+        let err = cp.observe_tail([(5u64, 1u64)], |a, n, w| a.observe(n, w));
+        assert!(err.is_err(), "block 5 is already inside the range");
+    }
+
+    #[test]
+    fn rejects_duplicates_within_one_tail() {
+        let mut cp = fold_range(1..=9, 2);
+        let err = cp.observe_tail([(10u64, 1u64), (10u64, 2u64)], |a, n, w| a.observe(n, w));
+        assert!(err.is_err(), "block 10 appears twice in the same tail");
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        let v = json!({"version": 1, "low": 0, "high": 3, "counts": [4], "shards": []});
+        assert!(Checkpoint::<MiniAcc>::from_json(&v).is_err());
+        let v = json!({"version": 2});
+        assert!(Checkpoint::<MiniAcc>::from_json(&v).is_err());
+    }
+}

@@ -1,0 +1,190 @@
+//! Block sources: everything that can feed a sharded ingest [`Sink`].
+//!
+//! A [`BlockSource`] drives production — it owns its input (a vector, an
+//! NDJSON capture, a set of RPC endpoints) and pushes numbered blocks into
+//! the bounded sink until the stream is exhausted, returning
+//! source-specific accounting. Three adapter families ship here and in
+//! [`crate::crawl`]:
+//!
+//! - [`MemorySource`] — in-memory scenarios (tests, benches, property
+//!   suites);
+//! - [`NdjsonReplay`] — replay a stored crawl from newline-delimited wire
+//!   JSON, one block per line, with the same Figure-2 byte accounting a
+//!   live crawl produces;
+//! - `EosCrawlSource` / `TezosCrawlSource` / `XrpCrawlSource`
+//!   ([`crate::crawl`]) — the live loopback-RPC crawlers.
+
+use crate::shard::Sink;
+use crate::IngestError;
+use txstat_crawler::CrawlStats;
+
+/// A producer of numbered blocks. `produce` consumes the source and the
+/// sink; dropping the sink at the end is what signals end-of-stream to the
+/// shard workers.
+pub trait BlockSource: Send + Sized + 'static {
+    type Block: Send + 'static;
+    /// Source-specific accounting returned when the stream ends.
+    type Stats: Send + 'static;
+
+    fn produce(
+        self,
+        sink: Sink<Self::Block>,
+    ) -> impl std::future::Future<Output = Result<Self::Stats, IngestError>> + Send;
+}
+
+/// An in-memory source: streams a pre-numbered block list.
+pub struct MemorySource<B> {
+    blocks: Vec<(u64, B)>,
+}
+
+impl<B> MemorySource<B> {
+    pub fn new(blocks: Vec<(u64, B)>) -> Self {
+        MemorySource { blocks }
+    }
+
+    /// Number blocks with a key extractor (`|b| b.num` etc.).
+    pub fn numbered(blocks: impl IntoIterator<Item = B>, key: impl Fn(&B) -> u64) -> Self {
+        MemorySource { blocks: blocks.into_iter().map(|b| (key(&b), b)).collect() }
+    }
+}
+
+impl<B: Send + 'static> BlockSource for MemorySource<B> {
+    type Block = B;
+    type Stats = u64;
+
+    async fn produce(self, sink: Sink<B>) -> Result<u64, IngestError> {
+        let mut sent = 0u64;
+        for (n, b) in self.blocks {
+            sink.send(n, b).await.map_err(|_| IngestError::SinkClosed)?;
+            sent += 1;
+        }
+        Ok(sent)
+    }
+}
+
+/// Replay a stored crawl from NDJSON text (one wire-JSON block per line),
+/// accounting payload bytes exactly like the live crawler so Figure 2
+/// reproduces from a capture.
+pub struct NdjsonReplay<B, P> {
+    text: String,
+    parse: P,
+    _marker: std::marker::PhantomData<fn() -> B>,
+}
+
+impl<B, P> NdjsonReplay<B, P>
+where
+    P: Fn(&str) -> Result<(u64, B), String> + Send + 'static,
+{
+    pub fn new(text: String, parse: P) -> Self {
+        NdjsonReplay { text, parse, _marker: std::marker::PhantomData }
+    }
+}
+
+impl<B, P> BlockSource for NdjsonReplay<B, P>
+where
+    B: Send + 'static,
+    P: Fn(&str) -> Result<(u64, B), String> + Send + 'static,
+{
+    type Block = B;
+    type Stats = CrawlStats;
+
+    async fn produce(self, sink: Sink<B>) -> Result<CrawlStats, IngestError> {
+        let started = std::time::Instant::now();
+        let mut stats = CrawlStats::default();
+        for (i, line) in self.text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let (n, block) = (self.parse)(line)
+                .map_err(|error| IngestError::Replay { line: i + 1, error })?;
+            stats.record_payload(n, line.as_bytes());
+            stats.blocks += 1;
+            sink.send(n, block).await.map_err(|_| IngestError::SinkClosed)?;
+        }
+        stats.elapsed = started.elapsed();
+        Ok(stats)
+    }
+}
+
+// ---- Per-chain NDJSON wire codecs -------------------------------------------
+
+/// Serialize an EOS chain to replayable NDJSON (one `get_block` wire JSON
+/// per line).
+pub fn eos_to_ndjson(blocks: &[txstat_eos::Block]) -> String {
+    let mut out = String::new();
+    for b in blocks {
+        out.push_str(
+            &serde_json::to_string(&txstat_eos::rpc_model::block_to_json(b))
+                .expect("serializable"),
+        );
+        out.push('\n');
+    }
+    out
+}
+
+/// NDJSON replay source for an EOS capture.
+pub fn eos_replay(
+    text: String,
+) -> NdjsonReplay<txstat_eos::Block, impl Fn(&str) -> Result<(u64, txstat_eos::Block), String>> {
+    NdjsonReplay::new(text, |line| {
+        let wire: txstat_eos::rpc_model::BlockJson =
+            serde_json::from_str(line).map_err(|e| e.to_string())?;
+        let block = txstat_eos::rpc_model::block_from_json(&wire).map_err(|e| e.to_string())?;
+        Ok((block.num, block))
+    })
+}
+
+/// Serialize a Tezos chain to replayable NDJSON.
+pub fn tezos_to_ndjson(blocks: &[txstat_tezos::TezosBlock]) -> String {
+    let mut out = String::new();
+    for b in blocks {
+        out.push_str(
+            &serde_json::to_string(&txstat_tezos::rpc_model::block_to_json(b))
+                .expect("serializable"),
+        );
+        out.push('\n');
+    }
+    out
+}
+
+/// NDJSON replay source for a Tezos capture.
+pub fn tezos_replay(
+    text: String,
+) -> NdjsonReplay<
+    txstat_tezos::TezosBlock,
+    impl Fn(&str) -> Result<(u64, txstat_tezos::TezosBlock), String>,
+> {
+    NdjsonReplay::new(text, |line| {
+        let wire: txstat_tezos::rpc_model::BlockJson =
+            serde_json::from_str(line).map_err(|e| e.to_string())?;
+        let block = txstat_tezos::rpc_model::block_from_json(&wire).map_err(|e| e.to_string())?;
+        Ok((block.level, block))
+    })
+}
+
+/// Serialize closed XRP ledgers to replayable NDJSON.
+pub fn xrp_to_ndjson(blocks: &[txstat_xrp::LedgerBlock]) -> String {
+    let mut out = String::new();
+    for b in blocks {
+        out.push_str(
+            &serde_json::to_string(&txstat_xrp::rpc_model::ledger_to_json(b))
+                .expect("serializable"),
+        );
+        out.push('\n');
+    }
+    out
+}
+
+/// NDJSON replay source for an XRP capture.
+pub fn xrp_replay(
+    text: String,
+) -> NdjsonReplay<
+    txstat_xrp::LedgerBlock,
+    impl Fn(&str) -> Result<(u64, txstat_xrp::LedgerBlock), String>,
+> {
+    NdjsonReplay::new(text, |line| {
+        let v: serde_json::Value = serde_json::from_str(line).map_err(|e| e.to_string())?;
+        let block = txstat_xrp::rpc_model::ledger_from_json(&v).map_err(|e| e.to_string())?;
+        Ok((block.index, block))
+    })
+}

@@ -121,6 +121,32 @@ pub struct EndpointStats {
     pub faults: AtomicU64,
     pub bytes_in: AtomicU64,
     pub bytes_out: AtomicU64,
+    /// Requests currently being handled (between read and response write).
+    pub in_flight: AtomicU64,
+    /// Peak concurrent in-flight requests. A backpressured streaming
+    /// consumer keeps this bounded by the crawler's worker count: when the
+    /// ingest channels fill, the crawl workers park *before* issuing the
+    /// next request, so the stall is visible server-side as a plateau here
+    /// rather than a growing request backlog.
+    pub max_in_flight: AtomicU64,
+}
+
+/// RAII guard bumping an endpoint's in-flight gauge for one request.
+pub struct InFlightGuard<'a>(&'a EndpointStats);
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+impl EndpointStats {
+    /// Mark one request in flight until the returned guard drops.
+    pub fn enter(&self) -> InFlightGuard<'_> {
+        let now = self.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+        self.max_in_flight.fetch_max(now, Ordering::Relaxed);
+        InFlightGuard(self)
+    }
 }
 
 impl EndpointStats {

@@ -71,6 +71,7 @@ pub async fn spawn_http(
                         Ok(Some(r)) => r,
                         _ => break,
                     };
+                    let _in_flight = stats.enter();
                     stats.requests.fetch_add(1, Ordering::Relaxed);
                     stats
                         .bytes_in
@@ -132,6 +133,7 @@ pub async fn spawn_ndjson(
                         Ok(Some(x)) => x,
                         _ => break,
                     };
+                    let _in_flight = stats.enter();
                     stats.requests.fetch_add(1, Ordering::Relaxed);
                     stats.bytes_in.fetch_add(nbytes as u64, Ordering::Relaxed);
                     let (gate, delay) = sim.gate();

@@ -4,11 +4,19 @@
 //! real loopback RPC endpoints (the full §3.1 measurement path), regenerates
 //! every table and figure, and prints the paper-vs-measured comparison.
 //!
+//! `--crawl` streams: fetched blocks flow straight into sharded sweep
+//! accumulators over bounded channels, so the report is ready the moment
+//! the crawl finishes and no measurement-side block vector ever exists.
+//! `--materialize` restores the legacy crawl-then-sweep baseline.
+//!
 //! Usage:
-//!   reproduce [--small] [--crawl] [--seed N] [--out FILE]
+//!   reproduce [--small] [--crawl [--materialize]] [--seed N] [--out FILE]
 
 use std::io::Write;
-use txstat_reports::{comparison, generate, generate_with_crawl, render_all, render_comparison, CrawlOptions};
+use txstat_reports::{
+    comparison, generate, generate_with_crawl, generate_with_crawl_streamed, render_all,
+    render_comparison, CrawlOptions,
+};
 use txstat_workload::Scenario;
 
 fn main() {
@@ -34,14 +42,38 @@ fn main() {
 
     let started = std::time::Instant::now();
     let data = if has("--crawl") {
-        eprintln!("generating chains and crawling them over loopback RPC…");
         let opts = if has("--small") { CrawlOptions::default() } else { CrawlOptions::paper() };
         let rt = tokio::runtime::Runtime::new().expect("tokio runtime");
-        rt.block_on(generate_with_crawl(&sc, &opts)).expect("crawl pipeline")
+        if has("--materialize") {
+            eprintln!("generating chains and crawling them over loopback RPC (materializing)…");
+            rt.block_on(generate_with_crawl(&sc, &opts)).expect("crawl pipeline")
+        } else {
+            eprintln!(
+                "generating chains and streaming the crawl into {} sweep shards per chain…",
+                opts.shards
+            );
+            rt.block_on(generate_with_crawl_streamed(&sc, &opts)).expect("streamed pipeline")
+        }
     } else {
         eprintln!("generating chains (direct read; pass --crawl for the full RPC path)…");
         generate(&sc)
     };
+    if let Some(s) = &data.stream {
+        eprintln!(
+            "streamed: EOS {} blocks (peak buffer {}/{} per shard, {} stalls), \
+             Tezos {} ({}, {} stalls), XRP {} ({}, {} stalls)",
+            s.eos.streamed_blocks,
+            s.eos.peak_buffered,
+            s.eos.channel_capacity,
+            s.eos.blocked_sends,
+            s.tezos.streamed_blocks,
+            s.tezos.peak_buffered,
+            s.tezos.blocked_sends,
+            s.xrp.streamed_blocks,
+            s.xrp.peak_buffered,
+            s.xrp.blocked_sends,
+        );
+    }
     eprintln!("pipeline ready in {:?}; rendering exhibits…", started.elapsed());
 
     let mut output = render_all(&data);

@@ -106,13 +106,18 @@ pub fn fig2(data: &PipelineData) -> String {
         Align::Right,
         Align::Right,
     ]);
+    // Bounds come through the accessors so the streamed pipeline (which
+    // never materializes the block vectors) renders identically.
+    let (eos_first, eos_last) = data.eos_bounds();
+    let (tz_first, tz_last) = data.tezos_bounds();
+    let (x_first, x_last) = data.xrp_bounds();
     table.add_row(vec![
         "EOS".into(),
-        span(data.eos_blocks.first().map(|b| b.time), data.eos_blocks.last().map(|b| b.time)),
+        span(eos_first.map(|(_, t)| t), eos_last.map(|(_, t)| t)),
         format!(
             "{} .. {}",
-            data.eos_blocks.first().map(|b| b.num).unwrap_or(0),
-            data.eos_blocks.last().map(|b| b.num).unwrap_or(0)
+            eos_first.map(|(n, _)| n).unwrap_or(0),
+            eos_last.map(|(n, _)| n).unwrap_or(0)
         ),
         fmt_thousands(e.blocks as u128),
         fmt_thousands(e.transactions as u128),
@@ -120,11 +125,11 @@ pub fn fig2(data: &PipelineData) -> String {
     ]);
     table.add_row(vec![
         "Tezos".into(),
-        span(data.tezos_blocks.first().map(|b| b.time), data.tezos_blocks.last().map(|b| b.time)),
+        span(tz_first.map(|(_, t)| t), tz_last.map(|(_, t)| t)),
         format!(
             "{} .. {}",
-            data.tezos_blocks.first().map(|b| b.level).unwrap_or(0),
-            data.tezos_blocks.last().map(|b| b.level).unwrap_or(0)
+            tz_first.map(|(n, _)| n).unwrap_or(0),
+            tz_last.map(|(n, _)| n).unwrap_or(0)
         ),
         fmt_thousands(t.blocks as u128),
         fmt_thousands(t.transactions as u128),
@@ -132,14 +137,11 @@ pub fn fig2(data: &PipelineData) -> String {
     ]);
     table.add_row(vec![
         "XRP".into(),
-        span(
-            data.xrp_blocks.first().map(|b| b.close_time),
-            data.xrp_blocks.last().map(|b| b.close_time),
-        ),
+        span(x_first.map(|(_, t)| t), x_last.map(|(_, t)| t)),
         format!(
             "{} .. {}",
-            data.xrp_blocks.first().map(|b| b.index).unwrap_or(0),
-            data.xrp_blocks.last().map(|b| b.index).unwrap_or(0)
+            x_first.map(|(n, _)| n).unwrap_or(0),
+            x_last.map(|(n, _)| n).unwrap_or(0)
         ),
         fmt_thousands(x.blocks as u128),
         fmt_thousands(x.transactions as u128),
@@ -574,21 +576,7 @@ pub fn case_studies(data: &PipelineData) -> String {
     }
 
     // EIDOS congestion.
-    let launch = txstat_workload::eidos_launch();
-    let before = data
-        .eos_cpu_price
-        .iter()
-        .zip(&data.eos_blocks)
-        .filter(|(_, b)| b.time < launch)
-        .map(|((_, p), _)| *p)
-        .fold(0.0f64, f64::max);
-    let after = data
-        .eos_cpu_price
-        .iter()
-        .zip(&data.eos_blocks)
-        .filter(|(_, b)| b.time >= launch)
-        .map(|((_, p), _)| *p)
-        .fold(0.0f64, f64::max);
+    let (before, after) = data.eos_cpu_peaks();
     out.push_str(&format!(
         "\n§4.1 EIDOS congestion: CPU price index peak {:.0}× pre-launch vs {:.0}× post-launch (paper: ~10,000% spike)\n",
         before, after

@@ -10,7 +10,10 @@ pub mod pipeline;
 
 pub use exhibits::render_all;
 pub use paper::{comparison, render_comparison, ComparisonRow};
-pub use pipeline::{generate, generate_with_crawl, CrawlOptions, PipelineData};
+pub use pipeline::{
+    generate, generate_with_crawl, generate_with_crawl_streamed, ChainStreamInfo, CrawlOptions,
+    PipelineData, StreamSummary,
+};
 
 #[cfg(test)]
 mod tests;

@@ -1,12 +1,20 @@
 //! Pipeline orchestration: scenario → chains → (optional RPC crawl) →
 //! the dataset every exhibit renders from.
 //!
-//! Two paths produce identical [`PipelineData`]:
+//! Three paths produce the same exhibits:
 //! - [`generate`] reads the simulated chains directly (fast; used by tests
 //!   and benches);
 //! - [`generate_with_crawl`] serves the chains over loopback RPC endpoints,
-//!   benchmarks and shortlists them, and runs the real crawler — the full
-//!   §3.1 measurement path (used by the `reproduce` binary).
+//!   benchmarks and shortlists them, and runs the real crawler with the
+//!   three chain crawls overlapped — the full §3.1 measurement path,
+//!   materializing each chain before sweeping it (the equivalence
+//!   baseline);
+//! - [`generate_with_crawl_streamed`] runs the same crawl but pipes every
+//!   block straight from the fetch workers into sharded sweep accumulators
+//!   over bounded channels (`txstat_ingest`). No `Vec<Block>` is ever
+//!   materialized on the measurement side: peak memory is
+//!   O(accumulator × shards + channel capacity), and the report is ready
+//!   the moment the crawl finishes.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, OnceLock};
@@ -16,13 +24,19 @@ use txstat_crawler::{
     fetch_exchange_rate, fetch_exchanges, shortlist, tezos_head, xrp_head, Advertised,
     ClientConfig, CrawlError, CrawlStats, RotatingPool,
 };
+use txstat_ingest::crawl::ledger_ious;
+use txstat_ingest::{
+    spawn_sharded, EosCrawlSource, IngestOptions, IngestOutcome, RateCache, Sink,
+    TezosCrawlSource, XrpCrawlSource,
+};
+use txstat_ingest::source::BlockSource;
 use txstat_netsim::handlers::{EosRpcHandler, TezosRpcHandler, XrpRpcHandler};
 use txstat_netsim::server::{spawn_http, spawn_ndjson, EndpointHandle};
 use txstat_netsim::EndpointProfile;
 use txstat_netsim::http::HttpRequest;
 use txstat_tezos::address::Address;
 use txstat_tezos::governance::PeriodKind;
-use txstat_types::time::Period;
+use txstat_types::time::{ChainTime, Period};
 use txstat_workload::{eos::build_eos, tezos::build_tezos, xrp::build_xrp, Scenario};
 use txstat_xrp::amount::{Asset, IssuedCurrency};
 use txstat_xrp::rates::{RateOracle, TradeRecord};
@@ -31,6 +45,9 @@ use txstat_xrp::tx::TxPayload;
 /// Everything the exhibits need.
 pub struct PipelineData {
     pub scenario: Scenario,
+    /// Materialized chains. Empty on the streamed path, which records
+    /// [`StreamSummary`] instead; exhibits go through the accessor methods
+    /// ([`PipelineData::eos_bounds`] etc.) rather than the vectors.
     pub eos_blocks: Vec<txstat_eos::Block>,
     pub tezos_blocks: Vec<txstat_tezos::TezosBlock>,
     pub xrp_blocks: Vec<txstat_xrp::LedgerBlock>,
@@ -48,10 +65,16 @@ pub struct PipelineData {
     pub governance_periods: Vec<(PeriodKind, Period)>,
     /// Crawl accounting when the RPC path was used.
     pub crawl: Option<CrawlSummary>,
+    /// Streaming-ingestion accounting when the streamed path was used.
+    pub stream: Option<StreamSummary>,
     /// Lazily-computed fused accumulators (one parallel sweep per chain);
     /// every exhibit renders from these instead of re-scanning the blocks.
+    /// The streamed path pre-fills them from the shard reducer.
     sweeps: OnceLock<ChainSweeps>,
 }
+
+/// First/last block `(number, time)` of one chain's observed range.
+pub type ChainBounds = (Option<(u64, ChainTime)>, Option<(u64, ChainTime)>);
 
 /// The three per-chain accumulators behind the full report.
 pub struct ChainSweeps {
@@ -62,7 +85,8 @@ pub struct ChainSweeps {
 
 impl PipelineData {
     /// The fused analytics state: computed on first use with one rayon
-    /// map-reduce sweep per chain, then shared by every exhibit.
+    /// map-reduce sweep per chain, then shared by every exhibit. On the
+    /// streamed path the shard reducer has already filled this.
     pub fn sweeps(&self) -> &ChainSweeps {
         self.sweeps.get_or_init(|| {
             let period = self.scenario.period;
@@ -73,6 +97,50 @@ impl PipelineData {
             }
         })
     }
+
+    /// First/last EOS block `(number, time)` — from the materialized chain
+    /// or the stream bounds.
+    pub fn eos_bounds(&self) -> ChainBounds {
+        if let Some(s) = &self.stream {
+            return (s.eos.first, s.eos.last);
+        }
+        (
+            self.eos_blocks.first().map(|b| (b.num, b.time)),
+            self.eos_blocks.last().map(|b| (b.num, b.time)),
+        )
+    }
+
+    /// First/last Tezos block `(level, time)`.
+    pub fn tezos_bounds(&self) -> ChainBounds {
+        if let Some(s) = &self.stream {
+            return (s.tezos.first, s.tezos.last);
+        }
+        (
+            self.tezos_blocks.first().map(|b| (b.level, b.time)),
+            self.tezos_blocks.last().map(|b| (b.level, b.time)),
+        )
+    }
+
+    /// First/last XRP ledger `(index, close time)`.
+    pub fn xrp_bounds(&self) -> ChainBounds {
+        if let Some(s) = &self.stream {
+            return (s.xrp.first, s.xrp.last);
+        }
+        (
+            self.xrp_blocks.first().map(|b| (b.index, b.close_time)),
+            self.xrp_blocks.last().map(|b| (b.index, b.close_time)),
+        )
+    }
+
+    /// Peak EOS CPU price index before/after the EIDOS launch (§4.1).
+    pub fn eos_cpu_peaks(&self) -> (f64, f64) {
+        if let Some(s) = &self.stream {
+            return s.eos_cpu_peaks;
+        }
+        cpu_peaks_around_launch(
+            self.eos_cpu_price.iter().zip(&self.eos_blocks).map(|((_, p), b)| (b.time, *p)),
+        )
+    }
 }
 
 /// Per-chain crawl accounting for Figure 2.
@@ -82,6 +150,33 @@ pub struct CrawlSummary {
     pub xrp: CrawlStats,
     pub eos_advertised: usize,
     pub eos_shortlisted: usize,
+}
+
+/// Streaming accounting for one chain: the block-range bounds the shards
+/// observed plus the backpressure gauges of the shard channels.
+#[derive(Debug, Clone, Copy)]
+pub struct ChainStreamInfo {
+    pub first: Option<(u64, ChainTime)>,
+    pub last: Option<(u64, ChainTime)>,
+    pub shards: usize,
+    pub channel_capacity: usize,
+    /// Blocks folded across all shards.
+    pub streamed_blocks: u64,
+    /// Peak blocks buffered in any one shard channel (≤ capacity — the
+    /// memory bound that replaces the materialized `Vec<Block>`).
+    pub peak_buffered: u64,
+    /// Producer sends that parked on a full channel (backpressure hits).
+    pub blocked_sends: u64,
+}
+
+/// What the streamed path records instead of block vectors.
+pub struct StreamSummary {
+    pub eos: ChainStreamInfo,
+    pub tezos: ChainStreamInfo,
+    pub xrp: ChainStreamInfo,
+    /// Peak CPU price index (before, after) the EIDOS launch, computed on
+    /// the serving side where the simulated chain lives anyway.
+    pub eos_cpu_peaks: (f64, f64),
 }
 
 fn governance_periods_of(chain: &txstat_tezos::TezosChain) -> Vec<(PeriodKind, Period)> {
@@ -134,6 +229,7 @@ pub fn generate(sc: &Scenario) -> PipelineData {
         tezos_rolls,
         governance_periods,
         crawl: None,
+        stream: None,
         sweeps: OnceLock::new(),
     }
 }
@@ -147,32 +243,56 @@ pub struct CrawlOptions {
     pub eos_shortlisted: usize,
     /// Worker concurrency per chain crawl.
     pub concurrency: usize,
+    /// Streamed path: sweep shards per chain.
+    pub shards: usize,
+    /// Streamed path: bounded-channel capacity per shard (blocks).
+    pub channel_capacity: usize,
 }
 
 impl Default for CrawlOptions {
     fn default() -> Self {
-        CrawlOptions { eos_advertised: 8, eos_shortlisted: 3, concurrency: 8 }
+        CrawlOptions {
+            eos_advertised: 8,
+            eos_shortlisted: 3,
+            concurrency: 8,
+            shards: 4,
+            channel_capacity: 64,
+        }
     }
 }
 
 impl CrawlOptions {
     /// The paper's endpoint population: 32 advertised, 6 shortlisted.
     pub fn paper() -> Self {
-        CrawlOptions { eos_advertised: 32, eos_shortlisted: 6, concurrency: 12 }
+        CrawlOptions { eos_advertised: 32, eos_shortlisted: 6, concurrency: 12, ..Self::default() }
+    }
+
+    fn ingest(&self) -> IngestOptions {
+        IngestOptions { shards: self.shards, channel_capacity: self.channel_capacity }
     }
 }
 
-/// Full path: serve the generated chains over loopback RPC, shortlist
-/// endpoints, crawl everything, fetch rates/metadata, and assemble the
-/// dataset — exercising exactly the code path the paper's pipeline used.
-pub async fn generate_with_crawl(
-    sc: &Scenario,
-    opts: &CrawlOptions,
-) -> Result<PipelineData, CrawlError> {
+/// The three simulated chains served over loopback RPC, with the EOS
+/// population benchmarked and shortlisted (§3.1).
+struct ServedChains {
+    eos: Arc<txstat_eos::EosChain>,
+    tezos: Arc<txstat_tezos::TezosChain>,
+    xrp: Arc<txstat_xrp::XrpLedger>,
+    eos_pool: Arc<RotatingPool>,
+    tz_pool: Arc<RotatingPool>,
+    xrp_pool: Arc<RotatingPool>,
+    /// Handles keep the endpoint accept loops alive for the crawl's
+    /// duration.
+    _eos_handles: Vec<EndpointHandle>,
+    _tz_handle: EndpointHandle,
+    _xrp_handle: EndpointHandle,
+}
+
+/// Build the chains, spawn their endpoints, benchmark and shortlist.
+async fn serve_scenario(sc: &Scenario, opts: &CrawlOptions) -> Result<ServedChains, CrawlError> {
     let eos = Arc::new(build_eos(sc));
     let tezos = Arc::new(build_tezos(sc));
     let xrp = Arc::new(build_xrp(sc));
-    let cfg = ClientConfig::default();
 
     // --- EOS: a population of block-producer endpoints of mixed quality. --
     let eos_handler = Arc::new(EosRpcHandler::new(eos.clone()));
@@ -207,15 +327,6 @@ pub async fn generate_with_crawl(
     })
     .await;
     let eos_pool = Arc::new(RotatingPool::new(shortlist(&reports, opts.eos_shortlisted)));
-    let head = eos_head(&eos_pool, &cfg).await?;
-    let eos_crawl = crawl_eos(
-        eos_pool,
-        cfg.clone(),
-        eos.config.start_block_num,
-        head,
-        opts.concurrency,
-    )
-    .await?;
 
     // --- Tezos: the self-hosted node (one endpoint). -----------------------
     let tezos_handler = Arc::new(TezosRpcHandler::new(tezos.clone()));
@@ -229,15 +340,6 @@ pub async fn generate_with_crawl(
         name: tz_handle.name.clone(),
         addr: tz_handle.addr,
     }]));
-    let tz_head = tezos_head(&tz_pool, &cfg).await?;
-    let tezos_crawl = crawl_tezos(
-        tz_pool,
-        cfg.clone(),
-        tezos.config.start_level,
-        tz_head,
-        opts.concurrency,
-    )
-    .await?;
 
     // --- XRP: the community websocket-equivalent endpoint. -----------------
     let usernames: HashMap<_, _> = txstat_workload::xrp::known_usernames()
@@ -255,15 +357,136 @@ pub async fn generate_with_crawl(
         name: xrp_handle.name.clone(),
         addr: xrp_handle.addr,
     }]));
-    let x_head = xrp_head(&xrp_pool, &cfg).await?;
-    let xrp_crawl = crawl_xrp(
-        xrp_pool.clone(),
-        cfg.clone(),
-        xrp.config.start_index,
-        x_head,
-        opts.concurrency,
+
+    Ok(ServedChains {
+        eos,
+        tezos,
+        xrp,
+        eos_pool,
+        tz_pool,
+        xrp_pool,
+        _eos_handles: eos_handles,
+        _tz_handle: tz_handle,
+        _xrp_handle: xrp_handle,
+    })
+}
+
+fn join_err(e: tokio::task::JoinError) -> CrawlError {
+    CrawlError::Protocol(format!("crawl task panicked: {e}"))
+}
+
+/// Fetch username/parent metadata for every seen account and fold it into
+/// the entity clustering (XRP Scan path).
+async fn fetch_cluster(
+    pool: &Arc<RotatingPool>,
+    cfg: &ClientConfig,
+    mut accounts: Vec<txstat_xrp::AccountId>,
+) -> Result<ClusterInfo, CrawlError> {
+    accounts.sort();
+    let metas = fetch_account_meta(pool, cfg, &accounts).await?;
+    let mut cluster = ClusterInfo::new();
+    for m in metas {
+        cluster.insert(m.account, m.username, m.parent);
+    }
+    Ok(cluster)
+}
+
+/// Fetch the exchange events of every BTC issuer (Figure 11b's source).
+/// `ious` must be sorted so the event order is deterministic.
+async fn fetch_btc_trades(
+    pool: &Arc<RotatingPool>,
+    cfg: &ClientConfig,
+    ious: &[IssuedCurrency],
+) -> Result<Vec<TradeRecord>, CrawlError> {
+    let mut trades = Vec::new();
+    for ic in ious {
+        if ic.currency.as_str() == "BTC" {
+            trades.extend(fetch_exchanges(pool, cfg, "BTC", ic.issuer).await?);
+        }
+    }
+    Ok(trades)
+}
+
+fn tezos_rolls_of(tezos: &txstat_tezos::TezosChain) -> HashMap<Address, u64> {
+    tezos
+        .bakers()
+        .iter()
+        .map(|b| (b.address, b.staked_mutez / tezos.config.roll_size_mutez))
+        .collect()
+}
+
+/// Peak CPU price index (before, after) the EIDOS launch over a stream of
+/// `(block time, price)` pairs.
+fn cpu_peaks_around_launch(pairs: impl Iterator<Item = (ChainTime, f64)> + Clone) -> (f64, f64) {
+    let launch = txstat_workload::eidos_launch();
+    let peak = |after: bool| {
+        pairs
+            .clone()
+            .filter(|(t, _)| (*t >= launch) == after)
+            .map(|(_, p)| p)
+            .fold(0.0f64, f64::max)
+    };
+    (peak(false), peak(true))
+}
+
+/// The launch peaks read off the simulated chain (the serving side holds
+/// it regardless of crawl path).
+fn eos_cpu_peaks_of(eos: &txstat_eos::EosChain) -> (f64, f64) {
+    cpu_peaks_around_launch(
+        eos.cpu_price_history.iter().zip(eos.blocks()).map(|((_, p), b)| (b.time, *p)),
     )
-    .await?;
+}
+
+/// Full materializing path: serve the generated chains over loopback RPC,
+/// shortlist endpoints, crawl everything — the three chain crawls overlap,
+/// one task each, since the endpoints are independent — then fetch
+/// rates/metadata and assemble the dataset.
+pub async fn generate_with_crawl(
+    sc: &Scenario,
+    opts: &CrawlOptions,
+) -> Result<PipelineData, CrawlError> {
+    let served = serve_scenario(sc, opts).await?;
+    let cfg = ClientConfig::default();
+
+    // Overlap the three chain crawls: independent endpoints, one task each.
+    let eos_task = {
+        let pool = served.eos_pool.clone();
+        let cfg = cfg.clone();
+        let low = served.eos.config.start_block_num;
+        let concurrency = opts.concurrency;
+        tokio::spawn(async move {
+            let head = eos_head(&pool, &cfg).await?;
+            crawl_eos(pool, cfg, low, head, concurrency).await
+        })
+    };
+    let tz_task = {
+        let pool = served.tz_pool.clone();
+        let cfg = cfg.clone();
+        let low = served.tezos.config.start_level;
+        let concurrency = opts.concurrency;
+        tokio::spawn(async move {
+            let head = tezos_head(&pool, &cfg).await?;
+            crawl_tezos(pool, cfg, low, head, concurrency).await
+        })
+    };
+    let xrp_task = {
+        let pool = served.xrp_pool.clone();
+        let cfg = cfg.clone();
+        let low = served.xrp.config.start_index;
+        let concurrency = opts.concurrency;
+        tokio::spawn(async move {
+            let head = xrp_head(&pool, &cfg).await?;
+            crawl_xrp(pool, cfg, low, head, concurrency).await
+        })
+    };
+    // Join all three before propagating any failure, so an error never
+    // leaves the other chains' crawls running detached behind the caller.
+    let eos_res = eos_task.await.map_err(join_err);
+    let tz_res = tz_task.await.map_err(join_err);
+    let xrp_res = xrp_task.await.map_err(join_err);
+    let eos_crawl = eos_res??;
+    let tezos_crawl = tz_res??;
+    let xrp_crawl = xrp_res??;
 
     // Account metadata for every account seen (XRP Scan path).
     let mut seen: HashSet<txstat_xrp::AccountId> = HashSet::new();
@@ -289,39 +512,26 @@ pub async fn generate_with_crawl(
             }
         }
     }
-    let mut accounts: Vec<txstat_xrp::AccountId> = seen.into_iter().collect();
-    accounts.sort();
-    let metas = fetch_account_meta(&xrp_pool, &cfg, &accounts).await?;
-    let mut cluster = ClusterInfo::new();
-    for m in metas {
-        cluster.insert(m.account, m.username, m.parent);
-    }
+    let cluster = fetch_cluster(&served.xrp_pool, &cfg, seen.into_iter().collect()).await?;
 
     // Exchange rates for every observed token (Data API path), and the
     // exchange events of every BTC issuer (Figure 11b).
     let mut rates = Vec::new();
-    let mut trades = Vec::new();
     let mut iou_list: Vec<IssuedCurrency> = ious.into_iter().collect();
     iou_list.sort();
     for ic in &iou_list {
         if let Some(rate) =
-            fetch_exchange_rate(&xrp_pool, &cfg, ic.currency.as_str(), ic.issuer, sc.period.end)
+            fetch_exchange_rate(&served.xrp_pool, &cfg, ic.currency.as_str(), ic.issuer, sc.period.end)
                 .await?
         {
             rates.push((*ic, rate));
         }
-        if ic.currency.as_str() == "BTC" {
-            trades.extend(fetch_exchanges(&xrp_pool, &cfg, "BTC", ic.issuer).await?);
-        }
     }
+    let trades = fetch_btc_trades(&served.xrp_pool, &cfg, &iou_list).await?;
     let oracle = RateOracle::from_rates(rates);
 
-    let governance_periods = governance_periods_of(&tezos);
-    let tezos_rolls: HashMap<Address, u64> = tezos
-        .bakers()
-        .iter()
-        .map(|b| (b.address, b.staked_mutez / tezos.config.roll_size_mutez))
-        .collect();
+    let governance_periods = governance_periods_of(&served.tezos);
+    let tezos_rolls = tezos_rolls_of(&served.tezos);
 
     Ok(PipelineData {
         scenario: sc.clone(),
@@ -331,8 +541,8 @@ pub async fn generate_with_crawl(
         oracle,
         trades,
         cluster,
-        eos_cpu_price: eos.cpu_price_history.clone(),
-        eos_dropped_txs: eos.dropped_txs,
+        eos_cpu_price: served.eos.cpu_price_history.clone(),
+        eos_dropped_txs: served.eos.dropped_txs,
         tezos_rolls,
         governance_periods,
         crawl: Some(CrawlSummary {
@@ -342,7 +552,279 @@ pub async fn generate_with_crawl(
             eos_advertised: opts.eos_advertised,
             eos_shortlisted: opts.eos_shortlisted,
         }),
+        stream: None,
         sweeps: OnceLock::new(),
+    })
+}
+
+// ---- Streamed ingestion -----------------------------------------------------
+
+/// Min/max block bounds, mergeable across shards.
+#[derive(Debug, Clone, Copy, Default)]
+struct Bounds {
+    first: Option<(u64, ChainTime)>,
+    last: Option<(u64, ChainTime)>,
+}
+
+impl Bounds {
+    fn record(&mut self, n: u64, t: ChainTime) {
+        if self.first.map(|(f, _)| n < f).unwrap_or(true) {
+            self.first = Some((n, t));
+        }
+        if self.last.map(|(l, _)| n > l).unwrap_or(true) {
+            self.last = Some((n, t));
+        }
+    }
+
+    fn merge(&mut self, other: Bounds) {
+        if let Some((n, t)) = other.first {
+            self.record(n, t);
+        }
+        if let Some((n, t)) = other.last {
+            self.record(n, t);
+        }
+    }
+}
+
+/// Shard state for the chains whose sweeps need no side lookups: the fused
+/// sweep plus stream bounds.
+struct SweepShardAcc<S> {
+    sweep: S,
+    bounds: Bounds,
+}
+
+/// Fold the stream bounds across shards, build the chain's stream info,
+/// and merge the shard sweeps in index order.
+fn reduce_sweep_shards<S>(
+    out: IngestOutcome<SweepShardAcc<S>>,
+    opts: &CrawlOptions,
+    mut merge: impl FnMut(&mut S, S),
+) -> (S, ChainStreamInfo) {
+    let bounds = out.shards.iter().fold(Bounds::default(), |mut b, s| {
+        b.merge(s.bounds);
+        b
+    });
+    let info = chain_stream_info(bounds, &out, opts);
+    let mut it = out.shards.into_iter();
+    let mut sweep = it.next().expect("at least one shard").sweep;
+    for other in it {
+        merge(&mut sweep, other.sweep);
+    }
+    (sweep, info)
+}
+
+/// XRP shard state: sweep, bounds, the accounts seen (for the metadata
+/// fetch), and a shard-local oracle grown from the crawl-time rate cache.
+struct XrpShardAcc {
+    sweep: XrpSweep,
+    bounds: Bounds,
+    seen: HashSet<txstat_xrp::AccountId>,
+    oracle: RateOracle,
+    known: HashSet<IssuedCurrency>,
+}
+
+impl XrpShardAcc {
+    fn observe(&mut self, b: &txstat_xrp::LedgerBlock, rates: &RateCache) {
+        self.bounds.record(b.index, b.close_time);
+        // Sync any token this ledger references from the shared cache into
+        // the shard-local oracle. The crawl source resolved them before
+        // emitting the ledger, so the lookup cannot miss.
+        for ic in ledger_ious(b) {
+            if self.known.insert(ic) {
+                if let Some(Some(rate)) = rates.lookup(ic) {
+                    self.oracle.insert(ic, rate);
+                }
+            }
+        }
+        for tx in &b.transactions {
+            self.seen.insert(tx.tx.account);
+            if let TxPayload::Payment { destination, .. } = &tx.tx.payload {
+                self.seen.insert(*destination);
+            }
+        }
+        self.sweep.observe(b, &self.oracle);
+    }
+
+    fn merge(&mut self, other: XrpShardAcc) {
+        self.sweep.merge(other.sweep);
+        self.bounds.merge(other.bounds);
+        self.seen.extend(other.seen);
+        for (ic, rate) in other.oracle.currencies() {
+            self.oracle.insert(*ic, *rate);
+        }
+    }
+}
+
+fn chain_stream_info<A>(
+    bounds: Bounds,
+    outcome: &IngestOutcome<A>,
+    opts: &CrawlOptions,
+) -> ChainStreamInfo {
+    ChainStreamInfo {
+        first: bounds.first,
+        last: bounds.last,
+        shards: outcome.shards.len(),
+        channel_capacity: opts.channel_capacity,
+        streamed_blocks: outcome.total_observed(),
+        peak_buffered: outcome.peak_buffered(),
+        blocked_sends: outcome.gauges.iter().map(|g| g.blocked_sends).sum(),
+    }
+}
+
+/// Streamed path: the same serve → benchmark → shortlist → crawl pipeline,
+/// but every fetched block flows straight into sharded sweep accumulators
+/// through bounded channels. The crawl-side and sweep-side overlap per
+/// chain *and* the three chains overlap with each other; no measurement
+/// copy of any chain is ever materialized.
+pub async fn generate_with_crawl_streamed(
+    sc: &Scenario,
+    opts: &CrawlOptions,
+) -> Result<PipelineData, CrawlError> {
+    let served = serve_scenario(sc, opts).await?;
+    let cfg = ClientConfig::default();
+    let period = sc.period;
+    let rates = Arc::new(RateCache::new(period.end));
+
+    // EOS: sharded sweep pool + streaming crawl source.
+    let (eos_sink, eos_pool): (Sink<txstat_eos::Block>, _) = spawn_sharded(
+        opts.ingest(),
+        move || SweepShardAcc { sweep: EosSweep::new(period), bounds: Bounds::default() },
+        |acc: &mut SweepShardAcc<EosSweep>, n, b: &txstat_eos::Block| {
+            acc.bounds.record(n, b.time);
+            acc.sweep.observe(b);
+        },
+    );
+    let eos_task = {
+        let pool = served.eos_pool.clone();
+        let cfg = cfg.clone();
+        let low = served.eos.config.start_block_num;
+        let concurrency = opts.concurrency;
+        tokio::spawn(async move {
+            let head = eos_head(&pool, &cfg).await?;
+            let src = EosCrawlSource { pool, cfg, low, high: head, concurrency };
+            src.produce(eos_sink).await.map_err(CrawlError::from)
+        })
+    };
+
+    // Tezos.
+    let governance_periods = governance_periods_of(&served.tezos);
+    let tz_periods = governance_periods.clone();
+    let (tz_sink, tz_pool): (Sink<txstat_tezos::TezosBlock>, _) = spawn_sharded(
+        opts.ingest(),
+        move || SweepShardAcc {
+            sweep: TezosSweep::new(period, tz_periods.clone()),
+            bounds: Bounds::default(),
+        },
+        |acc: &mut SweepShardAcc<TezosSweep>, n, b: &txstat_tezos::TezosBlock| {
+            acc.bounds.record(n, b.time);
+            acc.sweep.observe(b);
+        },
+    );
+    let tz_task = {
+        let pool = served.tz_pool.clone();
+        let cfg = cfg.clone();
+        let low = served.tezos.config.start_level;
+        let concurrency = opts.concurrency;
+        tokio::spawn(async move {
+            let head = tezos_head(&pool, &cfg).await?;
+            let src = TezosCrawlSource { pool, cfg, low, high: head, concurrency };
+            src.produce(tz_sink).await.map_err(CrawlError::from)
+        })
+    };
+
+    // XRP: the crawl source resolves exchange rates as tokens appear; the
+    // shard accumulators value payments through a local oracle synced from
+    // that cache.
+    let rates_for_obs = rates.clone();
+    let (xrp_sink, xrp_shard_pool): (Sink<txstat_xrp::LedgerBlock>, _) = spawn_sharded(
+        opts.ingest(),
+        move || XrpShardAcc {
+            sweep: XrpSweep::new(period),
+            bounds: Bounds::default(),
+            seen: HashSet::new(),
+            oracle: RateOracle::default(),
+            known: HashSet::new(),
+        },
+        move |acc: &mut XrpShardAcc, _n, b: &txstat_xrp::LedgerBlock| {
+            acc.observe(b, &rates_for_obs);
+        },
+    );
+    let xrp_task = {
+        let pool = served.xrp_pool.clone();
+        let cfg = cfg.clone();
+        let low = served.xrp.config.start_index;
+        let concurrency = opts.concurrency;
+        let rates = rates.clone();
+        tokio::spawn(async move {
+            let head = xrp_head(&pool, &cfg).await?;
+            let src = XrpCrawlSource { pool, cfg, low, high: head, concurrency, rates };
+            src.produce(xrp_sink).await.map_err(CrawlError::from)
+        })
+    };
+
+    // The crawls (and their folds) run concurrently. Join every producer
+    // before propagating any failure — a failed producer has already
+    // dropped its sink, so the shard workers below drain and exit either
+    // way, and no crawl keeps running detached behind an early Err.
+    let eos_res = eos_task.await.map_err(join_err);
+    let tz_res = tz_task.await.map_err(join_err);
+    let xrp_res = xrp_task.await.map_err(join_err);
+    let eos_out = eos_pool.finish().await;
+    let tz_out = tz_pool.finish().await;
+    let xrp_out = xrp_shard_pool.finish().await;
+    let eos_stats = eos_res??;
+    let tz_stats = tz_res??;
+    let xrp_stats = xrp_res??;
+
+    // Reduce: merge shards in index order.
+    let (eos_sweep, eos_info) = reduce_sweep_shards(eos_out, opts, EosSweep::merge);
+    let (tz_sweep, tz_info) = reduce_sweep_shards(tz_out, opts, TezosSweep::merge);
+    let (xrp_sweep, seen_accounts, xrp_info) = {
+        let bounds = xrp_out.shards.iter().fold(Bounds::default(), |mut b, s| {
+            b.merge(s.bounds);
+            b
+        });
+        let info = chain_stream_info(bounds, &xrp_out, opts);
+        let merged = xrp_out.merged(XrpShardAcc::merge);
+        (merged.sweep, merged.seen, info)
+    };
+
+    // Post-crawl sidecar fetches: metadata for seen accounts, BTC exchange
+    // events. Rates were already resolved during the crawl.
+    let cluster = fetch_cluster(&served.xrp_pool, &cfg, seen_accounts.into_iter().collect()).await?;
+    let trades = fetch_btc_trades(&served.xrp_pool, &cfg, &rates.currencies()).await?;
+    let oracle = rates.oracle();
+
+    let tezos_rolls = tezos_rolls_of(&served.tezos);
+    let sweeps = OnceLock::new();
+    let _ = sweeps.set(ChainSweeps { eos: eos_sweep, tezos: tz_sweep, xrp: xrp_sweep });
+
+    Ok(PipelineData {
+        scenario: sc.clone(),
+        eos_blocks: Vec::new(),
+        tezos_blocks: Vec::new(),
+        xrp_blocks: Vec::new(),
+        oracle,
+        trades,
+        cluster,
+        eos_cpu_price: served.eos.cpu_price_history.clone(),
+        eos_dropped_txs: served.eos.dropped_txs,
+        tezos_rolls,
+        governance_periods,
+        crawl: Some(CrawlSummary {
+            eos: eos_stats,
+            tezos: tz_stats,
+            xrp: xrp_stats,
+            eos_advertised: opts.eos_advertised,
+            eos_shortlisted: opts.eos_shortlisted,
+        }),
+        stream: Some(StreamSummary {
+            eos: eos_info,
+            tezos: tz_info,
+            xrp: xrp_info,
+            eos_cpu_peaks: eos_cpu_peaks_of(&served.eos),
+        }),
+        sweeps,
     })
 }
 

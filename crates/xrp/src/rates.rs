@@ -72,6 +72,12 @@ impl RateOracle {
         RateOracle { rates }
     }
 
+    /// Record one externally-resolved rate (streaming ingestion builds its
+    /// per-shard oracles incrementally as new tokens appear on the wire).
+    pub fn insert(&mut self, currency: IssuedCurrency, rate: f64) {
+        self.rates.insert(currency, rate);
+    }
+
     /// XRP per whole unit of the currency; `None` if never exchanged in
     /// window.
     pub fn rate(&self, currency: IssuedCurrency) -> Option<f64> {

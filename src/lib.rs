@@ -8,11 +8,13 @@
 //! - [`eos`], [`tezos`], [`xrp`] — the three ledger simulators
 //! - [`workload`] — the agent-based scenario engine (paper preset)
 //! - [`netsim`], [`crawler`] — RPC substrate and measurement crawler
+//! - [`ingest`] — streaming crawl-to-accumulator ingestion
 //! - [`core`] — the paper's analytics pipeline
 //! - [`reports`] — per-figure/table renderers
 
 pub use txstat_core as core;
 pub use txstat_crawler as crawler;
+pub use txstat_ingest as ingest;
 pub use txstat_eos as eos;
 pub use txstat_netsim as netsim;
 pub use txstat_reports as reports;

@@ -777,6 +777,149 @@ mod fused {
         }
     }
 
+    // ---- Streamed sharded ingestion ----------------------------------------
+    //
+    // The `txstat_ingest` path — blocks through bounded channels into
+    // per-shard accumulators, shards merged in index order — must equal
+    // both `par_sweep` over the materialized slice and the legacy
+    // per-figure scans, for random shard counts and channel capacities.
+
+    /// Stream `blocks` through a sharded pool and merge the shards.
+    fn stream_sharded<B, A>(
+        blocks: Vec<(u64, B)>,
+        shards: usize,
+        capacity: usize,
+        identity: impl Fn() -> A + Send + Sync + 'static,
+        observe: impl Fn(&mut A, u64, &B) + Send + Sync + 'static,
+        merge: impl FnMut(&mut A, A),
+    ) -> A
+    where
+        B: Send + 'static,
+        A: Send + 'static,
+    {
+        use txstat::ingest::{spawn_sharded, BlockSource, IngestOptions, MemorySource};
+        tokio::runtime::block_on(async move {
+            let opts = IngestOptions { shards, channel_capacity: capacity };
+            let (sink, pool) = spawn_sharded(opts, identity, observe);
+            let producer = tokio::spawn(MemorySource::new(blocks).produce(sink));
+            let out = pool.finish().await;
+            producer.await.expect("producer task").expect("memory source");
+            out.merged(merge)
+        })
+    }
+
+    proptest! {
+        /// EOS: streamed sharded ingestion == par_sweep == legacy scans.
+        #[test]
+        fn eos_streamed_equals_sweep_and_legacy(
+            spec in eos_strategy(),
+            shards in 1usize..5,
+            capacity in 1usize..8,
+        ) {
+            let blocks = eos_blocks(&spec);
+            let whole = EosSweep::compute(&blocks, window());
+            let streamed = stream_sharded(
+                blocks.iter().map(|b| (b.num, b.clone())).collect(),
+                shards,
+                capacity,
+                move || EosSweep::new(window()),
+                |acc: &mut EosSweep, _n, b: &Block| acc.observe(b),
+                |a, b| a.merge(b),
+            );
+            // == the legacy per-figure scans (full equivalence battery).
+            assert_eos_equiv(&streamed, &blocks, window())?;
+            // == par_sweep over the materialized slice, on the figure outputs.
+            prop_assert_eq!(streamed.tps(), whole.tps());
+            let (srows, stotal) = streamed.action_distribution();
+            let (wrows, wtotal) = whole.action_distribution();
+            prop_assert_eq!(stotal, wtotal);
+            let flat = |r: &[eos_a::ActionRow]| -> Vec<(eos_a::EosActionClass, String, u64)> {
+                r.iter().map(|r| (r.class, r.action.clone(), r.count)).collect()
+            };
+            prop_assert_eq!(flat(&srows), flat(&wrows));
+        }
+
+        /// XRP: streamed sharded ingestion (oracle-valued observes) ==
+        /// par_sweep == legacy scans.
+        #[test]
+        fn xrp_streamed_equals_sweep_and_legacy(
+            spec in x_strategy(),
+            shards in 1usize..5,
+            capacity in 1usize..8,
+        ) {
+            let blocks = x_blocks(&spec);
+            let ora = oracle();
+            let whole = XrpSweep::compute(&blocks, window(), &ora);
+            let shard_ora = oracle();
+            let streamed = stream_sharded(
+                blocks.iter().map(|b| (b.index, b.clone())).collect(),
+                shards,
+                capacity,
+                move || XrpSweep::new(window()),
+                move |acc: &mut XrpSweep, _n, b: &LedgerBlock| acc.observe(b, &shard_ora),
+                |a, b| a.merge(b),
+            );
+            assert_x_equiv(&streamed, &blocks, window())?;
+            prop_assert_eq!(streamed.tps(), whole.tps());
+            let f = streamed.funnel();
+            let wf = whole.funnel();
+            prop_assert_eq!(f.total, wf.total);
+            prop_assert_eq!(f.payments_with_value, wf.payments_with_value);
+        }
+
+        /// Tezos: streamed sharded ingestion == legacy scans.
+        #[test]
+        fn tezos_streamed_equals_legacy(
+            spec in tz_strategy(),
+            shards in 1usize..5,
+            capacity in 1usize..8,
+        ) {
+            let blocks = tz_blocks(&spec);
+            let streamed = stream_sharded(
+                blocks.iter().map(|b| (b.level, b.clone())).collect(),
+                shards,
+                capacity,
+                move || TezosSweep::new(window(), tz_periods()),
+                |acc: &mut TezosSweep, _n, b: &TezosBlock| acc.observe(b),
+                |a, b| a.merge(b),
+            );
+            assert_tz_equiv(&streamed, &blocks, window())?;
+        }
+
+        /// Incremental re-sweep groundwork: a range-keyed checkpoint of the
+        /// shard states, extended with only the tail, equals the full sweep.
+        #[test]
+        fn eos_checkpoint_tail_equals_full_sweep(
+            spec in eos_strategy(),
+            pivot in 0usize..12,
+            shards in 1usize..4,
+        ) {
+            let blocks = eos_blocks(&spec);
+            let pivot = pivot.min(blocks.len());
+            let mut cp = txstat::ingest::Checkpoint {
+                shards: vec![EosSweep::new(window()); shards],
+                counts: vec![0; shards],
+                low: 1,
+                high: 0,
+            };
+            let observe = |a: &mut EosSweep, _n: u64, b: &&Block| a.observe(b);
+            cp.observe_tail(blocks[..pivot].iter().map(|b| (b.num, b)), observe)
+                .expect("prefix is ascending");
+            // Appending the tail re-observes only the new blocks.
+            cp.observe_tail(blocks[pivot..].iter().map(|b| (b.num, b)), observe)
+                .expect("tail extends the range");
+            prop_assert_eq!(cp.observed(), blocks.len() as u64);
+            let merged = cp.merged(|a, b| a.merge(b));
+            assert_eos_equiv(&merged, &blocks, window())?;
+            // Re-observing the prefix is rejected (would double-count).
+            if !blocks.is_empty() {
+                prop_assert!(cp
+                    .observe_tail([(blocks[0].num, &blocks[0])], observe)
+                    .is_err());
+            }
+        }
+    }
+
     /// The sweep result is identical at any rayon worker count.
     #[test]
     fn sweeps_are_thread_count_invariant() {

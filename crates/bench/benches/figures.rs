@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use txstat_bench::{bench_data, bench_scenario};
 use txstat_core::{eos_analysis as eos, graph, tezos_analysis as tezos, xrp_analysis as xrp};
-use txstat_core::{EosSweep, TezosSweep, XrpSweep};
+use txstat_core::{EosColumnar, EosSweep, TezosColumnar, TezosSweep, XrpColumnar, XrpSweep};
 use txstat_ingest::{spawn_sharded, BlockSource, IngestOptions, MemorySource};
 use txstat_reports::exhibits;
 
@@ -126,10 +126,9 @@ fn fused_report(c: &mut Criterion) {
         })
     });
 
-    // Sweep + every finalization accessor, so both arms produce the same
-    // figure-shaped outputs and the comparison is work-for-work.
-    let three_sweeps = || {
-        let e = EosSweep::compute(&data.eos_blocks, period);
+    // Every finalization accessor, so each arm produces the same
+    // figure-shaped outputs and the comparisons are work-for-work.
+    let exercise = |e: EosSweep, t: TezosSweep, x: XrpSweep| {
         let curated = eos::EosLabels::curated();
         let labels = e.labels(100, &|n| curated.get(n));
         black_box(e.action_distribution());
@@ -140,14 +139,12 @@ fn fused_report(c: &mut Criterion) {
         black_box(e.boomerang_report());
         black_box(e.tps());
         black_box(e.graph().report(3));
-        let t = TezosSweep::compute(&data.tezos_blocks, period, &data.governance_periods);
         black_box(t.op_distribution());
         black_box(t.throughput_series().total());
         black_box(t.top_senders(5));
         black_box(t.governance_curves(&data.tezos_rolls));
         black_box(t.governance_op_count());
         black_box(t.tps());
-        let x = XrpSweep::compute(&data.xrp_blocks, period, &data.oracle);
         black_box(x.tx_distribution());
         black_box(x.throughput_series().total());
         black_box(x.funnel());
@@ -159,20 +156,49 @@ fn fused_report(c: &mut Criterion) {
         black_box(x.graph().report(3));
         (e, t, x)
     };
+    let three_sweeps = || {
+        exercise(
+            EosSweep::compute(&data.eos_blocks, period),
+            TezosSweep::compute(&data.tezos_blocks, period, &data.governance_periods),
+            XrpSweep::compute(&data.xrp_blocks, period, &data.oracle),
+        )
+    };
     g.bench_function("fused_three_sweeps", |b| b.iter(|| black_box(three_sweeps())));
+
+    // The columnar engine over the same workload: interned ids, batched
+    // tag-table classification, id-indexed counters, remap merges — then
+    // finalized into the same scalar structs and pushed through the same
+    // accessor battery (`compute` returns the finalized scalar sweeps).
+    let columnar_sweeps = || {
+        exercise(
+            EosColumnar::compute(&data.eos_blocks, period),
+            TezosColumnar::compute(&data.tezos_blocks, period, &data.governance_periods),
+            XrpColumnar::compute(&data.xrp_blocks, period, &data.oracle),
+        )
+    };
+    g.bench_function("columnar_three_sweeps", |b| b.iter(|| black_box(columnar_sweeps())));
 
     let max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
     let mut counts = vec![1usize, 2];
     if max_threads > 2 {
         counts.push(max_threads);
     }
-    for threads in counts {
+    for threads in counts.clone() {
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(threads)
             .build()
             .expect("pool");
         g.bench_function(format!("fused_sweeps_{threads}_threads"), |b| {
             b.iter(|| pool.install(|| black_box(three_sweeps())))
+        });
+    }
+    for threads in counts {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool");
+        g.bench_function(format!("columnar_sweeps_{threads}_threads"), |b| {
+            b.iter(|| pool.install(|| black_box(columnar_sweeps())))
         });
     }
     g.finish();

@@ -1,0 +1,129 @@
+//! `bench-diff` — compare a fresh criterion run against the recorded
+//! baseline and print per-benchmark speedups.
+//!
+//! Both inputs are the JSON-lines format the workspace's criterion shim
+//! emits through `$TXSTAT_BENCH_JSON` (and that `BENCH_figures.json`
+//! records): one `{"name", "median_ns", ...}` object per line.
+//!
+//! ```text
+//! TXSTAT_BENCH_JSON=fresh.json cargo bench -p txstat_bench --bench figures -- fused_report
+//! cargo run -p txstat_bench --bin bench_diff -- BENCH_figures.json fresh.json --groups fused_report
+//! ```
+//!
+//! Prints `baseline → fresh (speedup ×)` per benchmark present in both
+//! files; `--groups a,b` restricts to benchmarks whose `group/` prefix
+//! matches. Exits non-zero only on unreadable/withered inputs (no common
+//! benchmarks), so CI catches format rot without failing on machine noise.
+
+use serde_json::Value;
+use std::process::ExitCode;
+
+struct Entry {
+    name: String,
+    median_ns: f64,
+}
+
+fn parse_lines(path: &str) -> Result<Vec<Entry>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let v: Value = serde_json::from_str(line)
+            .map_err(|e| format!("{path}:{}: bad JSON line: {e}", i + 1))?;
+        let name = v
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("{path}:{}: missing name", i + 1))?
+            .to_owned();
+        let median_ns = v
+            .get("median_ns")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("{path}:{}: missing median_ns", i + 1))?;
+        out.push(Entry { name, median_ns });
+    }
+    Ok(out)
+}
+
+fn fmt_ms(ns: f64) -> String {
+    if ns < 1_000_000.0 {
+        format!("{:.1} µs", ns / 1_000.0)
+    } else {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    }
+}
+
+fn run() -> Result<(), String> {
+    let mut args = std::env::args().skip(1);
+    let usage = "usage: bench_diff <baseline.json> <fresh.json> [--groups g1,g2]";
+    let baseline_path = args.next().ok_or(usage)?;
+    let fresh_path = args.next().ok_or(usage)?;
+    let mut groups: Vec<String> = Vec::new();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--groups" => {
+                let list = args.next().ok_or("--groups needs a comma-separated list")?;
+                groups.extend(list.split(',').map(|s| s.trim().to_owned()));
+            }
+            other => return Err(format!("unknown argument {other:?}\n{usage}")),
+        }
+    }
+    let in_groups = |name: &str| {
+        groups.is_empty()
+            || groups.iter().any(|g| name.starts_with(&format!("{g}/")) || name == g)
+    };
+
+    let baseline = parse_lines(&baseline_path)?;
+    let fresh = parse_lines(&fresh_path)?;
+
+    let mut rows: Vec<(String, f64, f64)> = Vec::new();
+    for b in &baseline {
+        if !in_groups(&b.name) {
+            continue;
+        }
+        // Last fresh entry wins, so re-running a bench into the same JSON
+        // file compares against the latest measurement.
+        if let Some(f) = fresh.iter().rev().find(|f| f.name == b.name) {
+            rows.push((b.name.clone(), b.median_ns, f.median_ns));
+        }
+    }
+    if rows.is_empty() {
+        return Err(format!(
+            "no common benchmarks between {baseline_path} and {fresh_path}{}",
+            if groups.is_empty() { String::new() } else { format!(" in groups {groups:?}") }
+        ));
+    }
+
+    let name_w = rows.iter().map(|(n, ..)| n.len()).max().unwrap_or(0);
+    println!("{:<name_w$}  {:>10}  {:>10}  {:>8}", "benchmark", "baseline", "fresh", "speedup");
+    for (name, base, fresh) in &rows {
+        println!(
+            "{name:<name_w$}  {:>10}  {:>10}  {:>7.2}×",
+            fmt_ms(*base),
+            fmt_ms(*fresh),
+            base / fresh.max(1.0),
+        );
+    }
+    let fresh_only: Vec<&str> = fresh
+        .iter()
+        .filter(|f| in_groups(&f.name) && !baseline.iter().any(|b| b.name == f.name))
+        .map(|f| f.name.as_str())
+        .collect();
+    if !fresh_only.is_empty() {
+        println!("\nnot in baseline yet: {}", fresh_only.join(", "));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("bench_diff: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

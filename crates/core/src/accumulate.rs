@@ -15,11 +15,17 @@
 
 use rayon::prelude::*;
 
-/// Chunks per rayon worker. More than one so stragglers (blocks with very
-/// different transaction counts) balance; not so many that merge overhead
-/// dominates on small inputs.
-const CHUNKS_PER_WORKER: usize = 4;
+/// Floor on blocks per chunk: below this, per-chunk accumulator setup,
+/// thread spawn, and merge overhead dominate the fold itself, so small
+/// inputs collapse into fewer (possibly one) chunks regardless of worker
+/// count.
+const MIN_CHUNK: usize = 256;
 
+/// Adaptive chunk size: `blocks / workers` with a floor. One chunk per
+/// worker minimizes the number of merges — the accumulators carry
+/// per-account state whose merge cost scales with distinct keys, not with
+/// blocks, so fewer, larger chunks beat the fixed chunks-per-worker
+/// oversubscription that made 2-thread sweeps slower than 1-thread.
 fn chunk_size(len: usize) -> usize {
     let workers = rayon::current_num_threads().max(1);
     if workers <= 1 {
@@ -27,7 +33,7 @@ fn chunk_size(len: usize) -> usize {
         // merge overhead.
         return len.max(1);
     }
-    len.div_ceil(workers * CHUNKS_PER_WORKER).max(1)
+    len.div_ceil(workers).max(MIN_CHUNK)
 }
 
 /// Fold `blocks` through `observe` in parallel chunks, then `merge` the

@@ -287,15 +287,15 @@ pub struct WashReport {
 /// Mergeable wash-trading state: the per-transaction detector shared by the
 /// legacy single-purpose scan and the fused [`EosSweep`].
 #[derive(Debug, Clone, Default)]
-struct WashAcc {
-    total: u64,
-    self_trades: u64,
-    participation: TopK<Name>,
-    self_by_account: HashMap<Name, u64>,
+pub(crate) struct WashAcc {
+    pub(crate) total: u64,
+    pub(crate) self_trades: u64,
+    pub(crate) participation: TopK<Name>,
+    pub(crate) self_by_account: HashMap<Name, u64>,
     /// (buyer, seller) → trade count: bounded by the pair population, not
     /// the trade count, so the accumulator stays O(accounts²) worst case
     /// instead of O(trades).
-    pair_counts: HashMap<(Name, Name), u64>,
+    pub(crate) pair_counts: HashMap<(Name, Name), u64>,
 }
 
 impl WashAcc {
@@ -388,17 +388,17 @@ pub struct BoomerangReport {
 /// shared by the legacy scan and the fused [`EosSweep`]. Detection is fully
 /// contained within one transaction, so counters merge by plain addition.
 #[derive(Debug, Clone, Default)]
-struct BoomAcc {
-    boomerang_txs: u64,
-    boomerangs: u64,
-    total_txs: u64,
-    transfer_actions: u64,
-    boomerang_transfers: u64,
-    hubs: TopK<Name>,
+pub(crate) struct BoomAcc {
+    pub(crate) boomerang_txs: u64,
+    pub(crate) boomerangs: u64,
+    pub(crate) total_txs: u64,
+    pub(crate) transfer_actions: u64,
+    pub(crate) boomerang_transfers: u64,
+    pub(crate) hubs: TopK<Name>,
     /// Reused per-transaction scratch (not merged state): the transfer legs
     /// of the current transaction and their matched flags.
-    scratch: Vec<(usize, Name, Name, txstat_types::SymCode, i64)>,
-    used: Vec<bool>,
+    pub(crate) scratch: Vec<(usize, Name, Name, txstat_types::SymCode, i64)>,
+    pub(crate) used: Vec<bool>,
 }
 
 impl BoomAcc {
@@ -510,30 +510,30 @@ pub fn tps(blocks: &[Block], period: Period) -> f64 {
 /// the accessor methods after the sweep.
 #[derive(Debug, Clone)]
 pub struct EosSweep {
-    period: Period,
+    pub(crate) period: Period,
     // Figure 1. Keyed by `(class, Option<name>)` — `None` is the collapsed
     // Others bucket — so the hot loop hashes a u64 instead of allocating a
     // String per action; rows are stringified once, at finalization.
-    action_counts: HashMap<(EosActionClass, Option<Name>), u64>,
-    action_total: u64,
+    pub(crate) action_counts: HashMap<(EosActionClass, Option<Name>), u64>,
+    pub(crate) action_total: u64,
     // Figures 4–5 + the top-contract labeling input. Action mixes are also
     // Name-keyed here and stringified at finalization.
-    tx_contracts: TopK<Name>,
-    contract_actions: HashMap<Name, TopK<Name>>,
-    sent: TopK<Name>,
-    sender_receivers: HashMap<Name, TopK<Name>>,
+    pub(crate) tx_contracts: TopK<Name>,
+    pub(crate) contract_actions: HashMap<Name, TopK<Name>>,
+    pub(crate) sent: TopK<Name>,
+    pub(crate) sender_receivers: HashMap<Name, TopK<Name>>,
     // Figure 3a, keyed by each transaction's first-action contract; app
     // categories are projected at finalization via [`EosSweep::throughput_series`].
-    contract_series: BucketSeries<Option<Name>>,
+    pub(crate) contract_series: BucketSeries<Option<Name>>,
     // §4.1 detectors.
-    wash: WashAcc,
-    boom: BoomAcc,
+    pub(crate) wash: WashAcc,
+    pub(crate) boom: BoomAcc,
     // §5 transfer graph.
-    graph: crate::graph::TransferGraph<Name>,
+    pub(crate) graph: crate::graph::TransferGraph<Name>,
     /// In-period transaction count (the headline TPS numerator).
-    txs_in_period: u64,
+    pub(crate) txs_in_period: u64,
     /// Reused per-transaction scratch for distinct-contract dedup.
-    contract_scratch: Vec<Name>,
+    pub(crate) contract_scratch: Vec<Name>,
 }
 
 impl EosSweep {

@@ -56,9 +56,19 @@ impl<N: Eq + Hash + Clone + Ord> TransferGraph<N> {
 
     /// Record one transfer (edge multiplicity +1).
     pub fn record(&mut self, from: N, to: N) {
-        *self.edges.entry((from.clone(), to.clone())).or_insert(0) += 1;
-        *self.out_degree.entry(from.clone()).or_insert(0) += 1;
-        *self.in_degree.entry(to.clone()).or_insert(0) += 1;
+        self.record_many(from, to, 1);
+    }
+
+    /// Record `n` transfers along one edge at once — how the columnar
+    /// engine rebuilds a graph from an edge-multiplicity table. State is
+    /// identical to calling [`TransferGraph::record`] `n` times.
+    pub fn record_many(&mut self, from: N, to: N, n: u64) {
+        if n == 0 {
+            return;
+        }
+        *self.edges.entry((from.clone(), to.clone())).or_insert(0) += n;
+        *self.out_degree.entry(from.clone()).or_insert(0) += n;
+        *self.in_degree.entry(to.clone()).or_insert(0) += n;
         self.out_neighbors.entry(from.clone()).or_default().insert(to.clone());
         self.in_neighbors.entry(to).or_default().insert(from);
     }

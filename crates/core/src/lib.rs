@@ -40,6 +40,20 @@
 //! `fused_report` criterion benches compare against, and stay convenient
 //! when only one statistic is needed.
 //!
+//! ## The columnar fast path
+//!
+//! [`columnar`] carries the same sweeps in columnar form: account/contract/
+//! action names interned to dense `u32` ids at decode time, per-block
+//! struct-of-arrays batches classified through precomputed tag tables, and
+//! id-indexed counters (vectors plus residue-sharded pair tables) whose
+//! merges are remapped vector adds instead of `HashMap` rehashes.
+//! [`columnar::EosColumnar::finalize`] (& co.) resolve ids back to names
+//! and emit the scalar sweep structs, so the columnar path is
+//! state-identical — and therefore bit-identical on every exhibit — to the
+//! scalar fold. The report pipeline computes through the columnar engine;
+//! the scalar observes remain the streaming-shard baseline and the
+//! equivalence oracle.
+//!
 //! Supporting modules:
 //!
 //! - [`accumulate`] — the chunked parallel map-reduce driver.
@@ -49,6 +63,7 @@
 
 pub mod accumulate;
 pub mod cluster;
+pub mod columnar;
 pub mod graph;
 pub mod eos_analysis;
 pub mod tezos_analysis;
@@ -56,6 +71,7 @@ pub mod xrp_analysis;
 
 pub use accumulate::par_sweep;
 pub use cluster::ClusterInfo;
+pub use columnar::{EosColumnar, TezosColumnar, XrpColumnar};
 pub use eos_analysis::EosSweep;
 pub use graph::{GraphReport, TransferGraph};
 pub use tezos_analysis::TezosSweep;

@@ -252,7 +252,7 @@ pub fn governance_curves(
     out
 }
 
-fn short_hash(h: &str) -> String {
+pub(crate) fn short_hash(h: &str) -> String {
     h.chars().take(12).collect()
 }
 
@@ -280,28 +280,28 @@ pub fn tps(blocks: &[TezosBlock], period: Period) -> f64 {
 }
 
 /// One raw governance event: (block time, curve label, voting baker).
-type GovEvent = (ChainTime, String, Address);
+pub(crate) type GovEvent = (ChainTime, String, Address);
 
 /// The fused Tezos accumulator: every Tezos exhibit statistic from **one**
 /// pass over the block vector. See [`crate::accumulate`] for the algebra.
 #[derive(Debug, Clone)]
 pub struct TezosSweep {
-    period: Period,
-    periods: Vec<(PeriodKind, Period)>,
+    pub(crate) period: Period,
+    pub(crate) periods: Vec<(PeriodKind, Period)>,
     // Figure 1.
-    op_counts: HashMap<OperationKind, u64>,
-    op_total: u64,
+    pub(crate) op_counts: HashMap<OperationKind, u64>,
+    pub(crate) op_total: u64,
     // Figure 3b.
-    series: BucketSeries<TezosThroughputCat>,
+    pub(crate) series: BucketSeries<TezosThroughputCat>,
     // Figure 6.
-    sent: TopK<Address>,
-    per_receiver: HashMap<Address, TopK<Address>>,
+    pub(crate) sent: TopK<Address>,
+    pub(crate) per_receiver: HashMap<Address, TopK<Address>>,
     // Figure 9: raw events per governance period, in block order (the
     // sweep's order-preserving merge keeps concatenation == block order).
-    gov_events: Vec<Vec<GovEvent>>,
+    pub(crate) gov_events: Vec<Vec<GovEvent>>,
     // §4.2 and the headline.
-    gov_ops_in_window: u64,
-    txs_in_period: u64,
+    pub(crate) gov_ops_in_window: u64,
+    pub(crate) txs_in_period: u64,
 }
 
 impl TezosSweep {

@@ -542,28 +542,28 @@ pub fn tps(blocks: &[LedgerBlock], period: Period) -> f64 {
 /// deterministic orderings.
 #[derive(Debug, Clone)]
 pub struct XrpSweep {
-    period: Period,
+    pub(crate) period: Period,
     // Figure 1.
-    type_counts: HashMap<TxType, u64>,
-    type_total: u64,
+    pub(crate) type_counts: HashMap<TxType, u64>,
+    pub(crate) type_total: u64,
     // Figure 3c.
-    series: BucketSeries<XrpThroughputCat>,
+    pub(crate) series: BucketSeries<XrpThroughputCat>,
     // Figure 7 (integer counters throughout).
-    funnel: Funnel,
+    pub(crate) funnel: Funnel,
     // Figure 8 + §3.3 concentration: (OfferCreate, Payment, other) per account.
-    per_account: HashMap<AccountId, (u64, u64, u64)>,
-    tags: HashMap<AccountId, TopK<u32>>,
-    grand_total: u64,
+    pub(crate) per_account: HashMap<AccountId, (u64, u64, u64)>,
+    pub(crate) tags: HashMap<AccountId, TopK<u32>>,
+    pub(crate) grand_total: u64,
     // Figure 12, all in integer drops / raw units (both scaled 1e6).
-    xrp_volume_drops: i128,
-    sender_drops: HashMap<AccountId, i128>,
-    receiver_drops: HashMap<AccountId, i128>,
+    pub(crate) xrp_volume_drops: i128,
+    pub(crate) sender_drops: HashMap<AccountId, i128>,
+    pub(crate) receiver_drops: HashMap<AccountId, i128>,
     /// ticker → (nominal raw units, valuable raw units, valuable drops).
-    currencies: HashMap<String, (i128, i128, i128)>,
+    pub(crate) currencies: HashMap<String, (i128, i128, i128)>,
     // §4.3 spam waves.
-    payment_series: BucketSeries<()>,
+    pub(crate) payment_series: BucketSeries<()>,
     // §5 payment graph.
-    graph: crate::graph::TransferGraph<AccountId>,
+    pub(crate) graph: crate::graph::TransferGraph<AccountId>,
 }
 
 impl XrpSweep {

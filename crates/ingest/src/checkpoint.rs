@@ -239,6 +239,65 @@ mod tests {
         assert!(err.is_err(), "block 10 appears twice in the same tail");
     }
 
+    /// A shard accumulator in the columnar style: a per-shard interner
+    /// plus id-indexed counts. Checkpointing such a shard must round-trip
+    /// the interner state (key set AND id assignment) through JSON, since
+    /// the counts are meaningless under any other id mapping.
+    #[derive(Debug, Clone, Serialize, Deserialize)]
+    struct InternedAcc {
+        names: txstat_types::Interner<u64>,
+        counts: Vec<u64>,
+    }
+
+    impl InternedAcc {
+        fn identity() -> Self {
+            InternedAcc { names: txstat_types::Interner::new(), counts: Vec::new() }
+        }
+
+        fn observe(&mut self, key: &u64) {
+            let id = self.names.intern(*key) as usize;
+            if id >= self.counts.len() {
+                self.counts.resize(id + 1, 0);
+            }
+            self.counts[id] += 1;
+        }
+    }
+
+    #[test]
+    fn checkpoint_serializes_interner_state() {
+        let mut cp = Checkpoint {
+            shards: vec![InternedAcc::identity(); 3],
+            counts: vec![0; 3],
+            low: 1,
+            high: 0,
+        };
+        // Keys collide across shards on purpose: each shard's interner
+        // assigns its own ids.
+        cp.observe_tail((1u64..=60).map(|n| (n, n % 7)), |a, _n, k| a.observe(k))
+            .expect("ascending tail");
+        let v = cp.to_json();
+        let back: Checkpoint<InternedAcc> = Checkpoint::from_json(&v).expect("valid checkpoint");
+        assert_eq!(back.observed(), 60);
+        for (b, orig) in back.shards.iter().zip(&cp.shards) {
+            assert_eq!(b.names.keys(), orig.names.keys(), "id assignment preserved");
+            assert_eq!(b.counts, orig.counts);
+        }
+        // The restored checkpoint keeps extending: tail observation equals
+        // having folded the whole range into the original.
+        let mut restored = back;
+        restored
+            .observe_tail((61u64..=80).map(|n| (n, n % 7)), |a, _n, k| a.observe(k))
+            .expect("tail extends");
+        let mut whole = cp.clone();
+        whole
+            .observe_tail((61u64..=80).map(|n| (n, n % 7)), |a, _n, k| a.observe(k))
+            .expect("tail extends");
+        for (r, w) in restored.shards.iter().zip(&whole.shards) {
+            assert_eq!(r.names.keys(), w.names.keys());
+            assert_eq!(r.counts, w.counts);
+        }
+    }
+
     #[test]
     fn malformed_json_is_rejected() {
         let v = json!({"version": 1, "low": 0, "high": 3, "counts": [4], "shards": []});

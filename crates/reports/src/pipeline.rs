@@ -18,7 +18,9 @@
 
 use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, OnceLock};
-use txstat_core::{ClusterInfo, EosSweep, TezosSweep, XrpSweep};
+use txstat_core::{
+    ClusterInfo, EosColumnar, EosSweep, TezosColumnar, TezosSweep, XrpColumnar, XrpSweep,
+};
 use txstat_crawler::{
     benchmark_endpoints, crawl_eos, crawl_tezos, crawl_xrp, eos_head, fetch_account_meta,
     fetch_exchange_rate, fetch_exchanges, shortlist, tezos_head, xrp_head, Advertised,
@@ -84,18 +86,37 @@ pub struct ChainSweeps {
 }
 
 impl PipelineData {
-    /// The fused analytics state: computed on first use with one rayon
-    /// map-reduce sweep per chain, then shared by every exhibit. On the
-    /// streamed path the shard reducer has already filled this.
+    /// The fused analytics state: computed on first use with one columnar
+    /// rayon map-reduce sweep per chain (interned ids, batched
+    /// classification, remap merges — see `txstat_core::columnar`), then
+    /// shared by every exhibit. The columnar engine finalizes into the
+    /// scalar sweep structs, so every downstream accessor is unchanged and
+    /// the report is bit-identical to a scalar fold. On the streamed path
+    /// the shard reducer has already filled this.
     pub fn sweeps(&self) -> &ChainSweeps {
         self.sweeps.get_or_init(|| {
             let period = self.scenario.period;
             ChainSweeps {
+                eos: EosColumnar::compute(&self.eos_blocks, period),
+                tezos: TezosColumnar::compute(&self.tezos_blocks, period, &self.governance_periods),
+                xrp: XrpColumnar::compute(&self.xrp_blocks, period, &self.oracle),
+            }
+        })
+    }
+
+    /// Pin the scalar (non-columnar) sweeps as this dataset's analytics
+    /// state. The equivalence suites use this to render the full report
+    /// through the scalar engine and compare it bit-for-bit against the
+    /// columnar default. Returns false if the sweeps were already computed.
+    pub fn force_scalar_sweeps(&self) -> bool {
+        let period = self.scenario.period;
+        self.sweeps
+            .set(ChainSweeps {
                 eos: EosSweep::compute(&self.eos_blocks, period),
                 tezos: TezosSweep::compute(&self.tezos_blocks, period, &self.governance_periods),
                 xrp: XrpSweep::compute(&self.xrp_blocks, period, &self.oracle),
-            }
-        })
+            })
+            .is_ok()
     }
 
     /// First/last EOS block `(number, time)` — from the materialized chain
@@ -616,7 +637,7 @@ fn reduce_sweep_shards<S>(
 /// XRP shard state: sweep, bounds, the accounts seen (for the metadata
 /// fetch), and a shard-local oracle grown from the crawl-time rate cache.
 struct XrpShardAcc {
-    sweep: XrpSweep,
+    sweep: XrpColumnar,
     bounds: Bounds,
     seen: HashSet<txstat_xrp::AccountId>,
     oracle: RateOracle,
@@ -685,11 +706,13 @@ pub async fn generate_with_crawl_streamed(
     let period = sc.period;
     let rates = Arc::new(RateCache::new(period.end));
 
-    // EOS: sharded sweep pool + streaming crawl source.
+    // EOS: sharded columnar sweep pool + streaming crawl source. Shard
+    // workers intern and batch each block as it arrives; the reducer merges
+    // the per-shard interned states and finalizes once.
     let (eos_sink, eos_pool): (Sink<txstat_eos::Block>, _) = spawn_sharded(
         opts.ingest(),
-        move || SweepShardAcc { sweep: EosSweep::new(period), bounds: Bounds::default() },
-        |acc: &mut SweepShardAcc<EosSweep>, n, b: &txstat_eos::Block| {
+        move || SweepShardAcc { sweep: EosColumnar::new(period), bounds: Bounds::default() },
+        |acc: &mut SweepShardAcc<EosColumnar>, n, b: &txstat_eos::Block| {
             acc.bounds.record(n, b.time);
             acc.sweep.observe(b);
         },
@@ -712,10 +735,10 @@ pub async fn generate_with_crawl_streamed(
     let (tz_sink, tz_pool): (Sink<txstat_tezos::TezosBlock>, _) = spawn_sharded(
         opts.ingest(),
         move || SweepShardAcc {
-            sweep: TezosSweep::new(period, tz_periods.clone()),
+            sweep: TezosColumnar::new(period, tz_periods.clone()),
             bounds: Bounds::default(),
         },
-        |acc: &mut SweepShardAcc<TezosSweep>, n, b: &txstat_tezos::TezosBlock| {
+        |acc: &mut SweepShardAcc<TezosColumnar>, n, b: &txstat_tezos::TezosBlock| {
             acc.bounds.record(n, b.time);
             acc.sweep.observe(b);
         },
@@ -739,7 +762,7 @@ pub async fn generate_with_crawl_streamed(
     let (xrp_sink, xrp_shard_pool): (Sink<txstat_xrp::LedgerBlock>, _) = spawn_sharded(
         opts.ingest(),
         move || XrpShardAcc {
-            sweep: XrpSweep::new(period),
+            sweep: XrpColumnar::new(period),
             bounds: Bounds::default(),
             seen: HashSet::new(),
             oracle: RateOracle::default(),
@@ -776,9 +799,13 @@ pub async fn generate_with_crawl_streamed(
     let tz_stats = tz_res??;
     let xrp_stats = xrp_res??;
 
-    // Reduce: merge shards in index order.
-    let (eos_sweep, eos_info) = reduce_sweep_shards(eos_out, opts, EosSweep::merge);
-    let (tz_sweep, tz_info) = reduce_sweep_shards(tz_out, opts, TezosSweep::merge);
+    // Reduce: merge the per-shard columnar states in index order, then
+    // resolve interned ids once (finalize) into the scalar sweeps the
+    // exhibits render from.
+    let (eos_col, eos_info) = reduce_sweep_shards(eos_out, opts, EosColumnar::merge);
+    let eos_sweep = eos_col.finalize();
+    let (tz_col, tz_info) = reduce_sweep_shards(tz_out, opts, TezosColumnar::merge);
+    let tz_sweep = tz_col.finalize();
     let (xrp_sweep, seen_accounts, xrp_info) = {
         let bounds = xrp_out.shards.iter().fold(Bounds::default(), |mut b, s| {
             b.merge(s.bounds);
@@ -786,7 +813,7 @@ pub async fn generate_with_crawl_streamed(
         });
         let info = chain_stream_info(bounds, &xrp_out, opts);
         let merged = xrp_out.merged(XrpShardAcc::merge);
-        (merged.sweep, merged.seen, info)
+        (merged.sweep.finalize(), merged.seen, info)
     };
 
     // Post-crawl sidecar fetches: metadata for seen accounts, BTC exchange

@@ -10,6 +10,8 @@
 //!   observation periods and the paper's 6-hour bucketing.
 //! - [`amount`] — `i128` fixed-point quantities and inline symbol codes.
 //! - [`ids`] — chain identifiers and stable FNV-1a hashing.
+//! - [`intern`] — dense key interning and the fx hasher behind the
+//!   columnar sweep engine.
 //! - [`stats`] — streaming mean/stdev, exact top-K, histograms, Gini.
 //! - [`distrib`] — the samplers the workload engine needs (Poisson, Zipf,
 //!   exponential, log-normal) built on plain `rand`.
@@ -22,6 +24,7 @@
 pub mod amount;
 pub mod distrib;
 pub mod ids;
+pub mod intern;
 pub mod lzss;
 pub mod rng;
 pub mod series;
@@ -31,6 +34,7 @@ pub mod time;
 
 pub use amount::{fmt_scaled, Qty, SymCode};
 pub use ids::{fnv1a64, Chain};
+pub use intern::{FxBuildHasher, FxHashMap, Interner};
 pub use series::BucketSeries;
 pub use stats::{gini, Histogram, RunningStats, TopK};
 pub use time::{ChainTime, Period, SIX_HOURS};

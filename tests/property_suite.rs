@@ -359,6 +359,44 @@ mod fused {
             assert_eos_equiv(&sweep, &blocks, window())?;
         }
 
+        /// The columnar EOS sweep (interned ids, batched classification,
+        /// remap merges) finalizes to the same outputs as every legacy
+        /// per-exhibit scan.
+        #[test]
+        fn eos_columnar_equals_legacy_scans(spec in eos_strategy()) {
+            let blocks = eos_blocks(&spec);
+            let sweep = txstat::core::EosColumnar::compute(&blocks, window());
+            assert_eos_equiv(&sweep, &blocks, window())?;
+        }
+
+        /// Columnar merge algebra: split-range remap merges at any pivot
+        /// (and in commuted order) finalize to the whole-range result —
+        /// even though the two sides' interners assign different ids.
+        #[test]
+        fn eos_columnar_merge_algebra(spec in eos_strategy(), pivot in 0usize..12) {
+            use txstat::core::EosColumnar;
+            let blocks = eos_blocks(&spec);
+            let pivot = pivot.min(blocks.len());
+            let fold = |range: &[Block]| {
+                let mut acc = EosColumnar::new(window());
+                for b in range {
+                    acc.observe(b);
+                }
+                acc
+            };
+            let mut split = fold(&blocks[..pivot]);
+            split.merge(fold(&blocks[pivot..]));
+            assert_eos_equiv(&split.finalize(), &blocks, window())?;
+
+            let mut commuted = fold(&blocks[pivot..]);
+            commuted.merge(fold(&blocks[..pivot]));
+            assert_eos_equiv(&commuted.finalize(), &blocks, window())?;
+
+            let mut with_identity = EosColumnar::new(window());
+            with_identity.merge(fold(&blocks));
+            assert_eos_equiv(&with_identity.finalize(), &blocks, window())?;
+        }
+
         /// merge(identity, x) == x, and split-range merges at any pivot (plus
         /// the reversed, "commuted" order) equal the whole-range sweep.
         #[test]
@@ -507,6 +545,28 @@ mod fused {
             let blocks = tz_blocks(&spec);
             let sweep = TezosSweep::compute(&blocks, window(), &tz_periods());
             assert_tz_equiv(&sweep, &blocks, window())?;
+        }
+
+        /// The columnar Tezos sweep finalizes to the same outputs as every
+        /// legacy per-exhibit scan, at any merge pivot.
+        #[test]
+        fn tezos_columnar_equals_legacy_scans(spec in tz_strategy(), pivot in 0usize..12) {
+            use txstat::core::TezosColumnar;
+            let blocks = tz_blocks(&spec);
+            let sweep = TezosColumnar::compute(&blocks, window(), &tz_periods());
+            assert_tz_equiv(&sweep, &blocks, window())?;
+
+            let pivot = pivot.min(blocks.len());
+            let fold = |range: &[TezosBlock]| {
+                let mut acc = TezosColumnar::new(window(), tz_periods());
+                for b in range {
+                    acc.observe(b);
+                }
+                acc
+            };
+            let mut split = fold(&blocks[..pivot]);
+            split.merge(fold(&blocks[pivot..]));
+            assert_tz_equiv(&split.finalize(), &blocks, window())?;
         }
 
         /// Identity/split-merge/commuted-merge algebra for the Tezos sweep.
@@ -755,6 +815,29 @@ mod fused {
             assert_x_equiv(&sweep, &blocks, window())?;
         }
 
+        /// The columnar XRP sweep finalizes to the same outputs as every
+        /// legacy per-exhibit scan, at any merge pivot.
+        #[test]
+        fn xrp_columnar_equals_legacy_scans(spec in x_strategy(), pivot in 0usize..12) {
+            use txstat::core::XrpColumnar;
+            let blocks = x_blocks(&spec);
+            let ora = oracle();
+            let sweep = XrpColumnar::compute(&blocks, window(), &ora);
+            assert_x_equiv(&sweep, &blocks, window())?;
+
+            let pivot = pivot.min(blocks.len());
+            let fold = |range: &[LedgerBlock]| {
+                let mut acc = XrpColumnar::new(window());
+                for b in range {
+                    acc.observe(b, &ora);
+                }
+                acc
+            };
+            let mut split = fold(&blocks[..pivot]);
+            split.merge(fold(&blocks[pivot..]));
+            assert_x_equiv(&split.finalize(), &blocks, window())?;
+        }
+
         /// Identity/split-merge/commuted-merge algebra for the XRP sweep.
         #[test]
         fn xrp_merge_algebra(spec in x_strategy(), pivot in 0usize..12) {
@@ -953,6 +1036,109 @@ mod fused {
                 assert_eq!(s1.series_for(&cat), s2.series_for(&cat));
             }
             assert_eq!(base.boomerang_report().boomerangs, other.boomerang_report().boomerangs);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Columnar-engine primitives: the interner round-trip and the merge-algebra
+// laws of the id-indexed accumulators behind the columnar sweeps.
+// ---------------------------------------------------------------------------
+
+mod columnar_laws {
+    use proptest::prelude::*;
+    use txstat::core::columnar::tables::{IdVec, PairTable};
+    use txstat::eos::Name;
+    use txstat::types::intern::Interner;
+
+    proptest! {
+        /// Interner round-trip: name → id → name is the identity, ids are
+        /// dense and stable on re-intern.
+        #[test]
+        fn interner_round_trip(names in proptest::collection::vec("[a-z1-5.]{1,12}", 1..80)) {
+            let parsed: Vec<Name> = names.iter().map(|s| Name::parse(s).expect("valid")).collect();
+            let mut interner: Interner<Name> = Interner::new();
+            let ids: Vec<u32> = parsed.iter().map(|n| interner.intern(*n)).collect();
+            prop_assert!(interner.len() <= parsed.len());
+            for (n, id) in parsed.iter().zip(&ids) {
+                prop_assert_eq!(interner.resolve(*id), *n, "resolve inverts intern");
+                prop_assert_eq!(interner.get(*n), Some(*id), "get agrees");
+                prop_assert!((*id as usize) < interner.len(), "ids are dense");
+            }
+            // Re-interning the whole stream assigns the same ids.
+            let again: Vec<u32> = parsed.iter().map(|n| interner.intern(*n)).collect();
+            prop_assert_eq!(ids, again);
+        }
+
+        /// Absorb law: the remap table maps every id of the absorbed
+        /// interner onto an id resolving to the same key.
+        #[test]
+        fn interner_absorb_preserves_keys(
+            left in proptest::collection::vec(0u64..40, 0..60),
+            right in proptest::collection::vec(0u64..40, 0..60),
+        ) {
+            let mut a: Interner<u64> = Interner::new();
+            left.iter().for_each(|k| { a.intern(*k); });
+            let mut b: Interner<u64> = Interner::new();
+            right.iter().for_each(|k| { b.intern(*k); });
+            let before = a.len();
+            let remap = a.absorb(&b);
+            prop_assert_eq!(remap.len(), b.len());
+            for (oid, nid) in remap.iter().enumerate() {
+                prop_assert_eq!(a.resolve(*nid), b.resolve(oid as u32));
+            }
+            prop_assert!(a.len() >= before);
+        }
+
+        /// IdVec merge laws: split folds merged (same-interner vector add)
+        /// equal the whole fold, in either merge order.
+        #[test]
+        fn idvec_merge_equals_whole(
+            events in proptest::collection::vec((0u32..50, 1u64..9), 1..120),
+            pivot in 0usize..120,
+        ) {
+            let pivot = pivot.min(events.len());
+            let fold = |evs: &[(u32, u64)]| {
+                let mut v: IdVec<u64> = IdVec::new();
+                evs.iter().for_each(|(id, n)| v.add(*id, *n));
+                v
+            };
+            let whole = fold(&events);
+            let mut split = fold(&events[..pivot]);
+            split.merge(&fold(&events[pivot..]));
+            let mut commuted = fold(&events[pivot..]);
+            commuted.merge(&fold(&events[..pivot]));
+            let flat = |v: &IdVec<u64>| v.iter_nonzero().collect::<Vec<_>>();
+            prop_assert_eq!(flat(&split), flat(&whole));
+            prop_assert_eq!(flat(&commuted), flat(&whole));
+        }
+
+        /// PairTable merge laws: residue-sharded pair counters merged from
+        /// split folds equal the whole fold, and an identity remap merge
+        /// equals the plain merge.
+        #[test]
+        fn pair_table_merge_equals_whole(
+            events in proptest::collection::vec((0u32..40, 0u32..40, 1u64..5), 1..120),
+            pivot in 0usize..120,
+        ) {
+            let pivot = pivot.min(events.len());
+            let fold = |evs: &[(u32, u32, u64)]| {
+                let mut t = PairTable::new();
+                evs.iter().for_each(|(a, b, n)| t.add(*a, *b, *n));
+                t
+            };
+            let whole = fold(&events);
+            let mut split = fold(&events[..pivot]);
+            split.merge(&fold(&events[pivot..]));
+            let mut remapped = fold(&events[..pivot]);
+            remapped.merge_remap(&fold(&events[pivot..]), |a| a, |b| b);
+            let flat = |t: &PairTable| {
+                let mut v: Vec<(u32, u32, u64)> = t.iter().collect();
+                v.sort_unstable();
+                v
+            };
+            prop_assert_eq!(flat(&split), flat(&whole));
+            prop_assert_eq!(flat(&remapped), flat(&whole));
         }
     }
 }

@@ -7,7 +7,12 @@
 //! - appends one JSON line per benchmark to `$TXSTAT_BENCH_JSON` (if set),
 //!   which the repo uses to record baselines (BENCH_figures.json);
 //! - `$TXSTAT_BENCH_SAMPLES` / `$TXSTAT_BENCH_WARMUP_MS` shrink runs for CI
-//!   smoke tests.
+//!   smoke tests;
+//! - mirrors criterion's CLI contract for the flags CI leans on:
+//!   `cargo bench … -- --test` runs every matched bench exactly once (a
+//!   bit-rot smoke with no statistics, and no baseline JSON written), and
+//!   positional arguments filter benches by substring of their full
+//!   `group/name`.
 
 pub use std::hint::black_box;
 
@@ -17,6 +22,29 @@ use std::time::{Duration, Instant};
 pub enum Throughput {
     Bytes(u64),
     Elements(u64),
+}
+
+/// Parsed bench-binary CLI: `--test` single-shot mode plus positional
+/// substring filters. Flags cargo itself appends (`--bench`) are ignored.
+struct Cli {
+    test_mode: bool,
+    filters: Vec<String>,
+}
+
+fn cli() -> &'static Cli {
+    static CLI: std::sync::OnceLock<Cli> = std::sync::OnceLock::new();
+    CLI.get_or_init(|| {
+        let mut test_mode = false;
+        let mut filters = Vec::new();
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" {
+                test_mode = true;
+            } else if !arg.starts_with('-') {
+                filters.push(arg);
+            }
+        }
+        Cli { test_mode, filters }
+    })
 }
 
 #[derive(Default)]
@@ -74,13 +102,22 @@ impl BenchmarkGroup {
         } else {
             format!("{}/{}", self.name, id)
         };
+        let cli = cli();
+        if !cli.filters.is_empty() && !cli.filters.iter().any(|p| full_name.contains(p)) {
+            return self;
+        }
         let mut b = Bencher {
             sample_size: env_usize("TXSTAT_BENCH_SAMPLES").unwrap_or(self.sample_size),
             warmup: Duration::from_millis(env_usize("TXSTAT_BENCH_WARMUP_MS").unwrap_or(300) as u64),
             samples_ns: Vec::new(),
+            test_mode: cli.test_mode,
         };
         f(&mut b);
-        report(&full_name, &b.samples_ns, self.throughput);
+        if cli.test_mode {
+            println!("test bench {full_name}: ok (single shot)");
+        } else {
+            report(&full_name, &b.samples_ns, self.throughput);
+        }
         self
     }
 
@@ -91,12 +128,19 @@ pub struct Bencher {
     sample_size: usize,
     warmup: Duration,
     samples_ns: Vec<f64>,
+    test_mode: bool,
 }
 
 impl Bencher {
     /// Time the closure: warm-up, estimate batch size, then collect
     /// `sample_size` samples of `batch` iterations each.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            // `--test`: execute once so panics and fixture rot surface,
+            // collect no statistics.
+            black_box(f());
+            return;
+        }
         // Warm-up + per-iteration estimate.
         let warmup_started = Instant::now();
         let mut warmup_iters: u64 = 0;
@@ -124,6 +168,10 @@ impl Bencher {
         Setup: FnMut() -> S,
         F: FnMut(S) -> O,
     {
+        if self.test_mode {
+            black_box(f(setup()));
+            return;
+        }
         self.samples_ns.clear();
         for _ in 0..self.sample_size {
             let input = setup();

@@ -99,8 +99,8 @@ where
     let mut out: Vec<Option<T>> = ranges.iter().map(|_| None).collect();
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
-        let mut rest = out.as_mut_slice();
-        for range in &ranges {
+        let (first_slot, mut rest) = out.split_first_mut().expect("at least one range");
+        for range in &ranges[1..] {
             let (slot, tail) = rest.split_first_mut().expect("one slot per range");
             rest = tail;
             let f = &f;
@@ -109,6 +109,9 @@ where
                 *slot = Some(f(range));
             }));
         }
+        // The calling thread is one of the workers (as in real rayon): it
+        // takes the first partition instead of idling at the join.
+        *first_slot = Some(f(ranges[0].clone()));
         for h in handles {
             h.join().expect("rayon-shim worker panicked");
         }

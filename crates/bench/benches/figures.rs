@@ -248,5 +248,111 @@ fn fused_stream(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, figures, fused_report, fused_stream);
+/// The distributed shard/merge boundary as a codec cost profile: encoding
+/// k shard accumulators into wire frames, decoding them back, and a full
+/// `ReduceSession` reduction (decode + validate + remap-merge + finalize),
+/// against the in-process merge of the same k accumulators (no codec) —
+/// the wire tax on top of the merge algebra.
+fn wire_reduce(c: &mut Criterion) {
+    use serde::Deserialize as _;
+    use txstat_ingest::{ReduceSession, ShardWorker};
+    use txstat_wire::ShardFrame;
+
+    let data = bench_data();
+    let period = data.scenario.period;
+    let meta = txstat_reports::scenario_meta(&data.scenario, "bench");
+    const K: u64 = 4;
+    let total = data
+        .eos_blocks
+        .len()
+        .max(data.tezos_blocks.len())
+        .max(data.xrp_blocks.len()) as u64;
+    let workers: Vec<ShardWorker> = (0..K)
+        .map(|i| ShardWorker {
+            start: i * total / K,
+            end: if i == K - 1 { total } else { (i + 1) * total / K },
+            shards: 1,
+            meta: meta.clone(),
+        })
+        .collect();
+    // The shard sweeps run once; the benches below measure the boundary,
+    // not the sweeping.
+    let frames: Vec<ShardFrame> = workers
+        .iter()
+        .flat_map(|w| {
+            vec![
+                w.eos_frame(&data.eos_blocks, period),
+                w.tezos_frame(&data.tezos_blocks, period, &data.governance_periods),
+                w.xrp_frame(&data.xrp_blocks, period, &data.oracle),
+            ]
+        })
+        .collect();
+    let bytes = txstat_wire::encode_all(&frames);
+    let accs: Vec<(EosColumnar, TezosColumnar, XrpColumnar)> = workers
+        .iter()
+        .enumerate()
+        .map(|(i, _)| {
+            let state = |j: usize| frames[i * 3 + j].state().expect("payload parses");
+            (
+                EosColumnar::deserialize(&state(0)).expect("eos state"),
+                TezosColumnar::deserialize(&state(1)).expect("tezos state"),
+                XrpColumnar::deserialize(&state(2)).expect("xrp state"),
+            )
+        })
+        .collect();
+
+    let mut g = c.benchmark_group("wire_reduce");
+    g.sample_size(10);
+    g.bench_function("encode_k4_frames", |b| {
+        b.iter(|| {
+            black_box(
+                accs.iter()
+                    .zip(&workers)
+                    .flat_map(|((e, t, x), w)| {
+                        use serde::Serialize as _;
+                        vec![
+                            ShardFrame::from_state("eos", w.start, w.end, 0, w.meta.clone(), &e.serialize()),
+                            ShardFrame::from_state("tezos", w.start, w.end, 0, w.meta.clone(), &t.serialize()),
+                            ShardFrame::from_state("xrp", w.start, w.end, 0, w.meta.clone(), &x.serialize()),
+                        ]
+                    })
+                    .map(|f| f.encode().len())
+                    .sum::<usize>(),
+            )
+        })
+    });
+    g.bench_function("decode_k4_frames", |b| {
+        b.iter(|| {
+            let frames = txstat_wire::decode_all(&bytes).expect("frames decode");
+            for f in &frames {
+                black_box(f.state().expect("payload parses"));
+            }
+            black_box(frames.len())
+        })
+    });
+    g.bench_function("reduce_k4_frames", |b| {
+        b.iter(|| {
+            let mut session = ReduceSession::new();
+            for f in txstat_wire::decode_all(&bytes).expect("frames decode") {
+                session.submit(&f).expect("frame validates");
+            }
+            black_box(session.finalize().expect("complete coverage"))
+        })
+    });
+    g.bench_function("inprocess_merge_k4", |b| {
+        b.iter(|| {
+            let mut it = accs.iter().cloned();
+            let (mut e, mut t, mut x) = it.next().expect("k >= 1");
+            for (e2, t2, x2) in it {
+                e.merge(e2);
+                t.merge(t2);
+                x.merge(x2);
+            }
+            black_box((e.finalize(), t.finalize(), x.finalize()))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, figures, fused_report, fused_stream, wire_reduce);
 criterion_main!(benches);

@@ -31,6 +31,7 @@
 //! boundaries).
 
 mod eos;
+pub(crate) mod state;
 pub mod tables;
 mod tezos;
 mod xrp;
@@ -100,6 +101,18 @@ pub(crate) struct SeriesTable {
     pub(crate) oor: u64,
 }
 
+impl serde::Serialize for SeriesTable {
+    fn serialize(&self) -> serde::Value {
+        serde_json::json!({ "table": self.table.serialize(), "oor": self.oor })
+    }
+}
+
+impl serde::Deserialize for SeriesTable {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(SeriesTable { table: state::de(v, "table")?, oor: state::de(v, "oor")? })
+    }
+}
+
 impl SeriesTable {
     pub(crate) fn new() -> Self {
         Self::default()
@@ -108,6 +121,11 @@ impl SeriesTable {
     #[inline]
     pub(crate) fn add(&mut self, encoded: u32, bucket: u32, n: u64) {
         self.table.add(pack(encoded, bucket), n);
+    }
+
+    /// All `(encoded key, bucket)` pairs present — decode-time validation.
+    pub(crate) fn encoded_keys(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.table.iter().map(|(k, _)| tables::unpack(k))
     }
 
     /// Cross-interner merge: remap the encoded key (0 stays "no key").

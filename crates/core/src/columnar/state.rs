@@ -1,0 +1,92 @@
+//! Shared helpers for the columnar accumulators' wire-state
+//! (de)serialization — the payload side of `txstat_wire`'s `ShardFrame`.
+//!
+//! Every columnar accumulator serializes its *mergeable* state (interner
+//! key table + id-indexed counters + scalar tallies) and skips its
+//! per-block scratch buffers, which rebuild empty on the next `observe`.
+//! Sparse tables encode in sorted key order, so the state of two logically
+//! equal accumulators is byte-identical regardless of insertion history.
+
+use serde::{Deserialize, Error, Value};
+
+/// Bound-check an id-indexed vector against the interner that issued its
+/// ids: a wire state referencing ids the interner never assigned would
+/// panic resolution/merge instead of erroring.
+pub(crate) fn check_idvec<T>(
+    v: &super::tables::IdVec<T>,
+    interned: usize,
+    what: &str,
+) -> Result<(), Error> {
+    if v.slot_count() > interned {
+        return Err(Error::custom(format!(
+            "{what}: {} id slots but only {interned} interned keys",
+            v.slot_count()
+        )));
+    }
+    Ok(())
+}
+
+/// Bound-check both id columns of a pair table (`u32::MAX` = unbounded,
+/// for pair sides that carry raw values rather than interned ids).
+pub(crate) fn check_pairs(
+    t: &super::tables::PairTable,
+    bound_a: u32,
+    bound_b: u32,
+    what: &str,
+) -> Result<(), Error> {
+    for (a, b, _) in t.iter() {
+        if (bound_a != u32::MAX && a >= bound_a) || (bound_b != u32::MAX && b >= bound_b) {
+            return Err(Error::custom(format!("{what}: pair ({a}, {b}) outside interned id range")));
+        }
+    }
+    Ok(())
+}
+
+/// Bound-check a sparse series table's encoded keys (`0` = "no key",
+/// `id + 1` otherwise).
+pub(crate) fn check_series(
+    s: &super::SeriesTable,
+    interned: u32,
+    what: &str,
+) -> Result<(), Error> {
+    for (enc, _bucket) in s.encoded_keys() {
+        if enc > interned {
+            return Err(Error::custom(format!(
+                "{what}: encoded key {enc} outside interned id range"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Deserialize the field `k` of an object value.
+pub(crate) fn de<T: Deserialize>(v: &Value, k: &str) -> Result<T, Error> {
+    T::deserialize(
+        v.get(k)
+            .ok_or_else(|| Error::custom(format!("missing columnar state field {k:?}")))?,
+    )
+}
+
+/// Deserialize the field `k` into a fixed-size array.
+pub(crate) fn de_fixed<T: Deserialize, const N: usize>(v: &Value, k: &str) -> Result<[T; N], Error> {
+    let items: Vec<T> = de(v, k)?;
+    <[T; N]>::try_from(items)
+        .map_err(|items| Error::custom(format!("field {k:?}: expected {N} entries, got {}", items.len())))
+}
+
+/// Serialize a slice of fixed-width rows (dense bucket series) as nested
+/// arrays.
+pub(crate) fn ser_rows<const N: usize>(rows: &[[u64; N]]) -> Value {
+    Value::Array(rows.iter().map(|r| serde::Serialize::serialize(&r.to_vec())).collect())
+}
+
+/// Deserialize the field `k` as a vector of fixed-width rows.
+pub(crate) fn de_rows<const N: usize>(v: &Value, k: &str) -> Result<Vec<[u64; N]>, Error> {
+    let rows: Vec<Vec<u64>> = de(v, k)?;
+    rows.into_iter()
+        .map(|r| {
+            <[u64; N]>::try_from(r)
+                .map_err(|r| Error::custom(format!("field {k:?}: row arity {} != {N}", r.len())))
+        })
+        .collect()
+}

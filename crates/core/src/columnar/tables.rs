@@ -93,6 +93,27 @@ impl<T: Copy + Default + PartialEq + std::ops::AddAssign> IdVec<T> {
     }
 }
 
+impl<T> IdVec<T> {
+    /// Number of id slots present — every indexed id is below this.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+impl<T: serde::Serialize> serde::Serialize for IdVec<T> {
+    /// Wire state: the dense slot vector, id-indexed — meaningful only next
+    /// to the interner whose ids index it.
+    fn serialize(&self) -> serde::Value {
+        self.slots.serialize()
+    }
+}
+
+impl<T: serde::Deserialize> serde::Deserialize for IdVec<T> {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(IdVec { slots: Vec::deserialize(v)? })
+    }
+}
+
 const EMPTY: u64 = u64::MAX;
 
 /// Open-addressed `u64 → u64` counter with linear probing. Key `u64::MAX`
@@ -210,6 +231,35 @@ impl FxMap64 {
     }
 }
 
+impl serde::Serialize for FxMap64 {
+    /// Wire state: `(key, count)` pairs sorted by key — canonical, so two
+    /// logically-equal tables encode identically regardless of the probe
+    /// order their insertion history produced.
+    fn serialize(&self) -> serde::Value {
+        let mut pairs: Vec<(u64, u64)> = self.iter().collect();
+        pairs.sort_unstable();
+        pairs.serialize()
+    }
+}
+
+impl serde::Deserialize for FxMap64 {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
+        let pairs: Vec<(u64, u64)> = Vec::deserialize(v)?;
+        let mut out = FxMap64::new();
+        out.reserve(pairs.len());
+        for (k, n) in pairs {
+            if k == EMPTY {
+                return Err(serde::Error::custom("key collides with the empty sentinel"));
+            }
+            if out.get(k) != 0 {
+                return Err(serde::Error::custom("duplicate key in counter table state"));
+            }
+            out.add(k, n);
+        }
+        Ok(out)
+    }
+}
+
 /// A pair-keyed counter sharded by the first id's residue class — the
 /// second sharding level under the ingest layer's block-range shards.
 #[derive(Debug, Clone, Default)]
@@ -275,6 +325,34 @@ impl PairTable {
         for (a, b, n) in other.iter() {
             self.add(map_a(a), map_b(b), n);
         }
+    }
+}
+
+impl serde::Serialize for PairTable {
+    /// Wire state: flat `(a, b, count)` triples sorted by pair — the shard
+    /// assignment is a function of `a`, so the residue layout rebuilds
+    /// itself on decode.
+    fn serialize(&self) -> serde::Value {
+        let mut triples: Vec<(u32, u32, u64)> = self.iter().collect();
+        triples.sort_unstable();
+        triples.serialize()
+    }
+}
+
+impl serde::Deserialize for PairTable {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
+        let triples: Vec<(u32, u32, u64)> = Vec::deserialize(v)?;
+        let mut out = PairTable::new();
+        for shard in &mut out.shards {
+            shard.reserve(triples.len() / PAIR_SHARDS + 1);
+        }
+        for (a, b, n) in triples {
+            if out.get(a, b) != 0 {
+                return Err(serde::Error::custom("duplicate pair in pair-table state"));
+            }
+            out.add(a, b, n);
+        }
+        Ok(out)
     }
 }
 

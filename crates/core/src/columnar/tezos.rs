@@ -71,6 +71,18 @@ impl TezosColumnar {
         }
     }
 
+    /// The observation window this accumulator folds over. Partial sweeps
+    /// are only mergeable over identical windows.
+    pub fn period(&self) -> Period {
+        self.period
+    }
+
+    /// The governance period windows this accumulator attributes events
+    /// to. [`TezosColumnar::merge`] requires identical lists.
+    pub fn governance_windows(&self) -> &[(PeriodKind, Period)] {
+        &self.periods
+    }
+
     /// Fold one block: one pass builds the kind-tag batch, the counting
     /// loops then bump dense counters straight off the tag column.
     pub fn observe(&mut self, b: &TezosBlock) {
@@ -214,6 +226,57 @@ impl TezosColumnar {
     }
 }
 
+impl serde::Serialize for TezosColumnar {
+    /// The mergeable wire state; the per-block kind-tag scratch is not
+    /// state.
+    fn serialize(&self) -> serde::Value {
+        serde_json::json!({
+            "period": self.period.serialize(),
+            "periods": self.periods.serialize(),
+            "addrs": self.addrs.serialize(),
+            "op_counts": self.op_counts.to_vec().serialize(),
+            "op_total": self.op_total,
+            "series": super::state::ser_rows(&self.series),
+            "series_oor": self.series_oor,
+            "sent": self.sent.serialize(),
+            "per_receiver": self.per_receiver.serialize(),
+            "gov_events": self.gov_events.serialize(),
+            "gov_ops_in_window": self.gov_ops_in_window,
+            "txs_in_period": self.txs_in_period,
+        })
+    }
+}
+
+impl serde::Deserialize for TezosColumnar {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
+        use super::state::{de, de_fixed, de_rows};
+        let periods: Vec<(PeriodKind, Period)> = de(v, "periods")?;
+        let gov_events: Vec<Vec<GovEvent>> = de(v, "gov_events")?;
+        if gov_events.len() != periods.len() {
+            return Err(serde::Error::custom("governance event arity disagrees with period list"));
+        }
+        let out = TezosColumnar {
+            period: de(v, "period")?,
+            periods,
+            addrs: de(v, "addrs")?,
+            op_counts: de_fixed(v, "op_counts")?,
+            op_total: de(v, "op_total")?,
+            series: de_rows(v, "series")?,
+            series_oor: de(v, "series_oor")?,
+            sent: de(v, "sent")?,
+            per_receiver: de(v, "per_receiver")?,
+            gov_events,
+            gov_ops_in_window: de(v, "gov_ops_in_window")?,
+            txs_in_period: de(v, "txs_in_period")?,
+            tags: Vec::new(),
+        };
+        let (n, n32) = (out.addrs.len(), out.addrs.len() as u32);
+        super::state::check_idvec(&out.sent, n, "sent")?;
+        super::state::check_pairs(&out.per_receiver, n32, n32, "per_receiver")?;
+        Ok(out)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -282,5 +345,41 @@ mod tests {
             rows.into_iter().map(|r| (r.sender, r.sent_count, r.unique_receivers)).collect::<Vec<_>>()
         };
         assert_eq!(flat(columnar.top_senders(5)), flat(scalar.top_senders(5)));
+    }
+
+    #[test]
+    fn wire_state_round_trip_preserves_finalized_outputs() {
+        use serde::Serialize as _;
+        let pay = |from: u64, to: u64| {
+            Operation::new(
+                Address::implicit(from),
+                OpPayload::Transaction { destination: Address::implicit(to), amount_mutez: 7 },
+            )
+        };
+        let block = TezosBlock {
+            level: 1,
+            time: t0() + 120,
+            baker: Address::implicit(1),
+            operations: vec![
+                pay(4, 5),
+                Operation::new(
+                    Address::implicit(3),
+                    OpPayload::Ballot { proposal: "PsBabyM1".into(), vote: Vote::Nay },
+                ),
+            ],
+        };
+        let periods = vec![(PeriodKind::Promotion, period())];
+        let mut acc = TezosColumnar::new(period(), periods);
+        acc.observe(&block);
+        let state = acc.serialize();
+        let back: TezosColumnar = serde::Deserialize::deserialize(&state).expect("valid state");
+        assert_eq!(
+            serde_json::to_string(&back.serialize()).unwrap(),
+            serde_json::to_string(&state).unwrap()
+        );
+        let (a, b) = (acc.finalize(), back.finalize());
+        assert_eq!(a.op_distribution().1, b.op_distribution().1);
+        assert_eq!(a.governance_op_count(), b.governance_op_count());
+        assert_eq!(a.tps(), b.tps());
     }
 }

@@ -107,6 +107,12 @@ impl XrpColumnar {
         }
     }
 
+    /// The observation window this accumulator folds over. Partial sweeps
+    /// are only mergeable over identical windows.
+    pub fn period(&self) -> Period {
+        self.period
+    }
+
     /// Fold one ledger, valuing payments through `oracle`.
     pub fn observe(&mut self, b: &LedgerBlock, oracle: &RateOracle) {
         // Classification batch: one tag pair per transaction.
@@ -366,6 +372,93 @@ impl XrpColumnar {
     }
 }
 
+impl serde::Serialize for XrpColumnar {
+    /// The mergeable wire state; the per-ledger tag scratch is not state.
+    /// The IOU currency table encodes in symbol order (canonical).
+    fn serialize(&self) -> serde::Value {
+        let mut ious: Vec<(SymCode, (i128, i128, i128))> =
+            self.iou_cur.iter().map(|(s, t)| (*s, *t)).collect();
+        ious.sort_unstable_by_key(|(s, _)| *s);
+        serde_json::json!({
+            "period": self.period.serialize(),
+            "accounts": self.accounts.serialize(),
+            "type_counts": self.type_counts.to_vec().serialize(),
+            "type_total": self.type_total,
+            "series": super::state::ser_rows(&self.series),
+            "series_oor": self.series_oor,
+            "payment_series": self.payment_series.serialize(),
+            "payment_oor": self.payment_oor,
+            "funnel": self.funnel.serialize(),
+            "acct_offers": self.acct_offers.serialize(),
+            "acct_pays": self.acct_pays.serialize(),
+            "acct_others": self.acct_others.serialize(),
+            "tags": self.tags.serialize(),
+            "grand_total": self.grand_total,
+            "xrp_volume_drops": self.xrp_volume_drops,
+            "sender_drops": self.sender_drops.serialize(),
+            "sender_touched": self.sender_touched.serialize(),
+            "receiver_drops": self.receiver_drops.serialize(),
+            "receiver_touched": self.receiver_touched.serialize(),
+            "xrp_cur": self.xrp_cur.serialize(),
+            "xrp_cur_touched": self.xrp_cur_touched,
+            "iou_cur": ious.serialize(),
+            "edges": self.edges.serialize(),
+        })
+    }
+}
+
+impl serde::Deserialize for XrpColumnar {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
+        use super::state::{de, de_fixed, de_rows};
+        let ious: Vec<(SymCode, (i128, i128, i128))> = de(v, "iou_cur")?;
+        let mut iou_cur = FxHashMap::default();
+        for (sym, triple) in ious {
+            if iou_cur.insert(sym, triple).is_some() {
+                return Err(serde::Error::custom("duplicate currency in IOU table state"));
+            }
+        }
+        let out = XrpColumnar {
+            period: de(v, "period")?,
+            accounts: de(v, "accounts")?,
+            type_counts: de_fixed(v, "type_counts")?,
+            type_total: de(v, "type_total")?,
+            series: de_rows(v, "series")?,
+            series_oor: de(v, "series_oor")?,
+            payment_series: de(v, "payment_series")?,
+            payment_oor: de(v, "payment_oor")?,
+            funnel: de(v, "funnel")?,
+            acct_offers: de(v, "acct_offers")?,
+            acct_pays: de(v, "acct_pays")?,
+            acct_others: de(v, "acct_others")?,
+            tags: de(v, "tags")?,
+            grand_total: de(v, "grand_total")?,
+            xrp_volume_drops: de(v, "xrp_volume_drops")?,
+            sender_drops: de(v, "sender_drops")?,
+            sender_touched: de(v, "sender_touched")?,
+            receiver_drops: de(v, "receiver_drops")?,
+            receiver_touched: de(v, "receiver_touched")?,
+            xrp_cur: de(v, "xrp_cur")?,
+            xrp_cur_touched: de(v, "xrp_cur_touched")?,
+            iou_cur,
+            edges: de(v, "edges")?,
+            tag_batch: Vec::new(),
+        };
+        use super::state::{check_idvec, check_pairs};
+        let (n, n32) = (out.accounts.len(), out.accounts.len() as u32);
+        check_idvec(&out.acct_offers, n, "acct_offers")?;
+        check_idvec(&out.acct_pays, n, "acct_pays")?;
+        check_idvec(&out.acct_others, n, "acct_others")?;
+        check_idvec(&out.sender_drops, n, "sender_drops")?;
+        check_idvec(&out.sender_touched, n, "sender_touched")?;
+        check_idvec(&out.receiver_drops, n, "receiver_drops")?;
+        check_idvec(&out.receiver_touched, n, "receiver_touched")?;
+        // The second column of `tags` is a raw destination tag, not an id.
+        check_pairs(&out.tags, n32, u32::MAX, "tags")?;
+        check_pairs(&out.edges, n32, n32, "edges")?;
+        Ok(out)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -462,5 +555,34 @@ mod tests {
             columnar.graph().report(2).top_sinks,
             scalar.graph().report(2).top_sinks
         );
+    }
+
+    #[test]
+    fn wire_state_round_trip_preserves_finalized_outputs() {
+        use serde::Serialize as _;
+        let ora = oracle();
+        let block = LedgerBlock {
+            index: 1,
+            close_time: t0() + 60,
+            transactions: vec![
+                payment(1, 2, Amount::xrp(100), TxResult::Success),
+                payment(1, 3, Amount::iou_whole("USD", AccountId(1), 50), TxResult::Success),
+                payment(1, 2, Amount::xrp(5), TxResult::PathDry),
+            ],
+        };
+        let mut acc = XrpColumnar::new(period());
+        acc.observe(&block, &ora);
+        let state = acc.serialize();
+        let back: XrpColumnar = serde::Deserialize::deserialize(&state).expect("valid state");
+        assert_eq!(
+            serde_json::to_string(&back.serialize()).unwrap(),
+            serde_json::to_string(&state).unwrap()
+        );
+        let (a, b) = (acc.finalize(), back.finalize());
+        assert_eq!(a.tx_distribution().1, b.tx_distribution().1);
+        let clu = ClusterInfo::new();
+        assert_eq!(a.value_flow(&clu).currencies, b.value_flow(&clu).currencies);
+        assert_eq!(a.funnel().payments_with_value, b.funnel().payments_with_value);
+        assert_eq!(a.tps(), b.tps());
     }
 }

@@ -61,6 +61,11 @@
 //! - [`graph`] — mergeable transaction-graph metrics (degree distributions,
 //!   hubs, fan-out outliers), the §5 related-work lens.
 
+// The columnar wire-state serializers build wide `json!` objects; the
+// vendored macro is a token-at-a-time muncher that outgrows the default
+// recursion limit on them.
+#![recursion_limit = "1024"]
+
 pub mod accumulate;
 pub mod cluster;
 pub mod columnar;
@@ -76,3 +81,12 @@ pub use eos_analysis::EosSweep;
 pub use graph::{GraphReport, TransferGraph};
 pub use tezos_analysis::TezosSweep;
 pub use xrp_analysis::XrpSweep;
+
+/// The three per-chain accumulators behind the full report — what every
+/// reduction path (in-process parallel sweep, streamed shards, distributed
+/// frame reduction) ultimately produces.
+pub struct ChainSweeps {
+    pub eos: EosSweep,
+    pub tezos: TezosSweep,
+    pub xrp: XrpSweep,
+}

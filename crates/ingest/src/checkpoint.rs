@@ -12,11 +12,21 @@
 //!
 //! Checkpoints serialize to JSON keyed by their range
 //! ([`Checkpoint::range_key`]), so a cache of per-range shard states can be
-//! persisted between runs and looked up by block range.
+//! persisted between runs and looked up by block range. The serialized
+//! form is versioned ([`CHECKPOINT_SCHEMA_VERSION`]) and carries a content
+//! hash over its payload; [`Checkpoint::from_json`] rejects version skew
+//! and corruption with typed errors instead of deserializing stale state
+//! silently.
 
 use crate::shard::IngestOutcome;
 use crate::IngestError;
 use serde_json::{json, Value};
+use txstat_types::ids::fnv1a64;
+
+/// Schema version of the serialized checkpoint layout. v1 had no version
+/// discipline beyond a constant; v2 adds the content hash and this
+/// constant, and anything else is rejected.
+pub const CHECKPOINT_SCHEMA_VERSION: u64 = 2;
 
 /// Frozen sharded sweep state over the inclusive block range `[low, high]`.
 #[derive(Debug, Clone, PartialEq)]
@@ -94,39 +104,71 @@ impl<A> Checkpoint<A> {
     }
 }
 
+/// The content hash over the payload fields, computed incrementally in a
+/// fixed field order (no composite value is materialized: the shard state
+/// tree can be month-scale).
+fn payload_hash(low: u64, high: u64, counts: &Value, shards: &Value) -> u64 {
+    use txstat_types::ids::fnv1a64_extend;
+    let mut h = fnv1a64(&low.to_le_bytes());
+    h = fnv1a64_extend(h, &high.to_le_bytes());
+    let text = |v: &Value| serde_json::to_string(v).expect("payload field serializes");
+    h = fnv1a64_extend(h, text(counts).as_bytes());
+    fnv1a64_extend(h, text(shards).as_bytes())
+}
+
 impl<A: serde::Serialize> Checkpoint<A> {
-    /// Serialize to a self-describing JSON value.
+    /// Serialize to a self-describing JSON value: schema version, content
+    /// hash over the payload fields, then the payload itself.
     pub fn to_json(&self) -> Value {
+        let counts = serde::Serialize::serialize(&self.counts);
+        let shards = Value::Array(self.shards.iter().map(|s| s.serialize()).collect());
         json!({
-            "version": 1,
+            "schema_version": CHECKPOINT_SCHEMA_VERSION,
+            "content_hash": payload_hash(self.low, self.high, &counts, &shards),
             "low": self.low,
             "high": self.high,
-            "counts": self.counts.clone(),
-            "shards": Value::Array(self.shards.iter().map(|s| s.serialize()).collect()),
+            "counts": counts,
+            "shards": shards,
         })
     }
 }
 
 impl<A: serde::Deserialize> Checkpoint<A> {
-    /// Parse a serialized checkpoint, validating the layout invariants.
+    /// Parse a serialized checkpoint, validating schema version, content
+    /// hash, and the layout invariants.
     pub fn from_json(v: &Value) -> Result<Self, IngestError> {
         let bad = |m: &str| IngestError::Checkpoint(m.to_owned());
-        if v.get("version").and_then(Value::as_u64) != Some(1) {
-            return Err(bad("unsupported checkpoint version"));
+        let found = v.get("schema_version").and_then(Value::as_u64);
+        if found != Some(CHECKPOINT_SCHEMA_VERSION) {
+            // Pre-versioning checkpoints carried "version" instead.
+            let found = found.or_else(|| v.get("version").and_then(Value::as_u64));
+            return Err(IngestError::CheckpointSchema {
+                found,
+                expected: CHECKPOINT_SCHEMA_VERSION,
+            });
         }
+        let recorded = v
+            .get("content_hash")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| bad("missing content_hash"))?;
         let low = v.get("low").and_then(Value::as_u64).ok_or_else(|| bad("missing low"))?;
         let high = v.get("high").and_then(Value::as_u64).ok_or_else(|| bad("missing high"))?;
-        let counts: Vec<u64> = v
-            .get("counts")
-            .and_then(Value::as_array)
-            .ok_or_else(|| bad("missing counts"))?
+        let raw_counts = v.get("counts").ok_or_else(|| bad("missing counts"))?;
+        let raw_shards = v.get("shards").ok_or_else(|| bad("missing shards"))?;
+        // Verify the payload hash before interpreting any shard state.
+        let computed = payload_hash(low, high, raw_counts, raw_shards);
+        if computed != recorded {
+            return Err(IngestError::CheckpointCorrupt { expected: recorded, found: computed });
+        }
+        let counts: Vec<u64> = raw_counts
+            .as_array()
+            .ok_or_else(|| bad("counts must be an array"))?
             .iter()
             .map(|c| c.as_u64().ok_or_else(|| bad("non-integer count")))
             .collect::<Result<_, _>>()?;
-        let shards: Vec<A> = v
-            .get("shards")
-            .and_then(Value::as_array)
-            .ok_or_else(|| bad("missing shards"))?
+        let shards: Vec<A> = raw_shards
+            .as_array()
+            .ok_or_else(|| bad("shards must be an array"))?
             .iter()
             .map(|s| A::deserialize(s).map_err(|e| bad(&format!("bad shard state: {e}"))))
             .collect::<Result<_, _>>()?;
@@ -300,9 +342,50 @@ mod tests {
 
     #[test]
     fn malformed_json_is_rejected() {
-        let v = json!({"version": 1, "low": 0, "high": 3, "counts": [4], "shards": []});
+        // Arity mismatch, with a valid envelope around it.
+        let mut cp = fold_range(1..=9, 2);
+        cp.counts.push(7);
+        let v = cp.to_json();
+        assert!(matches!(
+            Checkpoint::<MiniAcc>::from_json(&v),
+            Err(IngestError::Checkpoint(_))
+        ));
+        let v = json!({"schema_version": CHECKPOINT_SCHEMA_VERSION});
         assert!(Checkpoint::<MiniAcc>::from_json(&v).is_err());
-        let v = json!({"version": 2});
-        assert!(Checkpoint::<MiniAcc>::from_json(&v).is_err());
+    }
+
+    #[test]
+    fn stale_schema_version_is_a_typed_rejection() {
+        // A v1-era checkpoint (the old "version" field) no longer
+        // deserializes silently.
+        let v = json!({"version": 1, "low": 1, "high": 3, "counts": [3], "shards": [
+            {"blocks": 3, "weight": 0, "buckets": [0, 0, 0, 0]}
+        ]});
+        assert!(matches!(
+            Checkpoint::<MiniAcc>::from_json(&v),
+            Err(IngestError::CheckpointSchema { found: Some(1), expected: CHECKPOINT_SCHEMA_VERSION })
+        ));
+        // A future schema is rejected the same way.
+        let mut v = fold_range(1..=9, 2).to_json();
+        if let Value::Object(m) = &mut v {
+            m.insert("schema_version".into(), json!(99));
+        }
+        assert!(matches!(
+            Checkpoint::<MiniAcc>::from_json(&v),
+            Err(IngestError::CheckpointSchema { found: Some(99), .. })
+        ));
+    }
+
+    #[test]
+    fn corrupted_payload_is_a_typed_rejection() {
+        let mut v = fold_range(1..=9, 2).to_json();
+        if let Value::Object(m) = &mut v {
+            // Tamper with a payload field the hash covers.
+            m.insert("high".into(), json!(10_000));
+        }
+        assert!(matches!(
+            Checkpoint::<MiniAcc>::from_json(&v),
+            Err(IngestError::CheckpointCorrupt { .. })
+        ));
     }
 }

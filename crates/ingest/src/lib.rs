@@ -25,6 +25,9 @@
 //!   crawl-time exchange-rate resolution for XRP.
 //! - [`checkpoint`] — range-keyed frozen shard states for incremental
 //!   re-sweep (append a tail without re-observing the prefix).
+//! - [`reduce`] — the distributed shard/merge boundary: [`ShardWorker`]
+//!   folds a block range into `txstat_wire` frames in one process,
+//!   [`ReduceSession`] validates and remap-merges them in another.
 //!
 //! Peak memory of a streamed sweep is `O(shards × (accumulator +
 //! channel_capacity × block))` — independent of chain length. Equivalence
@@ -34,12 +37,14 @@
 pub mod channel;
 pub mod checkpoint;
 pub mod crawl;
+pub mod reduce;
 pub mod shard;
 pub mod source;
 
 pub use channel::{bounded, ChannelGauge, GaugeSnapshot};
 pub use checkpoint::Checkpoint;
 pub use crawl::{EosCrawlSource, RateCache, TezosCrawlSource, XrpCrawlSource};
+pub use reduce::{ReduceError, ReduceSession, ShardWorker};
 pub use shard::{spawn_sharded, IngestOptions, IngestOutcome, ShardPoolHandle, Sink};
 pub use source::{BlockSource, MemorySource, NdjsonReplay};
 
@@ -58,6 +63,13 @@ pub enum IngestError {
     RangeRegression { n: u64, high: u64 },
     /// A serialized checkpoint was malformed.
     Checkpoint(String),
+    /// A serialized checkpoint carries a different schema version than
+    /// this build writes (`found` is `None` when the field is absent —
+    /// pre-versioning checkpoints).
+    CheckpointSchema { found: Option<u64>, expected: u64 },
+    /// A serialized checkpoint's content hash does not match its payload:
+    /// the shard state was corrupted or hand-edited.
+    CheckpointCorrupt { expected: u64, found: u64 },
 }
 
 impl std::fmt::Display for IngestError {
@@ -70,6 +82,14 @@ impl std::fmt::Display for IngestError {
                 write!(f, "block {n} is not past the checkpoint high-water mark {high}")
             }
             IngestError::Checkpoint(m) => write!(f, "checkpoint: {m}"),
+            IngestError::CheckpointSchema { found, expected } => match found {
+                Some(v) => write!(f, "checkpoint schema version {v}, this build writes {expected}"),
+                None => write!(f, "checkpoint has no schema version (expected {expected})"),
+            },
+            IngestError::CheckpointCorrupt { expected, found } => write!(
+                f,
+                "checkpoint content hash mismatch: recorded {expected:#018x}, payload hashes to {found:#018x}"
+            ),
         }
     }
 }

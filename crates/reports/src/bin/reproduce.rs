@@ -1,35 +1,155 @@
-//! The end-to-end reproduction binary.
+//! The end-to-end reproduction binary, as subcommands:
 //!
-//! Generates the Oct 1 – Dec 31 2019 scenario, optionally crawls it over
-//! real loopback RPC endpoints (the full §3.1 measurement path), regenerates
-//! every table and figure, and prints the paper-vs-measured comparison.
+//! ```text
+//! reproduce report [--small] [--seed N] [--crawl [--materialize]] [--out FILE]
+//!     Generate the scenario and render every exhibit (the classic run).
 //!
-//! `--crawl` streams: fetched blocks flow straight into sharded sweep
-//! accumulators over bounded channels, so the report is ready the moment
-//! the crawl finishes and no measurement-side block vector ever exists.
-//! `--materialize` restores the legacy crawl-then-sweep baseline.
+//! reproduce shard --range A..B --out FILE [--small] [--seed N] [--shards K]
+//!     One distributed shard worker: sweep block positions [A, B) of each
+//!     chain into columnar accumulators and write them as wire frames
+//!     (txstat_wire). FILE "-" writes to stdout.
 //!
-//! Usage:
-//!   reproduce [--small] [--crawl [--materialize]] [--seed N] [--out FILE]
+//! reproduce reduce FRAME-FILE... [--out FILE]
+//!     Central reducer: validate + merge shard frames (schema version,
+//!     chain tags, overlap, provenance, coverage) and render the full
+//!     report — byte-identical to `reproduce report` on the same scenario.
+//!
+//! reproduce follow [--small] [--seed N] [--batch N] [--shards K] [--out FILE]
+//!     Incremental re-render loop: replay the chains batch by batch
+//!     through Checkpoint::observe_tail, re-rendering a dashboard line per
+//!     batch, and emit the full report when the head is reached.
+//! ```
+//!
+//! The pre-subcommand flag spelling (`reproduce --small --crawl …`) still
+//! works and maps onto `report`. Unrecognized flags or subcommands print
+//! usage and exit non-zero.
 
+use std::collections::HashMap;
 use std::io::Write;
+use std::process::ExitCode;
+use txstat_core::{ChainSweeps, EosColumnar, TezosColumnar, XrpColumnar};
+use txstat_ingest::Checkpoint;
 use txstat_reports::{
-    comparison, generate, generate_with_crawl, generate_with_crawl_streamed, render_all,
-    render_comparison, CrawlOptions,
+    comparison, generate, generate_with_crawl, generate_with_crawl_streamed, reduce_frames,
+    render_all, render_comparison, scenario_from_meta, scenario_meta, shard_scenario,
+    CrawlOptions, PipelineData,
 };
+use txstat_wire::ShardFrame;
 use txstat_workload::Scenario;
 
-fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let has = |flag: &str| args.iter().any(|a| a == flag);
-    let value_of = |flag: &str| {
-        args.iter()
-            .position(|a| a == flag)
-            .and_then(|i| args.get(i + 1))
-            .cloned()
-    };
-    let seed: u64 = value_of("--seed").and_then(|s| s.parse().ok()).unwrap_or(42);
-    let sc = if has("--small") { Scenario::small(seed) } else { Scenario::paper(seed) };
+const USAGE: &str = "\
+usage: reproduce <subcommand> [options]
+
+subcommands:
+  report   render every exhibit from the generated scenario (default)
+           [--small] [--seed N] [--crawl [--materialize]] [--out FILE]
+  shard    sweep block positions [A, B) into a wire-frame bundle
+           --range A..B --out FILE [--small] [--seed N] [--shards K]
+  reduce   merge shard frame files and render the full report
+           FRAME-FILE... [--out FILE]
+  follow   incremental re-render loop over the appending chains
+           [--small] [--seed N] [--batch N] [--shards K] [--out FILE]
+
+Legacy spelling `reproduce [--small] [--crawl] ...` maps onto `report`.";
+
+/// Strictly parsed arguments: any flag outside the subcommand's allow-list
+/// is an error (nothing is ignored silently).
+struct Args {
+    bools: Vec<String>,
+    values: HashMap<String, String>,
+    positionals: Vec<String>,
+}
+
+impl Args {
+    fn parse(
+        raw: &[String],
+        bool_flags: &[&str],
+        value_flags: &[&str],
+        positionals_allowed: bool,
+    ) -> Result<Args, String> {
+        let mut out =
+            Args { bools: Vec::new(), values: HashMap::new(), positionals: Vec::new() };
+        let mut it = raw.iter();
+        while let Some(arg) = it.next() {
+            if bool_flags.contains(&arg.as_str()) {
+                out.bools.push(arg.clone());
+            } else if value_flags.contains(&arg.as_str()) {
+                let v = it.next().ok_or_else(|| format!("{arg} needs a value"))?;
+                out.values.insert(arg.clone(), v.clone());
+            } else if arg.starts_with('-') {
+                return Err(format!("unrecognized flag {arg}"));
+            } else if positionals_allowed {
+                out.positionals.push(arg.clone());
+            } else {
+                return Err(format!("unexpected argument {arg:?}"));
+            }
+        }
+        Ok(out)
+    }
+
+    fn has(&self, flag: &str) -> bool {
+        self.bools.iter().any(|b| b == flag)
+    }
+
+    fn get(&self, flag: &str) -> Option<&str> {
+        self.values.get(flag).map(String::as_str)
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, String> {
+        match self.get(flag) {
+            None => Ok(default),
+            Some(s) => s.parse().map_err(|_| format!("{flag}: cannot parse {s:?}")),
+        }
+    }
+}
+
+fn scenario_of(args: &Args) -> Result<(Scenario, &'static str), String> {
+    let seed: u64 = args.parsed("--seed", 42)?;
+    Ok(if args.has("--small") {
+        (Scenario::small(seed), "small")
+    } else {
+        (Scenario::paper(seed), "paper")
+    })
+}
+
+/// Render the full report text — shared verbatim by `report`, `reduce`,
+/// and `follow`, which is what makes their outputs byte-comparable.
+fn render_report(data: &PipelineData) -> String {
+    let mut output = render_all(data);
+    let rows = comparison(data);
+    output.push_str(&render_comparison(&rows));
+    output.push('\n');
+    let misses = rows.iter().filter(|r| !r.within_band).count();
+    output.push_str(&format!(
+        "{} of {} comparison metrics inside their acceptance bands\n",
+        rows.len() - misses,
+        rows.len()
+    ));
+    output
+}
+
+fn write_output(text: &str, out: Option<&str>) -> Result<(), String> {
+    match out {
+        Some("-") | None => {
+            print!("{text}");
+            Ok(())
+        }
+        Some(path) => {
+            std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("exhibits written to {path}");
+            Ok(())
+        }
+    }
+}
+
+fn cmd_report(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(
+        raw,
+        &["--small", "--crawl", "--materialize"],
+        &["--seed", "--out"],
+        false,
+    )?;
+    let (sc, _) = scenario_of(&args)?;
 
     eprintln!(
         "scenario: {} .. {} (divisors: EOS 1/{}, Tezos 1/{}, XRP 1/{})",
@@ -41,18 +161,18 @@ fn main() {
     );
 
     let started = std::time::Instant::now();
-    let data = if has("--crawl") {
-        let opts = if has("--small") { CrawlOptions::default() } else { CrawlOptions::paper() };
+    let data = if args.has("--crawl") {
+        let opts = if args.has("--small") { CrawlOptions::default() } else { CrawlOptions::paper() };
         let rt = tokio::runtime::Runtime::new().expect("tokio runtime");
-        if has("--materialize") {
+        if args.has("--materialize") {
             eprintln!("generating chains and crawling them over loopback RPC (materializing)…");
-            rt.block_on(generate_with_crawl(&sc, &opts)).expect("crawl pipeline")
+            rt.block_on(generate_with_crawl(&sc, &opts)).map_err(|e| e.to_string())?
         } else {
             eprintln!(
                 "generating chains and streaming the crawl into {} sweep shards per chain…",
                 opts.shards
             );
-            rt.block_on(generate_with_crawl_streamed(&sc, &opts)).expect("streamed pipeline")
+            rt.block_on(generate_with_crawl_streamed(&sc, &opts)).map_err(|e| e.to_string())?
         }
     } else {
         eprintln!("generating chains (direct read; pass --crawl for the full RPC path)…");
@@ -75,24 +195,209 @@ fn main() {
         );
     }
     eprintln!("pipeline ready in {:?}; rendering exhibits…", started.elapsed());
+    write_output(&render_report(&data), args.get("--out"))
+}
 
-    let mut output = render_all(&data);
-    let rows = comparison(&data);
-    output.push_str(&render_comparison(&rows));
-    output.push('\n');
-    let misses = rows.iter().filter(|r| !r.within_band).count();
-    output.push_str(&format!(
-        "{} of {} comparison metrics inside their acceptance bands\n",
-        rows.len() - misses,
-        rows.len()
-    ));
+fn parse_range(s: &str) -> Result<(u64, u64), String> {
+    let (a, b) = s
+        .split_once("..")
+        .ok_or_else(|| format!("--range wants A..B (block positions), got {s:?}"))?;
+    let start: u64 = a.parse().map_err(|_| format!("--range: bad start {a:?}"))?;
+    let end: u64 = b.parse().map_err(|_| format!("--range: bad end {b:?}"))?;
+    if start > end {
+        return Err(format!("--range: inverted range {s:?}"));
+    }
+    Ok((start, end))
+}
 
-    match value_of("--out") {
-        Some(path) => {
-            let mut f = std::fs::File::create(&path).expect("create output file");
-            f.write_all(output.as_bytes()).expect("write output");
-            eprintln!("exhibits written to {path}");
+fn cmd_shard(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw, &["--small"], &["--seed", "--out", "--range", "--shards"], false)?;
+    let (sc, mode) = scenario_of(&args)?;
+    let (start, end) =
+        parse_range(args.get("--range").ok_or("shard needs --range A..B")?)?;
+    let out = args.get("--out").ok_or("shard needs --out FILE (\"-\" for stdout)")?;
+    let shards: usize = args.parsed("--shards", 2)?;
+
+    let started = std::time::Instant::now();
+    let frames = shard_scenario(&sc, scenario_meta(&sc, mode), start, end, shards);
+    for f in &frames {
+        eprintln!(
+            "{}: swept positions [{}, {}) — {} blocks",
+            f.header.chain, f.header.start, f.header.end, f.header.blocks
+        );
+    }
+    let bytes = txstat_wire::encode_all(&frames);
+    match out {
+        "-" => std::io::stdout()
+            .write_all(&bytes)
+            .map_err(|e| format!("cannot write frames to stdout: {e}"))?,
+        path => std::fs::write(path, &bytes).map_err(|e| format!("cannot write {path}: {e}"))?,
+    }
+    eprintln!(
+        "{} frames ({} bytes) emitted in {:?} to {}",
+        frames.len(),
+        bytes.len(),
+        started.elapsed(),
+        out
+    );
+    Ok(())
+}
+
+fn cmd_reduce(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw, &[], &["--out"], true)?;
+    if args.positionals.is_empty() {
+        return Err("reduce needs at least one frame file".to_owned());
+    }
+    let started = std::time::Instant::now();
+    let mut frames: Vec<ShardFrame> = Vec::new();
+    for path in &args.positionals {
+        let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let decoded =
+            txstat_wire::decode_all(&bytes).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("{path}: {} frames", decoded.len());
+        frames.extend(decoded);
+    }
+    let meta = frames.first().map(|f| f.header.meta.clone()).ok_or("no frames found")?;
+    let (sc, mode) = scenario_from_meta(&meta)?;
+    eprintln!(
+        "reducing {} frames of the {mode} scenario (seed {})…",
+        frames.len(),
+        sc.seed
+    );
+    let data = reduce_frames(&sc, &frames).map_err(|e| e.to_string())?;
+    eprintln!("reduction ready in {:?}; rendering exhibits…", started.elapsed());
+    write_output(&render_report(&data), args.get("--out"))
+}
+
+fn cmd_follow(raw: &[String]) -> Result<(), String> {
+    let args =
+        Args::parse(raw, &["--small"], &["--seed", "--out", "--batch", "--shards"], false)?;
+    let (sc, _) = scenario_of(&args)?;
+    let batch: usize = args.parsed("--batch", 500)?;
+    if batch == 0 {
+        return Err("--batch must be positive".to_owned());
+    }
+    let shards: usize = args.parsed("--shards", 2)?;
+    let shards = shards.max(1);
+
+    eprintln!("generating chains; following head in batches of {batch} blocks per chain…");
+    let data = generate(&sc);
+    let period = sc.period;
+
+    // One range-keyed checkpoint per chain; each batch appends a tail via
+    // observe_tail, so the already-observed prefix is never re-swept.
+    let fresh = |low: u64| (vec![0u64; shards], low);
+    let mk_eos = || {
+        let (counts, low) = fresh(data.eos_blocks.first().map_or(1, |b| b.num));
+        Checkpoint {
+            shards: vec![EosColumnar::new(period); shards],
+            counts,
+            low,
+            high: low.saturating_sub(1),
         }
-        None => print!("{output}"),
+    };
+    let mk_tz = || {
+        let (counts, low) = fresh(data.tezos_blocks.first().map_or(1, |b| b.level));
+        Checkpoint {
+            shards: vec![TezosColumnar::new(period, data.governance_periods.clone()); shards],
+            counts,
+            low,
+            high: low.saturating_sub(1),
+        }
+    };
+    let mk_xrp = || {
+        let (counts, low) = fresh(data.xrp_blocks.first().map_or(1, |b| b.index));
+        Checkpoint {
+            shards: vec![XrpColumnar::new(period); shards],
+            counts,
+            low,
+            high: low.saturating_sub(1),
+        }
+    };
+    let mut eos_cp = mk_eos();
+    let mut tz_cp = mk_tz();
+    let mut xrp_cp = mk_xrp();
+
+    let mut offset = 0usize;
+    let total = data
+        .eos_blocks
+        .len()
+        .max(data.tezos_blocks.len())
+        .max(data.xrp_blocks.len());
+    let mut round = 0u64;
+    while offset < total {
+        let hi = (offset + batch).min(total);
+        let take = |n: usize| offset.min(n)..hi.min(n);
+        eos_cp
+            .observe_tail(
+                data.eos_blocks[take(data.eos_blocks.len())].iter().map(|b| (b.num, b)),
+                |a, _n, b| a.observe(b),
+            )
+            .map_err(|e| e.to_string())?;
+        tz_cp
+            .observe_tail(
+                data.tezos_blocks[take(data.tezos_blocks.len())].iter().map(|b| (b.level, b)),
+                |a, _n, b| a.observe(b),
+            )
+            .map_err(|e| e.to_string())?;
+        xrp_cp
+            .observe_tail(
+                data.xrp_blocks[take(data.xrp_blocks.len())].iter().map(|b| (b.index, b)),
+                |a, _n, b| a.observe(b, &data.oracle),
+            )
+            .map_err(|e| e.to_string())?;
+        round += 1;
+
+        // Re-render the headline statistics from the merged (cloned) shard
+        // state — O(shards) merges, no prefix re-sweep.
+        let eos = eos_cp.merged(|a, b| a.merge(b)).finalize();
+        let tz = tz_cp.merged(|a, b| a.merge(b)).finalize();
+        let xrp = xrp_cp.merged(|a, b| a.merge(b)).finalize();
+        eprintln!(
+            "batch {round:>4}: EOS {:>7} blocks ({:.2} tps) | Tezos {:>7} ({:.2} tps) | XRP {:>7} ({:.2} tps)",
+            eos_cp.observed(),
+            eos.tps(),
+            tz_cp.observed(),
+            tz.tps(),
+            xrp_cp.observed(),
+            xrp.tps(),
+        );
+        offset = hi;
+    }
+
+    // Head reached: the checkpoints now cover the whole chains. Render the
+    // full report from their merged state — identical to `report`.
+    let sweeps = ChainSweeps {
+        eos: eos_cp.merged(|a, b| a.merge(b)).finalize(),
+        tezos: tz_cp.merged(|a, b| a.merge(b)).finalize(),
+        xrp: xrp_cp.merged(|a, b| a.merge(b)).finalize(),
+    };
+    assert!(data.install_sweeps(sweeps), "follow computed no report sweeps");
+    write_output(&render_report(&data), args.get("--out"))
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        None => cmd_report(&[]),
+        Some("report") => cmd_report(&argv[1..]),
+        Some("shard") => cmd_shard(&argv[1..]),
+        Some("reduce") => cmd_reduce(&argv[1..]),
+        Some("follow") => cmd_follow(&argv[1..]),
+        Some(flag) if flag.starts_with('-') => {
+            // Compatibility shim: the pre-subcommand spelling is a report.
+            cmd_report(&argv)
+        }
+        Some(other) => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            ExitCode::from(2)
+        }
     }
 }

@@ -11,8 +11,9 @@ pub mod pipeline;
 pub use exhibits::render_all;
 pub use paper::{comparison, render_comparison, ComparisonRow};
 pub use pipeline::{
-    generate, generate_with_crawl, generate_with_crawl_streamed, ChainStreamInfo, CrawlOptions,
-    PipelineData, StreamSummary,
+    generate, generate_with_crawl, generate_with_crawl_streamed, reduce_frames, scenario_from_meta,
+    scenario_meta, shard_scenario, ChainStreamInfo, ChainSweeps, CrawlOptions, PipelineData,
+    StreamSummary,
 };
 
 #[cfg(test)]

@@ -28,10 +28,11 @@ use txstat_crawler::{
 };
 use txstat_ingest::crawl::ledger_ious;
 use txstat_ingest::{
-    spawn_sharded, EosCrawlSource, IngestOptions, IngestOutcome, RateCache, Sink,
-    TezosCrawlSource, XrpCrawlSource,
+    spawn_sharded, EosCrawlSource, IngestOptions, IngestOutcome, RateCache, ReduceError,
+    ReduceSession, ShardWorker, Sink, TezosCrawlSource, XrpCrawlSource,
 };
 use txstat_ingest::source::BlockSource;
+use txstat_wire::ShardFrame;
 use txstat_netsim::handlers::{EosRpcHandler, TezosRpcHandler, XrpRpcHandler};
 use txstat_netsim::server::{spawn_http, spawn_ndjson, EndpointHandle};
 use txstat_netsim::EndpointProfile;
@@ -78,12 +79,7 @@ pub struct PipelineData {
 /// First/last block `(number, time)` of one chain's observed range.
 pub type ChainBounds = (Option<(u64, ChainTime)>, Option<(u64, ChainTime)>);
 
-/// The three per-chain accumulators behind the full report.
-pub struct ChainSweeps {
-    pub eos: EosSweep,
-    pub tezos: TezosSweep,
-    pub xrp: XrpSweep,
-}
+pub use txstat_core::ChainSweeps;
 
 impl PipelineData {
     /// The fused analytics state: computed on first use with one columnar
@@ -102,6 +98,13 @@ impl PipelineData {
                 xrp: XrpColumnar::compute(&self.xrp_blocks, period, &self.oracle),
             }
         })
+    }
+
+    /// Install externally-reduced sweeps (e.g. from a distributed
+    /// `txstat_ingest::ReduceSession`) as this dataset's analytics state.
+    /// Returns false if the sweeps were already computed.
+    pub fn install_sweeps(&self, sweeps: ChainSweeps) -> bool {
+        self.sweeps.set(sweeps).is_ok()
     }
 
     /// Pin the scalar (non-columnar) sweeps as this dataset's analytics
@@ -895,4 +898,114 @@ pub fn local_storage_stats(data: &PipelineData) -> (CrawlStats, CrawlStats, Craw
         |b| b.transactions.len() as u64,
     );
     (eos, tezos, xrp)
+}
+
+// ---- Distributed reduction (shard workers → wire frames → reduce) ----------
+
+/// The provenance stamped into every frame of a scenario's shard sweep:
+/// enough to rebuild the scenario in the reducer (`mode` + `seed`) and
+/// enough to refuse frames from a different one (the window and divisors
+/// pin customized scenarios apart).
+pub fn scenario_meta(sc: &Scenario, mode: &str) -> serde_json::Value {
+    serde_json::json!({
+        "mode": mode,
+        "seed": sc.seed,
+        "window": [sc.period.start.0, sc.period.end.0],
+        "divisors": [sc.eos_divisor, sc.tezos_divisor, sc.xrp_divisor],
+    })
+}
+
+/// Rebuild the scenario a frame's meta describes ([`scenario_meta`]'s
+/// inverse for the preset modes).
+pub fn scenario_from_meta(meta: &serde_json::Value) -> Result<(Scenario, String), String> {
+    let mode = meta
+        .get("mode")
+        .and_then(serde_json::Value::as_str)
+        .ok_or("frame meta carries no scenario mode")?
+        .to_owned();
+    let seed = meta
+        .get("seed")
+        .and_then(serde_json::Value::as_u64)
+        .ok_or("frame meta carries no seed")?;
+    let sc = match mode.as_str() {
+        "small" => Scenario::small(seed),
+        "paper" => Scenario::paper(seed),
+        other => return Err(format!("unknown scenario mode {other:?} in frame meta")),
+    };
+    // The window and divisors in the meta must match what the preset
+    // rebuilds — frames swept from a customized scenario must not reduce
+    // against the preset one's chains.
+    if scenario_meta(&sc, &mode) != *meta {
+        return Err(format!(
+            "frame meta does not describe the {mode:?} preset at seed {seed} \
+             (customized scenario?): {meta:?}"
+        ));
+    }
+    Ok((sc, mode))
+}
+
+/// One shard worker process's work: generate the scenario's chains, sweep
+/// the block-position range `[start, end)` of each (clamped to the chain
+/// head), and return the three wire frames. Pure and deterministic —
+/// every worker derives identical chains and the same exchange-rate
+/// oracle from the scenario seed.
+pub fn shard_scenario(
+    sc: &Scenario,
+    meta: serde_json::Value,
+    start: u64,
+    end: u64,
+    shards: usize,
+) -> Vec<ShardFrame> {
+    let eos = build_eos(sc);
+    let tezos = build_tezos(sc);
+    let xrp = build_xrp(sc);
+    let oracle = RateOracle::from_trades(&xrp.trades, sc.period.end, sc.period.days() as i64 + 1);
+    let governance_periods = governance_periods_of(&tezos);
+    let worker = ShardWorker { start, end, shards: shards.max(1), meta };
+    vec![
+        worker.eos_frame(eos.blocks(), sc.period),
+        worker.tezos_frame(tezos.blocks(), sc.period, &governance_periods),
+        worker.xrp_frame(xrp.closed_ledgers(), sc.period, &oracle),
+    ]
+}
+
+/// Central reduction: validate and merge shard frames over the scenario
+/// they were swept from, then assemble the full dataset with the reduced
+/// sweeps installed. The rendered report is bit-identical to
+/// [`generate`]'s.
+///
+/// Coverage must tile each chain exactly — a missing head, hole, or tail
+/// surfaces as [`ReduceError::CoverageGap`] before anything renders.
+pub fn reduce_frames(sc: &Scenario, frames: &[ShardFrame]) -> Result<PipelineData, ReduceError> {
+    let mut session = ReduceSession::new();
+    for frame in frames {
+        session.submit(frame)?;
+    }
+    let data = generate(sc);
+    let lens = [
+        data.eos_blocks.len() as u64,
+        data.tezos_blocks.len() as u64,
+        data.xrp_blocks.len() as u64,
+    ];
+    for (chain, len) in txstat_ingest::reduce::CHAINS.into_iter().zip(lens) {
+        let mut gaps = Vec::new();
+        match session.span(chain) {
+            None => gaps.push((0, len)),
+            Some((lo, hi)) => {
+                if lo > 0 {
+                    gaps.push((0, lo));
+                }
+                gaps.extend(session.gaps(chain));
+                if hi < len {
+                    gaps.push((hi, len));
+                }
+            }
+        }
+        if !gaps.is_empty() {
+            return Err(ReduceError::CoverageGap { chain, gaps });
+        }
+    }
+    let sweeps = session.finalize()?;
+    assert!(data.install_sweeps(sweeps), "fresh dataset has no sweeps yet");
+    Ok(data)
 }

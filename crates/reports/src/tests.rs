@@ -118,3 +118,19 @@ fn pipeline_data_is_internally_consistent() {
     // CPU price history aligns with blocks.
     assert_eq!(data.eos_cpu_price.len(), data.eos_blocks.len());
 }
+
+#[test]
+fn scenario_meta_round_trips_presets_and_rejects_drift() {
+    use crate::pipeline::{scenario_from_meta, scenario_meta};
+    let sc = txstat_workload::Scenario::small(7);
+    let (back, mode) = scenario_from_meta(&scenario_meta(&sc, "small")).expect("preset meta");
+    assert_eq!(mode, "small");
+    assert_eq!((back.seed, back.period), (sc.seed, sc.period));
+
+    // A customized scenario's meta no longer matches the preset rebuild:
+    // reducing its frames against preset chains must be refused.
+    let mut custom = txstat_workload::Scenario::small(7);
+    custom.xrp_divisor = 2.0;
+    let err = scenario_from_meta(&scenario_meta(&custom, "small"));
+    assert!(err.is_err(), "customized scenario meta must not reduce as a preset");
+}

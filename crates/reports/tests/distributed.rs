@@ -1,0 +1,109 @@
+//! The multi-process acceptance proof: N separate `reproduce shard` OS
+//! processes over disjoint block ranges, reduced centrally by a
+//! `reproduce reduce` process, render a report **byte-identical** to one
+//! `reproduce report` process over the same scenario/seed — and the
+//! legacy pre-subcommand flag spelling still works via the compat shim.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn reproduce(dir: &Path, args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_reproduce"))
+        .current_dir(dir)
+        .args(args)
+        .output()
+        .expect("spawn reproduce")
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("txstat-distributed-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn read(dir: &Path, name: &str) -> Vec<u8> {
+    std::fs::read(dir.join(name)).unwrap_or_else(|e| panic!("read {name}: {e}"))
+}
+
+#[test]
+fn three_shard_processes_reduce_to_the_identical_report() {
+    let dir = tempdir("reduce");
+
+    let direct = reproduce(&dir, &["report", "--small", "--seed", "7", "--out", "direct.txt"]);
+    assert!(direct.status.success(), "report failed: {}", String::from_utf8_lossy(&direct.stderr));
+
+    // Three disjoint block-position ranges; the last one over-shoots every
+    // chain head and clamps. Different in-process shard counts per worker
+    // must not matter.
+    for (range, shards, out) in
+        [("0..250", "1", "a.frames"), ("250..400", "3", "b.frames"), ("400..99999999", "2", "c.frames")]
+    {
+        let shard = reproduce(
+            &dir,
+            &["shard", "--range", range, "--small", "--seed", "7", "--shards", shards, "--out", out],
+        );
+        assert!(
+            shard.status.success(),
+            "shard {range} failed: {}",
+            String::from_utf8_lossy(&shard.stderr)
+        );
+    }
+
+    let reduce = reproduce(
+        &dir,
+        &["reduce", "a.frames", "b.frames", "c.frames", "--out", "reduced.txt"],
+    );
+    assert!(reduce.status.success(), "reduce failed: {}", String::from_utf8_lossy(&reduce.stderr));
+
+    assert_eq!(
+        read(&dir, "direct.txt"),
+        read(&dir, "reduced.txt"),
+        "reduced report differs from the single-process report"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn reduce_refuses_incomplete_coverage() {
+    let dir = tempdir("gap");
+    let shard = reproduce(
+        &dir,
+        &["shard", "--range", "10..40", "--small", "--seed", "7", "--out", "mid.frames"],
+    );
+    assert!(shard.status.success());
+    let reduce = reproduce(&dir, &["reduce", "mid.frames", "--out", "never.txt"]);
+    assert!(!reduce.status.success(), "a head-less reduction must fail");
+    let stderr = String::from_utf8_lossy(&reduce.stderr);
+    assert!(stderr.contains("uncovered block ranges"), "stderr: {stderr}");
+    assert!(!dir.join("never.txt").exists(), "no report may be written on gap");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn legacy_flag_spelling_still_reports() {
+    let dir = tempdir("compat");
+    let legacy = reproduce(&dir, &["--small", "--seed", "9", "--out", "legacy.txt"]);
+    assert!(legacy.status.success(), "{}", String::from_utf8_lossy(&legacy.stderr));
+    let modern = reproduce(&dir, &["report", "--small", "--seed", "9", "--out", "modern.txt"]);
+    assert!(modern.status.success());
+    assert_eq!(read(&dir, "legacy.txt"), read(&dir, "modern.txt"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unknown_flags_and_subcommands_exit_nonzero_with_usage() {
+    let dir = tempdir("usage");
+    for args in [
+        &["report", "--frobnicate"][..],
+        &["--frobnicate"][..],
+        &["shard", "--range", "0..5"][..], // missing --out
+        &["warble"][..],
+    ] {
+        let out = reproduce(&dir, args);
+        assert!(!out.status.success(), "{args:?} should fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("usage: reproduce"), "{args:?} printed no usage: {stderr}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

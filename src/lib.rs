@@ -8,7 +8,9 @@
 //! - [`eos`], [`tezos`], [`xrp`] — the three ledger simulators
 //! - [`workload`] — the agent-based scenario engine (paper preset)
 //! - [`netsim`], [`crawler`] — RPC substrate and measurement crawler
-//! - [`ingest`] — streaming crawl-to-accumulator ingestion
+//! - [`ingest`] — streaming crawl-to-accumulator ingestion and the
+//!   distributed [`ingest::ReduceSession`]
+//! - [`wire`] — the versioned shard-frame codec (`ShardFrame`)
 //! - [`core`] — the paper's analytics pipeline
 //! - [`reports`] — per-figure/table renderers
 
@@ -20,5 +22,6 @@ pub use txstat_netsim as netsim;
 pub use txstat_reports as reports;
 pub use txstat_tezos as tezos;
 pub use txstat_types as types;
+pub use txstat_wire as wire;
 pub use txstat_workload as workload;
 pub use txstat_xrp as xrp;

@@ -253,10 +253,15 @@ fn fused_stream(c: &mut Criterion) {
 /// `ReduceSession` reduction (decode + validate + remap-merge + finalize),
 /// against the in-process merge of the same k accumulators (no codec) —
 /// the wire tax on top of the merge algebra.
+///
+/// The unsuffixed arms measure the **schema v2 binary-column** path (the
+/// default shard payload since this group's 11.9 ms JSON recording); the
+/// `_v1json` arms keep the v1 canonical-JSON path measured so the codec
+/// gap stays visible in `BENCH_figures.json`.
 fn wire_reduce(c: &mut Criterion) {
-    use serde::Deserialize as _;
+    use txstat_core::WireState;
     use txstat_ingest::{ReduceSession, ShardWorker};
-    use txstat_wire::ShardFrame;
+    use txstat_wire::{PayloadFormat, ShardFrame};
 
     let data = bench_data();
     let period = data.scenario.period;
@@ -272,6 +277,7 @@ fn wire_reduce(c: &mut Criterion) {
             start: i * total / K,
             end: if i == K - 1 { total } else { (i + 1) * total / K },
             shards: 1,
+            payload: PayloadFormat::Bin,
             meta: meta.clone(),
         })
         .collect();
@@ -292,14 +298,28 @@ fn wire_reduce(c: &mut Criterion) {
         .iter()
         .enumerate()
         .map(|(i, _)| {
-            let state = |j: usize| frames[i * 3 + j].state().expect("payload parses");
+            let payload = |j: usize| &frames[i * 3 + j].payload[..];
             (
-                EosColumnar::deserialize(&state(0)).expect("eos state"),
-                TezosColumnar::deserialize(&state(1)).expect("tezos state"),
-                XrpColumnar::deserialize(&state(2)).expect("xrp state"),
+                EosColumnar::from_wire_bytes(payload(0)).expect("eos state"),
+                TezosColumnar::from_wire_bytes(payload(1)).expect("tezos state"),
+                XrpColumnar::from_wire_bytes(payload(2)).expect("xrp state"),
             )
         })
         .collect();
+    // The same k accumulators as v1 JSON frames, for the comparison arms.
+    let json_frames: Vec<ShardFrame> = accs
+        .iter()
+        .zip(&workers)
+        .flat_map(|((e, t, x), w)| {
+            use serde::Serialize as _;
+            vec![
+                ShardFrame::from_state("eos", w.start, w.end, 0, w.meta.clone(), &e.serialize()),
+                ShardFrame::from_state("tezos", w.start, w.end, 0, w.meta.clone(), &t.serialize()),
+                ShardFrame::from_state("xrp", w.start, w.end, 0, w.meta.clone(), &x.serialize()),
+            ]
+        })
+        .collect();
+    let json_bytes = txstat_wire::encode_all(&json_frames);
 
     let mut g = c.benchmark_group("wire_reduce");
     g.sample_size(10);
@@ -309,11 +329,10 @@ fn wire_reduce(c: &mut Criterion) {
                 accs.iter()
                     .zip(&workers)
                     .flat_map(|((e, t, x), w)| {
-                        use serde::Serialize as _;
                         vec![
-                            ShardFrame::from_state("eos", w.start, w.end, 0, w.meta.clone(), &e.serialize()),
-                            ShardFrame::from_state("tezos", w.start, w.end, 0, w.meta.clone(), &t.serialize()),
-                            ShardFrame::from_state("xrp", w.start, w.end, 0, w.meta.clone(), &x.serialize()),
+                            ShardFrame::from_columns("eos", w.start, w.end, 0, w.meta.clone(), e.to_wire_bytes()),
+                            ShardFrame::from_columns("tezos", w.start, w.end, 0, w.meta.clone(), t.to_wire_bytes()),
+                            ShardFrame::from_columns("xrp", w.start, w.end, 0, w.meta.clone(), x.to_wire_bytes()),
                         ]
                     })
                     .map(|f| f.encode().len())
@@ -325,7 +344,17 @@ fn wire_reduce(c: &mut Criterion) {
         b.iter(|| {
             let frames = txstat_wire::decode_all(&bytes).expect("frames decode");
             for f in &frames {
-                black_box(f.state().expect("payload parses"));
+                match f.header.chain.as_str() {
+                    "eos" => {
+                        black_box(EosColumnar::from_wire_bytes(&f.payload).expect("eos state"));
+                    }
+                    "tezos" => {
+                        black_box(TezosColumnar::from_wire_bytes(&f.payload).expect("tezos state"));
+                    }
+                    _ => {
+                        black_box(XrpColumnar::from_wire_bytes(&f.payload).expect("xrp state"));
+                    }
+                }
             }
             black_box(frames.len())
         })
@@ -334,6 +363,24 @@ fn wire_reduce(c: &mut Criterion) {
         b.iter(|| {
             let mut session = ReduceSession::new();
             for f in txstat_wire::decode_all(&bytes).expect("frames decode") {
+                session.submit(&f).expect("frame validates");
+            }
+            black_box(session.finalize().expect("complete coverage"))
+        })
+    });
+    g.bench_function("decode_k4_frames_v1json", |b| {
+        b.iter(|| {
+            let frames = txstat_wire::decode_all(&json_bytes).expect("frames decode");
+            for f in &frames {
+                black_box(f.state().expect("payload parses"));
+            }
+            black_box(frames.len())
+        })
+    });
+    g.bench_function("reduce_k4_frames_v1json", |b| {
+        b.iter(|| {
+            let mut session = ReduceSession::new();
+            for f in txstat_wire::decode_all(&json_bytes).expect("frames decode") {
                 session.submit(&f).expect("frame validates");
             }
             black_box(session.finalize().expect("complete coverage"))

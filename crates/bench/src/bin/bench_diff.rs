@@ -12,8 +12,12 @@
 //!
 //! Prints `baseline → fresh (speedup ×)` per benchmark present in both
 //! files; `--groups a,b` restricts to benchmarks whose `group/` prefix
-//! matches. Exits non-zero only on unreadable/withered inputs (no common
-//! benchmarks), so CI catches format rot without failing on machine noise.
+//! matches. A requested group absent from either file (a newly added
+//! group not yet in the baseline, or one retired from the bench) is a
+//! **warning and a skip**, not an error — CI stays green while baselines
+//! trail the benches. Exits non-zero only on unreadable/withered inputs
+//! (nothing comparable at all and nothing skipped), so format rot is
+//! still caught without failing on machine noise.
 
 use serde_json::Value;
 use std::process::ExitCode;
@@ -71,13 +75,38 @@ fn run() -> Result<(), String> {
             other => return Err(format!("unknown argument {other:?}\n{usage}")),
         }
     }
-    let in_groups = |name: &str| {
-        groups.is_empty()
-            || groups.iter().any(|g| name.starts_with(&format!("{g}/")) || name == g)
-    };
+    let matches_group = |name: &str, g: &str| name.starts_with(&format!("{g}/")) || name == g;
+    let in_groups =
+        |name: &str| groups.is_empty() || groups.iter().any(|g| matches_group(name, g));
 
     let baseline = parse_lines(&baseline_path)?;
     let fresh = parse_lines(&fresh_path)?;
+
+    // A requested group absent from exactly one file is warned about and
+    // skipped, so pointing CI at a baseline that predates a new group (or
+    // a bench that retired one) degrades gracefully. A group in *neither*
+    // file stays a hard error — that's a typo'd or withered group name,
+    // and silently skipping it would disarm the gate forever.
+    let mut skipped = 0usize;
+    for g in &groups {
+        let in_baseline = baseline.iter().any(|e| matches_group(&e.name, g));
+        let in_fresh = fresh.iter().any(|e| matches_group(&e.name, g));
+        match (in_baseline, in_fresh) {
+            (false, false) => {
+                return Err(format!(
+                    "group {g:?} matches nothing in {baseline_path} or {fresh_path}"
+                ))
+            }
+            (false, true) => eprintln!(
+                "bench_diff: warning: group {g:?} not in baseline {baseline_path} — skipped"
+            ),
+            (true, false) => {
+                eprintln!("bench_diff: warning: group {g:?} not in fresh {fresh_path} — skipped")
+            }
+            (true, true) => continue,
+        }
+        skipped += 1;
+    }
 
     let mut rows: Vec<(String, f64, f64)> = Vec::new();
     for b in &baseline {
@@ -91,9 +120,14 @@ fn run() -> Result<(), String> {
         }
     }
     if rows.is_empty() {
+        let scope = if groups.is_empty() { String::new() } else { format!(" in groups {groups:?}") };
+        if skipped > 0 {
+            // Everything requested was a known skip: degraded, not broken.
+            println!("nothing to compare{scope} ({skipped} group(s) skipped)");
+            return Ok(());
+        }
         return Err(format!(
-            "no common benchmarks between {baseline_path} and {fresh_path}{}",
-            if groups.is_empty() { String::new() } else { format!(" in groups {groups:?}") }
+            "no common benchmarks between {baseline_path} and {fresh_path}{scope}"
         ));
     }
 

@@ -503,18 +503,44 @@ impl serde::Serialize for EosColumnar {
     }
 }
 
+impl EosColumnar {
+    /// The decode-time hardening both payload formats run: every
+    /// id-indexed structure must stay inside the interner's id range (and
+    /// the tag table must have one *valid* tag per key), or merge/observe
+    /// would panic on a forged frame.
+    fn validate(&self) -> Result<(), String> {
+        use super::state::{check_idvec, check_pairs, check_series};
+        if self.class_of.len() != self.names.len() {
+            return Err("tag table arity disagrees with interner".to_owned());
+        }
+        if let Some(tag) = self.class_of.iter().find(|t| **t > TAG_OTHERS) {
+            return Err(format!("class tag {tag} outside the class-tag range"));
+        }
+        let (n, n32) = (self.names.len(), self.names.len() as u32);
+        for c in &self.by_class {
+            check_idvec(c, n, "by_class")?;
+        }
+        check_idvec(&self.tx_contracts, n, "tx_contracts")?;
+        check_idvec(&self.sent, n, "sent")?;
+        check_idvec(&self.wash.participation, n, "wash.participation")?;
+        check_idvec(&self.wash.self_by_account, n, "wash.self_by_account")?;
+        check_idvec(&self.boom.hubs, n, "boom.hubs")?;
+        check_pairs(&self.contract_actions, n32, n32, "contract_actions")?;
+        check_pairs(&self.sender_receivers, n32, n32, "sender_receivers")?;
+        check_pairs(&self.wash.pairs, n32, n32, "wash.pairs")?;
+        check_pairs(&self.edges, n32, n32, "edges")?;
+        check_series(&self.series, n32, "series")?;
+        Ok(())
+    }
+}
+
 impl serde::Deserialize for EosColumnar {
     fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
-        use super::state::{check_idvec, check_pairs, check_series, de, de_fixed};
-        let names: Interner<Name> = de(v, "names")?;
-        let class_of: Vec<u8> = de(v, "class_of")?;
-        if class_of.len() != names.len() {
-            return Err(serde::Error::custom("tag table arity disagrees with interner"));
-        }
+        use super::state::{de, de_fixed};
         let out = EosColumnar {
             period: de(v, "period")?,
-            names,
-            class_of,
+            names: de(v, "names")?,
+            class_of: de(v, "class_of")?,
             by_class: de_fixed(v, "by_class")?,
             others: de(v, "others")?,
             action_total: de(v, "action_total")?,
@@ -529,22 +555,92 @@ impl serde::Deserialize for EosColumnar {
             txs_in_period: de(v, "txs_in_period")?,
             batch: EosBatch::default(),
         };
-        // Every id-indexed structure must stay inside the interner's id
-        // range, or merge/finalize would panic on a forged frame.
-        let (n, n32) = (out.names.len(), out.names.len() as u32);
-        for c in &out.by_class {
-            check_idvec(c, n, "by_class")?;
+        out.validate().map_err(serde::Error::custom)?;
+        Ok(out)
+    }
+}
+
+impl super::wire::WireState for EosColumnar {
+    /// Binary column sections (payload schema v2), same field order as the
+    /// JSON state and the same canonical-bytes guarantee.
+    fn encode_columns(&self, w: &mut txstat_types::colcodec::ColWriter) {
+        use super::wire::{write_period, write_prefix, TAG_EOS};
+        write_prefix(w, TAG_EOS);
+        write_period(w, self.period);
+        self.names.encode_columns(w);
+        w.bytes(&self.class_of);
+        for c in &self.by_class {
+            c.encode_columns(w);
         }
-        check_idvec(&out.tx_contracts, n, "tx_contracts")?;
-        check_idvec(&out.sent, n, "sent")?;
-        check_idvec(&out.wash.participation, n, "wash.participation")?;
-        check_idvec(&out.wash.self_by_account, n, "wash.self_by_account")?;
-        check_idvec(&out.boom.hubs, n, "boom.hubs")?;
-        check_pairs(&out.contract_actions, n32, n32, "contract_actions")?;
-        check_pairs(&out.sender_receivers, n32, n32, "sender_receivers")?;
-        check_pairs(&out.wash.pairs, n32, n32, "wash.pairs")?;
-        check_pairs(&out.edges, n32, n32, "edges")?;
-        check_series(&out.series, n32, "series")?;
+        w.u64(self.others);
+        w.u64(self.action_total);
+        self.tx_contracts.encode_columns(w);
+        self.contract_actions.encode_columns(w);
+        self.sent.encode_columns(w);
+        self.sender_receivers.encode_columns(w);
+        self.series.encode_columns(w);
+        w.u64(self.wash.total);
+        w.u64(self.wash.self_trades);
+        self.wash.participation.encode_columns(w);
+        self.wash.self_by_account.encode_columns(w);
+        self.wash.pairs.encode_columns(w);
+        w.u64(self.boom.boomerang_txs);
+        w.u64(self.boom.boomerangs);
+        w.u64(self.boom.total_txs);
+        w.u64(self.boom.transfer_actions);
+        w.u64(self.boom.boomerang_transfers);
+        self.boom.hubs.encode_columns(w);
+        self.edges.encode_columns(w);
+        w.u64(self.txs_in_period);
+    }
+
+    fn decode_columns(
+        r: &mut txstat_types::colcodec::ColReader<'_>,
+    ) -> Result<Self, txstat_types::colcodec::ColError> {
+        use super::tables::{IdVec, PairTable};
+        use super::wire::{read_period, read_prefix, TAG_EOS};
+        read_prefix(r, TAG_EOS)?;
+        let period = read_period(r)?;
+        let names = Interner::<Name>::decode_columns(r)?;
+        let class_of = r.bytes()?.to_vec();
+        let by_class = [
+            IdVec::<u64>::decode_columns(r)?,
+            IdVec::<u64>::decode_columns(r)?,
+            IdVec::<u64>::decode_columns(r)?,
+        ];
+        let out = EosColumnar {
+            period,
+            names,
+            class_of,
+            by_class,
+            others: r.u64()?,
+            action_total: r.u64()?,
+            tx_contracts: IdVec::decode_columns(r)?,
+            contract_actions: PairTable::decode_columns(r)?,
+            sent: IdVec::decode_columns(r)?,
+            sender_receivers: PairTable::decode_columns(r)?,
+            series: super::SeriesTable::decode_columns(r)?,
+            wash: WashCol {
+                total: r.u64()?,
+                self_trades: r.u64()?,
+                participation: IdVec::decode_columns(r)?,
+                self_by_account: IdVec::decode_columns(r)?,
+                pairs: PairTable::decode_columns(r)?,
+            },
+            boom: BoomCol {
+                boomerang_txs: r.u64()?,
+                boomerangs: r.u64()?,
+                total_txs: r.u64()?,
+                transfer_actions: r.u64()?,
+                boomerang_transfers: r.u64()?,
+                hubs: IdVec::decode_columns(r)?,
+                used: Vec::new(),
+            },
+            edges: PairTable::decode_columns(r)?,
+            txs_in_period: r.u64()?,
+            batch: EosBatch::default(),
+        };
+        out.validate().map_err(|m| r.invalid(m))?;
         Ok(out)
     }
 }
@@ -661,6 +757,40 @@ mod tests {
     }
 
     #[test]
+    fn binary_columns_round_trip_and_match_json_state() {
+        use super::super::wire::WireState;
+        use serde::Serialize as _;
+        let blocks = blocks();
+        let mut acc = EosColumnar::new(period());
+        for b in &blocks {
+            acc.observe(b);
+        }
+        let bytes = acc.to_wire_bytes();
+        let back = EosColumnar::from_wire_bytes(&bytes).expect("valid columns");
+        // Canonical: re-encoding the decoded state is byte-identical.
+        assert_eq!(back.to_wire_bytes(), bytes);
+        // The binary round trip lands on the same state as the JSON one.
+        assert_eq!(
+            serde_json::to_string(&back.serialize()).unwrap(),
+            serde_json::to_string(&acc.serialize()).unwrap()
+        );
+        let (a, b) = (acc.finalize(), back.finalize());
+        assert_eq!(a.action_distribution().1, b.action_distribution().1);
+        assert_eq!(a.boomerang_report().boomerangs, b.boomerang_report().boomerangs);
+    }
+
+    #[test]
+    fn binary_columns_reject_out_of_range_ids() {
+        use super::super::wire::WireState;
+        let mut acc = EosColumnar::new(period());
+        acc.observe(&blocks()[0]);
+        // Forge an extra sent slot beyond the interner's id range.
+        acc.sent.add(acc.names.len() as u32 + 7, 1);
+        let bytes = acc.to_wire_bytes();
+        assert!(EosColumnar::from_wire_bytes(&bytes).is_err());
+    }
+
+    #[test]
     fn wire_state_rejects_tag_table_mismatch() {
         use serde::Serialize as _;
         let mut acc = EosColumnar::new(period());
@@ -670,6 +800,20 @@ mod tests {
             m.insert("class_of".into(), serde_json::json!([1]));
         }
         assert!(<EosColumnar as serde::Deserialize>::deserialize(&state).is_err());
+    }
+
+    #[test]
+    fn both_decode_paths_reject_out_of_range_class_tags() {
+        use super::super::wire::WireState;
+        use serde::Serialize as _;
+        // A forged tag above TAG_OTHERS would index past by_class in
+        // observe() if a decoded accumulator (e.g. a checkpoint) kept
+        // folding blocks — it must be a typed rejection on both paths.
+        let mut acc = EosColumnar::new(period());
+        acc.observe(&blocks()[0]);
+        acc.class_of[0] = TAG_OTHERS + 6;
+        assert!(EosColumnar::from_wire_bytes(&acc.to_wire_bytes()).is_err());
+        assert!(<EosColumnar as serde::Deserialize>::deserialize(&acc.serialize()).is_err());
     }
 
     #[test]

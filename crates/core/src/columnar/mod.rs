@@ -34,10 +34,12 @@ mod eos;
 pub(crate) mod state;
 pub mod tables;
 mod tezos;
+pub mod wire;
 mod xrp;
 
 pub use eos::EosColumnar;
 pub use tezos::TezosColumnar;
+pub use wire::WireState;
 pub use xrp::XrpColumnar;
 
 use std::collections::HashMap;
@@ -110,6 +112,19 @@ impl serde::Serialize for SeriesTable {
 impl serde::Deserialize for SeriesTable {
     fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
         Ok(SeriesTable { table: state::de(v, "table")?, oor: state::de(v, "oor")? })
+    }
+}
+
+impl wire::WireState for SeriesTable {
+    fn encode_columns(&self, w: &mut txstat_types::colcodec::ColWriter) {
+        self.table.encode_columns(w);
+        w.u64(self.oor);
+    }
+
+    fn decode_columns(
+        r: &mut txstat_types::colcodec::ColReader<'_>,
+    ) -> Result<Self, txstat_types::colcodec::ColError> {
+        Ok(SeriesTable { table: FxMap64::decode_columns(r)?, oor: r.u64()? })
     }
 }
 

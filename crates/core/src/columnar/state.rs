@@ -11,17 +11,19 @@ use serde::{Deserialize, Error, Value};
 
 /// Bound-check an id-indexed vector against the interner that issued its
 /// ids: a wire state referencing ids the interner never assigned would
-/// panic resolution/merge instead of erroring.
+/// panic resolution/merge instead of erroring. Format-agnostic — the JSON
+/// and binary decode paths both run the same hardening, wrapping the
+/// message into their own typed error.
 pub(crate) fn check_idvec<T>(
     v: &super::tables::IdVec<T>,
     interned: usize,
     what: &str,
-) -> Result<(), Error> {
+) -> Result<(), String> {
     if v.slot_count() > interned {
-        return Err(Error::custom(format!(
+        return Err(format!(
             "{what}: {} id slots but only {interned} interned keys",
             v.slot_count()
-        )));
+        ));
     }
     Ok(())
 }
@@ -33,10 +35,10 @@ pub(crate) fn check_pairs(
     bound_a: u32,
     bound_b: u32,
     what: &str,
-) -> Result<(), Error> {
+) -> Result<(), String> {
     for (a, b, _) in t.iter() {
         if (bound_a != u32::MAX && a >= bound_a) || (bound_b != u32::MAX && b >= bound_b) {
-            return Err(Error::custom(format!("{what}: pair ({a}, {b}) outside interned id range")));
+            return Err(format!("{what}: pair ({a}, {b}) outside interned id range"));
         }
     }
     Ok(())
@@ -48,12 +50,10 @@ pub(crate) fn check_series(
     s: &super::SeriesTable,
     interned: u32,
     what: &str,
-) -> Result<(), Error> {
+) -> Result<(), String> {
     for (enc, _bucket) in s.encoded_keys() {
         if enc > interned {
-            return Err(Error::custom(format!(
-                "{what}: encoded key {enc} outside interned id range"
-            )));
+            return Err(format!("{what}: encoded key {enc} outside interned id range"));
         }
     }
     Ok(())

@@ -347,11 +347,144 @@ impl serde::Deserialize for PairTable {
             shard.reserve(triples.len() / PAIR_SHARDS + 1);
         }
         for (a, b, n) in triples {
+            if pack(a, b) == EMPTY {
+                return Err(serde::Error::custom("pair collides with the empty sentinel"));
+            }
             if out.get(a, b) != 0 {
                 return Err(serde::Error::custom("duplicate pair in pair-table state"));
             }
             out.add(a, b, n);
         }
+        Ok(out)
+    }
+}
+
+// ---- Binary column sections (wire payload schema v2) -----------------------
+
+use super::wire::WireState;
+use txstat_types::colcodec::{ColError, ColReader, ColWriter};
+
+impl WireState for IdVec<u64> {
+    /// Column form: slot count, then the dense id-indexed tallies — the
+    /// same dense vector the JSON path ships, as varints.
+    fn encode_columns(&self, w: &mut ColWriter) {
+        w.u64(self.slots.len() as u64);
+        for v in &self.slots {
+            w.u64(*v);
+        }
+    }
+
+    fn decode_columns(r: &mut ColReader<'_>) -> Result<Self, ColError> {
+        let n = r.len(1)?;
+        let mut slots = Vec::with_capacity(n);
+        for _ in 0..n {
+            slots.push(r.u64()?);
+        }
+        Ok(IdVec { slots })
+    }
+}
+
+impl WireState for IdVec<i128> {
+    fn encode_columns(&self, w: &mut ColWriter) {
+        w.u64(self.slots.len() as u64);
+        for v in &self.slots {
+            w.i128(*v);
+        }
+    }
+
+    fn decode_columns(r: &mut ColReader<'_>) -> Result<Self, ColError> {
+        let n = r.len(1)?;
+        let mut slots = Vec::with_capacity(n);
+        for _ in 0..n {
+            slots.push(r.i128()?);
+        }
+        Ok(IdVec { slots })
+    }
+}
+
+/// Shared sorted `u64 → u64` section layout for [`FxMap64`] and
+/// [`PairTable`]: entry count, then `(key delta, count)` pairs in strictly
+/// ascending key order (the first delta is the first key itself). Strict
+/// ascent makes the encoding canonical *and* makes duplicates — which
+/// would double-count on decode — a zero delta the reader rejects.
+fn write_sorted_map(w: &mut ColWriter, entries: impl Iterator<Item = (u64, u64)>) {
+    let mut pairs: Vec<(u64, u64)> = entries.collect();
+    pairs.sort_unstable();
+    w.u64(pairs.len() as u64);
+    let mut prev = 0u64;
+    for (i, (k, v)) in pairs.iter().enumerate() {
+        w.u64(if i == 0 { *k } else { k - prev });
+        w.u64(*v);
+        prev = *k;
+    }
+}
+
+/// Read `n` entries of a sorted-map section (the caller reads the count
+/// first so it can pre-reserve its tables rehash-free). Rejects zero
+/// deltas (duplicates), overflowing keys, and the open-addressing
+/// sentinel `u64::MAX`, which is not a legal key in any section.
+fn read_sorted_entries(
+    r: &mut ColReader<'_>,
+    n: usize,
+    mut add: impl FnMut(u64, u64),
+) -> Result<(), ColError> {
+    let mut prev = 0u64;
+    for i in 0..n {
+        let delta = r.u64()?;
+        let key = if i == 0 {
+            delta
+        } else {
+            if delta == 0 {
+                return Err(r.invalid("duplicate key in sorted counter section"));
+            }
+            prev
+                .checked_add(delta)
+                .ok_or_else(|| r.invalid("key delta overflows u64"))?
+        };
+        if key == EMPTY {
+            return Err(r.invalid("key collides with the empty sentinel"));
+        }
+        add(key, r.u64()?);
+        prev = key;
+    }
+    Ok(())
+}
+
+impl WireState for FxMap64 {
+    fn encode_columns(&self, w: &mut ColWriter) {
+        write_sorted_map(w, self.iter());
+    }
+
+    fn decode_columns(r: &mut ColReader<'_>) -> Result<Self, ColError> {
+        let n = r.len(2)?;
+        let mut out = FxMap64::new();
+        out.reserve(n);
+        read_sorted_entries(r, n, |k, v| out.add(k, v))?;
+        Ok(out)
+    }
+}
+
+impl WireState for PairTable {
+    /// Column form: the packed `(a, b)` keys sorted ascending (identical
+    /// order to sorting the `(a, b, n)` triples) — the residue layout
+    /// rebuilds itself on decode, exactly like the JSON path.
+    fn encode_columns(&self, w: &mut ColWriter) {
+        write_sorted_map(
+            w,
+            self.shards.iter().flat_map(FxMap64::iter),
+        );
+    }
+
+    fn decode_columns(r: &mut ColReader<'_>) -> Result<Self, ColError> {
+        let n = r.len(2)?;
+        let mut out = PairTable::new();
+        for shard in &mut out.shards {
+            shard.reserve(n / PAIR_SHARDS + 1);
+        }
+        read_sorted_entries(r, n, |k, v| {
+            let (a, b) = unpack(k);
+            out.add(a, b, v);
+        })?;
         Ok(out)
     }
 }

@@ -247,17 +247,25 @@ impl serde::Serialize for TezosColumnar {
     }
 }
 
+impl TezosColumnar {
+    /// The decode-time hardening both payload formats run.
+    fn validate(&self) -> Result<(), String> {
+        if self.gov_events.len() != self.periods.len() {
+            return Err("governance event arity disagrees with period list".to_owned());
+        }
+        let (n, n32) = (self.addrs.len(), self.addrs.len() as u32);
+        super::state::check_idvec(&self.sent, n, "sent")?;
+        super::state::check_pairs(&self.per_receiver, n32, n32, "per_receiver")?;
+        Ok(())
+    }
+}
+
 impl serde::Deserialize for TezosColumnar {
     fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
         use super::state::{de, de_fixed, de_rows};
-        let periods: Vec<(PeriodKind, Period)> = de(v, "periods")?;
-        let gov_events: Vec<Vec<GovEvent>> = de(v, "gov_events")?;
-        if gov_events.len() != periods.len() {
-            return Err(serde::Error::custom("governance event arity disagrees with period list"));
-        }
         let out = TezosColumnar {
             period: de(v, "period")?,
-            periods,
+            periods: de(v, "periods")?,
             addrs: de(v, "addrs")?,
             op_counts: de_fixed(v, "op_counts")?,
             op_total: de(v, "op_total")?,
@@ -265,14 +273,127 @@ impl serde::Deserialize for TezosColumnar {
             series_oor: de(v, "series_oor")?,
             sent: de(v, "sent")?,
             per_receiver: de(v, "per_receiver")?,
-            gov_events,
+            gov_events: de(v, "gov_events")?,
             gov_ops_in_window: de(v, "gov_ops_in_window")?,
             txs_in_period: de(v, "txs_in_period")?,
             tags: Vec::new(),
         };
-        let (n, n32) = (out.addrs.len(), out.addrs.len() as u32);
-        super::state::check_idvec(&out.sent, n, "sent")?;
-        super::state::check_pairs(&out.per_receiver, n32, n32, "per_receiver")?;
+        out.validate().map_err(serde::Error::custom)?;
+        Ok(out)
+    }
+}
+
+/// [`PeriodKind`]'s wire column tag.
+fn period_kind_tag(k: PeriodKind) -> u8 {
+    match k {
+        PeriodKind::Proposal => 0,
+        PeriodKind::Exploration => 1,
+        PeriodKind::Testing => 2,
+        PeriodKind::Promotion => 3,
+    }
+}
+
+fn period_kind_of(tag: u8) -> Option<PeriodKind> {
+    Some(match tag {
+        0 => PeriodKind::Proposal,
+        1 => PeriodKind::Exploration,
+        2 => PeriodKind::Testing,
+        3 => PeriodKind::Promotion,
+        _ => return None,
+    })
+}
+
+impl super::wire::WireState for TezosColumnar {
+    /// Binary column sections (payload schema v2), same field order as the
+    /// JSON state.
+    fn encode_columns(&self, w: &mut txstat_types::colcodec::ColWriter) {
+        use super::wire::{write_period, write_prefix, write_rows, TAG_TEZOS};
+        use txstat_types::colcodec::ColKey;
+        write_prefix(w, TAG_TEZOS);
+        write_period(w, self.period);
+        w.u64(self.periods.len() as u64);
+        for (kind, window) in &self.periods {
+            w.byte(period_kind_tag(*kind));
+            write_period(w, *window);
+        }
+        self.addrs.encode_columns(w);
+        for c in self.op_counts {
+            w.u64(c);
+        }
+        w.u64(self.op_total);
+        write_rows(w, &self.series);
+        w.u64(self.series_oor);
+        self.sent.encode_columns(w);
+        self.per_receiver.encode_columns(w);
+        w.u64(self.gov_events.len() as u64);
+        for events in &self.gov_events {
+            w.u64(events.len() as u64);
+            for (time, label, source) in events {
+                w.i64(time.0);
+                w.str(label);
+                source.encode_key(w);
+            }
+        }
+        w.u64(self.gov_ops_in_window);
+        w.u64(self.txs_in_period);
+    }
+
+    fn decode_columns(
+        r: &mut txstat_types::colcodec::ColReader<'_>,
+    ) -> Result<Self, txstat_types::colcodec::ColError> {
+        use super::tables::{IdVec, PairTable};
+        use super::wire::{read_period, read_prefix, read_rows, TAG_TEZOS};
+        use txstat_types::colcodec::ColKey;
+        use txstat_types::time::ChainTime;
+        read_prefix(r, TAG_TEZOS)?;
+        let period = read_period(r)?;
+        let n_periods = r.len(3)?;
+        let mut periods = Vec::with_capacity(n_periods);
+        for _ in 0..n_periods {
+            let tag = r.byte()?;
+            let kind = period_kind_of(tag)
+                .ok_or_else(|| r.invalid(format!("bad governance period kind tag {tag}")))?;
+            periods.push((kind, read_period(r)?));
+        }
+        let addrs = Interner::<Address>::decode_columns(r)?;
+        let mut op_counts = [0u64; 10];
+        for c in &mut op_counts {
+            *c = r.u64()?;
+        }
+        let op_total = r.u64()?;
+        let series = read_rows(r)?;
+        let series_oor = r.u64()?;
+        let sent = IdVec::decode_columns(r)?;
+        let per_receiver = PairTable::decode_columns(r)?;
+        let n_event_lists = r.len(1)?;
+        let mut gov_events = Vec::with_capacity(n_event_lists);
+        for _ in 0..n_event_lists {
+            let n_events = r.len(3)?;
+            let mut events: Vec<GovEvent> = Vec::with_capacity(n_events);
+            for _ in 0..n_events {
+                let time = ChainTime(r.i64()?);
+                let label = r.str()?.to_owned();
+                let source = Address::decode_key(r)?;
+                events.push((time, label, source));
+            }
+            gov_events.push(events);
+        }
+        let out = TezosColumnar {
+            period,
+            periods,
+            addrs,
+            op_counts,
+            op_total,
+            series,
+            series_oor,
+            sent,
+            per_receiver,
+            gov_events,
+            gov_ops_in_window: r.u64()?,
+            txs_in_period: r.u64()?,
+            tags: Vec::new(),
+        };
+        out.validate().map_err(|m| r.invalid(m))?;
         Ok(out)
     }
 }
@@ -345,6 +466,39 @@ mod tests {
             rows.into_iter().map(|r| (r.sender, r.sent_count, r.unique_receivers)).collect::<Vec<_>>()
         };
         assert_eq!(flat(columnar.top_senders(5)), flat(scalar.top_senders(5)));
+    }
+
+    #[test]
+    fn binary_columns_round_trip_canonically() {
+        use super::super::wire::WireState;
+        use serde::Serialize as _;
+        let block = TezosBlock {
+            level: 1,
+            time: t0() + 120,
+            baker: Address::implicit(1),
+            operations: vec![
+                Operation::new(
+                    Address::implicit(4),
+                    OpPayload::Transaction { destination: Address::implicit(5), amount_mutez: 7 },
+                ),
+                Operation::new(
+                    Address::implicit(3),
+                    OpPayload::Ballot { proposal: "PsBabyM1".into(), vote: Vote::Nay },
+                ),
+            ],
+        };
+        let mut acc = TezosColumnar::new(period(), vec![(PeriodKind::Promotion, period())]);
+        acc.observe(&block);
+        let bytes = acc.to_wire_bytes();
+        let back = TezosColumnar::from_wire_bytes(&bytes).expect("valid columns");
+        assert_eq!(back.to_wire_bytes(), bytes);
+        assert_eq!(
+            serde_json::to_string(&back.serialize()).unwrap(),
+            serde_json::to_string(&acc.serialize()).unwrap()
+        );
+        let (a, b) = (acc.finalize(), back.finalize());
+        assert_eq!(a.op_distribution().1, b.op_distribution().1);
+        assert_eq!(a.governance_op_count(), b.governance_op_count());
     }
 
     #[test]

@@ -443,18 +443,149 @@ impl serde::Deserialize for XrpColumnar {
             edges: de(v, "edges")?,
             tag_batch: Vec::new(),
         };
+        out.validate().map_err(serde::Error::custom)?;
+        Ok(out)
+    }
+}
+
+impl XrpColumnar {
+    /// The decode-time hardening both payload formats run.
+    fn validate(&self) -> Result<(), String> {
         use super::state::{check_idvec, check_pairs};
-        let (n, n32) = (out.accounts.len(), out.accounts.len() as u32);
-        check_idvec(&out.acct_offers, n, "acct_offers")?;
-        check_idvec(&out.acct_pays, n, "acct_pays")?;
-        check_idvec(&out.acct_others, n, "acct_others")?;
-        check_idvec(&out.sender_drops, n, "sender_drops")?;
-        check_idvec(&out.sender_touched, n, "sender_touched")?;
-        check_idvec(&out.receiver_drops, n, "receiver_drops")?;
-        check_idvec(&out.receiver_touched, n, "receiver_touched")?;
+        let (n, n32) = (self.accounts.len(), self.accounts.len() as u32);
+        check_idvec(&self.acct_offers, n, "acct_offers")?;
+        check_idvec(&self.acct_pays, n, "acct_pays")?;
+        check_idvec(&self.acct_others, n, "acct_others")?;
+        check_idvec(&self.sender_drops, n, "sender_drops")?;
+        check_idvec(&self.sender_touched, n, "sender_touched")?;
+        check_idvec(&self.receiver_drops, n, "receiver_drops")?;
+        check_idvec(&self.receiver_touched, n, "receiver_touched")?;
         // The second column of `tags` is a raw destination tag, not an id.
-        check_pairs(&out.tags, n32, u32::MAX, "tags")?;
-        check_pairs(&out.edges, n32, n32, "edges")?;
+        check_pairs(&self.tags, n32, u32::MAX, "tags")?;
+        check_pairs(&self.edges, n32, n32, "edges")?;
+        Ok(())
+    }
+}
+
+impl super::wire::WireState for XrpColumnar {
+    /// Binary column sections (payload schema v2), same field order as the
+    /// JSON state. The IOU currency table encodes in symbol order
+    /// (canonical), like the JSON path.
+    fn encode_columns(&self, w: &mut txstat_types::colcodec::ColWriter) {
+        use super::wire::{write_period, write_prefix, write_rows, TAG_XRP};
+        write_prefix(w, TAG_XRP);
+        write_period(w, self.period);
+        self.accounts.encode_columns(w);
+        for c in self.type_counts {
+            w.u64(c);
+        }
+        w.u64(self.type_total);
+        write_rows(w, &self.series);
+        w.u64(self.series_oor);
+        w.u64(self.payment_series.len() as u64);
+        for v in &self.payment_series {
+            w.u64(*v);
+        }
+        w.u64(self.payment_oor);
+        self.funnel.encode_columns(w);
+        self.acct_offers.encode_columns(w);
+        self.acct_pays.encode_columns(w);
+        self.acct_others.encode_columns(w);
+        self.tags.encode_columns(w);
+        w.u64(self.grand_total);
+        w.i128(self.xrp_volume_drops);
+        self.sender_drops.encode_columns(w);
+        self.sender_touched.encode_columns(w);
+        self.receiver_drops.encode_columns(w);
+        self.receiver_touched.encode_columns(w);
+        w.i128(self.xrp_cur.0);
+        w.i128(self.xrp_cur.1);
+        w.i128(self.xrp_cur.2);
+        w.u64(self.xrp_cur_touched);
+        let mut ious: Vec<(SymCode, (i128, i128, i128))> =
+            self.iou_cur.iter().map(|(s, t)| (*s, *t)).collect();
+        ious.sort_unstable_by_key(|(s, _)| *s);
+        w.u64(ious.len() as u64);
+        for (sym, (nominal, valuable, drops)) in ious {
+            w.str(sym.as_str());
+            w.i128(nominal);
+            w.i128(valuable);
+            w.i128(drops);
+        }
+        self.edges.encode_columns(w);
+    }
+
+    fn decode_columns(
+        r: &mut txstat_types::colcodec::ColReader<'_>,
+    ) -> Result<Self, txstat_types::colcodec::ColError> {
+        use super::tables::{IdVec, PairTable};
+        use super::wire::{read_period, read_prefix, read_rows, TAG_XRP};
+        read_prefix(r, TAG_XRP)?;
+        let period = read_period(r)?;
+        let accounts = Interner::<AccountId>::decode_columns(r)?;
+        let mut type_counts = [0u64; 13];
+        for c in &mut type_counts {
+            *c = r.u64()?;
+        }
+        let type_total = r.u64()?;
+        let series = read_rows(r)?;
+        let series_oor = r.u64()?;
+        let n_payment = r.len(1)?;
+        let mut payment_series = Vec::with_capacity(n_payment);
+        for _ in 0..n_payment {
+            payment_series.push(r.u64()?);
+        }
+        let payment_oor = r.u64()?;
+        let funnel = Funnel::decode_columns(r)?;
+        let acct_offers = IdVec::decode_columns(r)?;
+        let acct_pays = IdVec::decode_columns(r)?;
+        let acct_others = IdVec::decode_columns(r)?;
+        let tags = PairTable::decode_columns(r)?;
+        let grand_total = r.u64()?;
+        let xrp_volume_drops = r.i128()?;
+        let sender_drops = IdVec::decode_columns(r)?;
+        let sender_touched = IdVec::decode_columns(r)?;
+        let receiver_drops = IdVec::decode_columns(r)?;
+        let receiver_touched = IdVec::decode_columns(r)?;
+        let xrp_cur = (r.i128()?, r.i128()?, r.i128()?);
+        let xrp_cur_touched = r.u64()?;
+        let n_ious = r.len(4)?;
+        let mut iou_cur = FxHashMap::default();
+        for _ in 0..n_ious {
+            let sym = SymCode::try_new(r.str()?)
+                .map_err(|e| r.invalid(format!("bad currency symbol: {e}")))?;
+            let triple = (r.i128()?, r.i128()?, r.i128()?);
+            if iou_cur.insert(sym, triple).is_some() {
+                return Err(r.invalid("duplicate currency in IOU table section"));
+            }
+        }
+        let out = XrpColumnar {
+            period,
+            accounts,
+            type_counts,
+            type_total,
+            series,
+            series_oor,
+            payment_series,
+            payment_oor,
+            funnel,
+            acct_offers,
+            acct_pays,
+            acct_others,
+            tags,
+            grand_total,
+            xrp_volume_drops,
+            sender_drops,
+            sender_touched,
+            receiver_drops,
+            receiver_touched,
+            xrp_cur,
+            xrp_cur_touched,
+            iou_cur,
+            edges: PairTable::decode_columns(r)?,
+            tag_batch: Vec::new(),
+        };
+        out.validate().map_err(|m| r.invalid(m))?;
         Ok(out)
     }
 }
@@ -555,6 +686,37 @@ mod tests {
             columnar.graph().report(2).top_sinks,
             scalar.graph().report(2).top_sinks
         );
+    }
+
+    #[test]
+    fn binary_columns_round_trip_canonically() {
+        use super::super::wire::WireState;
+        use serde::Serialize as _;
+        let ora = oracle();
+        let block = LedgerBlock {
+            index: 1,
+            close_time: t0() + 60,
+            transactions: vec![
+                payment(1, 2, Amount::xrp(100), TxResult::Success),
+                payment(1, 3, Amount::iou_whole("USD", AccountId(1), 50), TxResult::Success),
+                payment(4, 2, Amount::iou_whole("GKO", AccountId(9), 7), TxResult::Success),
+                payment(1, 2, Amount::xrp(5), TxResult::PathDry),
+            ],
+        };
+        let mut acc = XrpColumnar::new(period());
+        acc.observe(&block, &ora);
+        let bytes = acc.to_wire_bytes();
+        let back = XrpColumnar::from_wire_bytes(&bytes).expect("valid columns");
+        assert_eq!(back.to_wire_bytes(), bytes);
+        assert_eq!(
+            serde_json::to_string(&back.serialize()).unwrap(),
+            serde_json::to_string(&acc.serialize()).unwrap()
+        );
+        let (a, b) = (acc.finalize(), back.finalize());
+        assert_eq!(a.tx_distribution().1, b.tx_distribution().1);
+        let clu = ClusterInfo::new();
+        assert_eq!(a.value_flow(&clu).currencies, b.value_flow(&clu).currencies);
+        assert_eq!(a.funnel().payments_with_value, b.funnel().payments_with_value);
     }
 
     #[test]

@@ -76,7 +76,7 @@ pub mod xrp_analysis;
 
 pub use accumulate::par_sweep;
 pub use cluster::ClusterInfo;
-pub use columnar::{EosColumnar, TezosColumnar, XrpColumnar};
+pub use columnar::{EosColumnar, TezosColumnar, WireState, XrpColumnar};
 pub use eos_analysis::EosSweep;
 pub use graph::{GraphReport, TransferGraph};
 pub use tezos_analysis::TezosSweep;

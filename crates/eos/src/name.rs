@@ -102,6 +102,20 @@ impl Name {
     }
 }
 
+impl txstat_types::colcodec::ColKey for Name {
+    /// Wire column form: the packed `u64` (the production encoding is
+    /// already canonical — one name, one value).
+    fn encode_key(&self, w: &mut txstat_types::colcodec::ColWriter) {
+        w.u64(self.0);
+    }
+
+    fn decode_key(
+        r: &mut txstat_types::colcodec::ColReader<'_>,
+    ) -> Result<Self, txstat_types::colcodec::ColError> {
+        Ok(Name(r.u64()?))
+    }
+}
+
 impl fmt::Display for Name {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(&self.to_string_repr())

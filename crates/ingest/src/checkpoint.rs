@@ -10,23 +10,32 @@
 //! [`Checkpoint::merged`] re-merges the shards into a full accumulator in
 //! O(shards) instead of O(chain).
 //!
-//! Checkpoints serialize to JSON keyed by their range
+//! Checkpoints serialize to a JSON envelope keyed by their range
 //! ([`Checkpoint::range_key`]), so a cache of per-range shard states can be
 //! persisted between runs and looked up by block range. The serialized
 //! form is versioned ([`CHECKPOINT_SCHEMA_VERSION`]) and carries a content
 //! hash over its payload; [`Checkpoint::from_json`] rejects version skew
 //! and corruption with typed errors instead of deserializing stale state
 //! silently.
+//!
+//! Schema v3 moves the shard *content* to the binary column path: each
+//! shard state is its `WireState::to_wire_bytes` column sections,
+//! hex-embedded in the JSON envelope — decoding a month-scale checkpoint
+//! is column reads, not a JSON value-tree walk, and the shard payload is
+//! byte-identical to what the same accumulator ships in a v2 wire frame.
 
 use crate::shard::IngestOutcome;
 use crate::IngestError;
 use serde_json::{json, Value};
+use txstat_core::WireState;
+use txstat_types::colcodec;
 use txstat_types::ids::fnv1a64;
 
 /// Schema version of the serialized checkpoint layout. v1 had no version
-/// discipline beyond a constant; v2 adds the content hash and this
-/// constant, and anything else is rejected.
-pub const CHECKPOINT_SCHEMA_VERSION: u64 = 2;
+/// discipline beyond a constant; v2 added the content hash and canonical
+/// JSON shard trees; v3 switches shard content to hex-embedded binary
+/// column sections. Anything else is rejected.
+pub const CHECKPOINT_SCHEMA_VERSION: u64 = 3;
 
 /// Frozen sharded sweep state over the inclusive block range `[low, high]`.
 #[derive(Debug, Clone, PartialEq)]
@@ -116,12 +125,18 @@ fn payload_hash(low: u64, high: u64, counts: &Value, shards: &Value) -> u64 {
     fnv1a64_extend(h, text(shards).as_bytes())
 }
 
-impl<A: serde::Serialize> Checkpoint<A> {
-    /// Serialize to a self-describing JSON value: schema version, content
-    /// hash over the payload fields, then the payload itself.
+impl<A: WireState> Checkpoint<A> {
+    /// Serialize to a self-describing JSON envelope: schema version,
+    /// content hash over the payload fields, then the payload — shard
+    /// states as hex-embedded binary column sections.
     pub fn to_json(&self) -> Value {
         let counts = serde::Serialize::serialize(&self.counts);
-        let shards = Value::Array(self.shards.iter().map(|s| s.serialize()).collect());
+        let shards = Value::Array(
+            self.shards
+                .iter()
+                .map(|s| Value::String(colcodec::to_hex(&s.to_wire_bytes())))
+                .collect(),
+        );
         json!({
             "schema_version": CHECKPOINT_SCHEMA_VERSION,
             "content_hash": payload_hash(self.low, self.high, &counts, &shards),
@@ -131,11 +146,11 @@ impl<A: serde::Serialize> Checkpoint<A> {
             "shards": shards,
         })
     }
-}
 
-impl<A: serde::Deserialize> Checkpoint<A> {
     /// Parse a serialized checkpoint, validating schema version, content
-    /// hash, and the layout invariants.
+    /// hash, and the layout invariants. v1 (`"version"`-keyed) and v2
+    /// (JSON shard trees) checkpoints are typed rejections, not silent
+    /// misreads.
     pub fn from_json(v: &Value) -> Result<Self, IngestError> {
         let bad = |m: &str| IngestError::Checkpoint(m.to_owned());
         let found = v.get("schema_version").and_then(Value::as_u64);
@@ -170,7 +185,12 @@ impl<A: serde::Deserialize> Checkpoint<A> {
             .as_array()
             .ok_or_else(|| bad("shards must be an array"))?
             .iter()
-            .map(|s| A::deserialize(s).map_err(|e| bad(&format!("bad shard state: {e}"))))
+            .map(|s| {
+                let hex = s.as_str().ok_or_else(|| bad("shard state must be a hex string"))?;
+                let bytes = colcodec::from_hex(hex)
+                    .map_err(|e| bad(&format!("bad shard state hex: {e}")))?;
+                A::from_wire_bytes(&bytes).map_err(|e| bad(&format!("bad shard state: {e}")))
+            })
             .collect::<Result<_, _>>()?;
         if shards.is_empty() || shards.len() != counts.len() {
             return Err(bad("shard/count arity mismatch"));
@@ -182,15 +202,37 @@ impl<A: serde::Deserialize> Checkpoint<A> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use serde::{Deserialize, Serialize};
+    use txstat_types::colcodec::{ColError, ColReader, ColWriter};
 
     /// A miniature mergeable accumulator with the same shape as the chain
     /// sweeps: counters plus a bucketed series.
-    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    #[derive(Debug, Clone, PartialEq)]
     struct MiniAcc {
         blocks: u64,
         weight: u64,
         buckets: Vec<u64>,
+    }
+
+    impl WireState for MiniAcc {
+        fn encode_columns(&self, w: &mut ColWriter) {
+            w.u64(self.blocks);
+            w.u64(self.weight);
+            w.u64(self.buckets.len() as u64);
+            for b in &self.buckets {
+                w.u64(*b);
+            }
+        }
+
+        fn decode_columns(r: &mut ColReader<'_>) -> Result<Self, ColError> {
+            let blocks = r.u64()?;
+            let weight = r.u64()?;
+            let n = r.len(1)?;
+            let mut buckets = Vec::with_capacity(n);
+            for _ in 0..n {
+                buckets.push(r.u64()?);
+            }
+            Ok(MiniAcc { blocks, weight, buckets })
+        }
     }
 
     impl MiniAcc {
@@ -283,12 +325,32 @@ mod tests {
 
     /// A shard accumulator in the columnar style: a per-shard interner
     /// plus id-indexed counts. Checkpointing such a shard must round-trip
-    /// the interner state (key set AND id assignment) through JSON, since
-    /// the counts are meaningless under any other id mapping.
-    #[derive(Debug, Clone, Serialize, Deserialize)]
+    /// the interner state (key set AND id assignment), since the counts
+    /// are meaningless under any other id mapping.
+    #[derive(Debug, Clone)]
     struct InternedAcc {
         names: txstat_types::Interner<u64>,
         counts: Vec<u64>,
+    }
+
+    impl WireState for InternedAcc {
+        fn encode_columns(&self, w: &mut ColWriter) {
+            self.names.encode_columns(w);
+            w.u64(self.counts.len() as u64);
+            for c in &self.counts {
+                w.u64(*c);
+            }
+        }
+
+        fn decode_columns(r: &mut ColReader<'_>) -> Result<Self, ColError> {
+            let names = txstat_types::Interner::decode_columns(r)?;
+            let n = r.len(1)?;
+            let mut counts = Vec::with_capacity(n);
+            for _ in 0..n {
+                counts.push(r.u64()?);
+            }
+            Ok(InternedAcc { names, counts })
+        }
     }
 
     impl InternedAcc {
@@ -364,6 +426,15 @@ mod tests {
         assert!(matches!(
             Checkpoint::<MiniAcc>::from_json(&v),
             Err(IngestError::CheckpointSchema { found: Some(1), expected: CHECKPOINT_SCHEMA_VERSION })
+        ));
+        // A v2-era checkpoint (canonical-JSON shard trees) is a typed
+        // rejection too — its shard content is unreadable to the v3
+        // binary-column path.
+        let v = json!({"schema_version": 2, "content_hash": 0, "low": 1, "high": 3,
+            "counts": [3], "shards": [{"blocks": 3, "weight": 0, "buckets": [0, 0, 0, 0]}]});
+        assert!(matches!(
+            Checkpoint::<MiniAcc>::from_json(&v),
+            Err(IngestError::CheckpointSchema { found: Some(2), .. })
         ));
         // A future schema is rejected the same way.
         let mut v = fold_range(1..=9, 2).to_json();

@@ -26,12 +26,12 @@
 //! mismatched observation windows are all typed [`ReduceError`]s. Coverage
 //! *gaps* are tracked per chain and surfaced at [`ReduceSession::finalize`].
 
-use serde::{Deserialize as _, Serialize as _, Value};
+use serde::{Deserialize, Serialize, Value};
 use std::io::Write;
-use txstat_core::{ChainSweeps, EosColumnar, TezosColumnar, XrpColumnar};
+use txstat_core::{ChainSweeps, EosColumnar, TezosColumnar, WireState, XrpColumnar};
 use txstat_tezos::governance::PeriodKind;
 use txstat_types::time::Period;
-use txstat_wire::{ShardFrame, WireError, SCHEMA_VERSION};
+use txstat_wire::{PayloadFormat, ShardFrame, WireError, SCHEMA_V1, SCHEMA_VERSION};
 use txstat_xrp::rates::RateOracle;
 
 /// The chain tags a session accepts, in reduction order.
@@ -176,6 +176,27 @@ impl Coverage {
     }
 }
 
+/// Decode one frame's payload into its accumulator, honouring the
+/// header's format tag: JSON payloads (all v1 frames, and v2 frames from
+/// `--payload json` workers) go through the canonical-JSON serde path,
+/// binary payloads through the `WireState` column decoder. Either way the
+/// accumulator runs the same id-bounds/arity validation.
+fn decode_payload<A: WireState + Deserialize>(frame: &ShardFrame) -> Result<A, ReduceError> {
+    let payload_err = |error: String| ReduceError::Payload {
+        chain: frame.header.chain.clone(),
+        error,
+    };
+    match frame.header.payload_format {
+        PayloadFormat::Json => {
+            let state = frame.state()?;
+            A::deserialize(&state).map_err(|e| payload_err(e.to_string()))
+        }
+        PayloadFormat::Bin => {
+            A::from_wire_bytes(&frame.payload).map_err(|e| payload_err(e.to_string()))
+        }
+    }
+}
+
 /// A distributed reduction in progress: frames go in, one validated
 /// [`ChainSweeps`] comes out.
 ///
@@ -203,7 +224,9 @@ impl ReduceSession {
             .iter()
             .position(|c| *c == h.chain)
             .ok_or_else(|| ReduceError::UnknownChain(h.chain.clone()))?;
-        if h.schema_version != SCHEMA_VERSION {
+        // Cross-version reduction: v1 (JSON) and v2 (tagged) frames mix
+        // freely in one session — a fleet mid-rollout reduces fine.
+        if h.schema_version != SCHEMA_V1 && h.schema_version != SCHEMA_VERSION {
             return Err(ReduceError::Version {
                 chain: h.chain.clone(),
                 found: h.schema_version,
@@ -234,22 +257,17 @@ impl ReduceSession {
             return Ok(());
         }
 
-        let state = frame.state()?;
-        let payload_err = |e: serde::Error| ReduceError::Payload {
-            chain: h.chain.clone(),
-            error: e.to_string(),
-        };
         let window_err = || ReduceError::WindowMismatch { chain: h.chain.clone() };
         match h.chain.as_str() {
             "eos" => {
-                let acc = EosColumnar::deserialize(&state).map_err(payload_err)?;
+                let acc: EosColumnar = decode_payload(frame)?;
                 if self.eos.first().is_some_and(|p| p.acc.period() != acc.period()) {
                     return Err(window_err());
                 }
                 self.eos.push(Pending { start: h.start, end: h.end, acc });
             }
             "tezos" => {
-                let acc = TezosColumnar::deserialize(&state).map_err(payload_err)?;
+                let acc: TezosColumnar = decode_payload(frame)?;
                 if self.tezos.first().is_some_and(|p| {
                     p.acc.period() != acc.period()
                         || p.acc.governance_windows() != acc.governance_windows()
@@ -259,7 +277,7 @@ impl ReduceSession {
                 self.tezos.push(Pending { start: h.start, end: h.end, acc });
             }
             "xrp" => {
-                let acc = XrpColumnar::deserialize(&state).map_err(payload_err)?;
+                let acc: XrpColumnar = decode_payload(frame)?;
                 if self.xrp.first().is_some_and(|p| p.acc.period() != acc.period()) {
                     return Err(window_err());
                 }
@@ -343,6 +361,9 @@ pub struct ShardWorker {
     pub end: u64,
     /// In-process sub-accumulator count (≥ 1).
     pub shards: usize,
+    /// Payload encoding of the emitted frames: binary columns (v2, the
+    /// default) or canonical JSON (v1, for fleets with old reducers).
+    pub payload: PayloadFormat,
     /// Provenance stamped into every emitted frame (scenario fingerprint,
     /// seed, …). A [`ReduceSession`] refuses to mix different values.
     pub meta: Value,
@@ -350,7 +371,7 @@ pub struct ShardWorker {
 
 impl ShardWorker {
     pub fn new(start: u64, end: u64, meta: Value) -> Self {
-        ShardWorker { start, end, shards: 1, meta }
+        ShardWorker { start, end, shards: 1, payload: PayloadFormat::default(), meta }
     }
 
     /// Fold the clamped slice through `shards` accumulators, merge in
@@ -379,8 +400,32 @@ impl ShardWorker {
         (acc, start as u64, end as u64, slice.len() as u64)
     }
 
-    fn frame(&self, chain: &str, state: Value, start: u64, end: u64, blocks: u64) -> ShardFrame {
-        ShardFrame::from_state(chain, start, end, blocks, self.meta.clone(), &state)
+    fn frame<A: WireState + Serialize>(
+        &self,
+        chain: &str,
+        acc: &A,
+        start: u64,
+        end: u64,
+        blocks: u64,
+    ) -> ShardFrame {
+        match self.payload {
+            PayloadFormat::Json => ShardFrame::from_state(
+                chain,
+                start,
+                end,
+                blocks,
+                self.meta.clone(),
+                &acc.serialize(),
+            ),
+            PayloadFormat::Bin => ShardFrame::from_columns(
+                chain,
+                start,
+                end,
+                blocks,
+                self.meta.clone(),
+                acc.to_wire_bytes(),
+            ),
+        }
     }
 
     /// Sweep the EOS slice into an `"eos"` frame.
@@ -391,7 +436,7 @@ impl ShardWorker {
             |a, b| a.observe(b),
             |a, b| a.merge(b),
         );
-        self.frame("eos", acc.serialize(), s, e, n)
+        self.frame("eos", &acc, s, e, n)
     }
 
     /// Sweep the Tezos slice into a `"tezos"` frame.
@@ -407,7 +452,7 @@ impl ShardWorker {
             |a, b| a.observe(b),
             |a, b| a.merge(b),
         );
-        self.frame("tezos", acc.serialize(), s, e, n)
+        self.frame("tezos", &acc, s, e, n)
     }
 
     /// Sweep the XRP slice into an `"xrp"` frame, valuing payments through
@@ -424,7 +469,7 @@ impl ShardWorker {
             |a, b| a.observe(b, oracle),
             |a, b| a.merge(b),
         );
-        self.frame("xrp", acc.serialize(), s, e, n)
+        self.frame("xrp", &acc, s, e, n)
     }
 
     /// Emit frames to a byte sink (file, stdout, pipe) in the concatenated
@@ -447,6 +492,34 @@ mod tests {
     fn eos_frame(start: u64, end: u64, meta: Value) -> ShardFrame {
         let acc = EosColumnar::new(period());
         ShardFrame::from_state("eos", start, end, end - start, meta, &acc.serialize())
+    }
+
+    /// A v2 binary frame and a v1 JSON frame of the same accumulator
+    /// decode to the same state, and both mix in one session.
+    #[test]
+    fn binary_and_json_frames_decode_to_the_same_accumulator() {
+        assert_eq!(
+            ShardWorker::new(0, 0, Value::Null).payload,
+            PayloadFormat::Bin,
+            "binary is the default payload"
+        );
+        let acc = EosColumnar::new(period());
+        let f_bin =
+            ShardFrame::from_columns("eos", 0, 4, 4, Value::Null, acc.to_wire_bytes());
+        let f_json = ShardFrame::from_state("eos", 4, 8, 4, Value::Null, &acc.serialize());
+        assert_eq!(f_bin.header.schema_version, SCHEMA_VERSION);
+        assert_eq!(f_json.header.schema_version, SCHEMA_V1);
+        let a: EosColumnar = decode_payload(&f_bin).expect("binary payload decodes");
+        let b: EosColumnar = decode_payload(&f_json).expect("json payload decodes");
+        assert_eq!(a.period(), b.period());
+        assert_eq!(a.to_wire_bytes(), b.to_wire_bytes(), "same state either way");
+        // Cross-version session: v2 then v1 submit cleanly, and a v1 frame
+        // overlapping the v2 one is still overlap-checked.
+        let mut s = ReduceSession::new();
+        s.submit(&f_bin).expect("v2 accepted");
+        s.submit(&f_json).expect("v1 accepted next to v2");
+        let overlap = ShardFrame::from_state("eos", 2, 6, 4, Value::Null, &acc.serialize());
+        assert!(matches!(s.submit(&overlap), Err(ReduceError::Overlap { .. })));
     }
 
     #[test]

@@ -5,9 +5,12 @@
 //!     Generate the scenario and render every exhibit (the classic run).
 //!
 //! reproduce shard --range A..B --out FILE [--small] [--seed N] [--shards K]
+//!                 [--payload bin|json]
 //!     One distributed shard worker: sweep block positions [A, B) of each
 //!     chain into columnar accumulators and write them as wire frames
-//!     (txstat_wire). FILE "-" writes to stdout.
+//!     (txstat_wire). FILE "-" writes to stdout. --payload picks the frame
+//!     encoding: bin (schema v2 binary columns, default) or json (v1
+//!     frames old reducers still read).
 //!
 //! reproduce reduce FRAME-FILE... [--out FILE]
 //!     Central reducer: validate + merge shard frames (schema version,
@@ -34,7 +37,7 @@ use txstat_reports::{
     render_all, render_comparison, scenario_from_meta, scenario_meta, shard_scenario,
     CrawlOptions, PipelineData,
 };
-use txstat_wire::ShardFrame;
+use txstat_wire::{PayloadFormat, ShardFrame};
 use txstat_workload::Scenario;
 
 const USAGE: &str = "\
@@ -45,6 +48,8 @@ subcommands:
            [--small] [--seed N] [--crawl [--materialize]] [--out FILE]
   shard    sweep block positions [A, B) into a wire-frame bundle
            --range A..B --out FILE [--small] [--seed N] [--shards K]
+           [--payload bin|json]  (bin = schema v2 binary columns, default;
+                                  json = v1 frames for old reducers)
   reduce   merge shard frame files and render the full report
            FRAME-FILE... [--out FILE]
   follow   incremental re-render loop over the appending chains
@@ -211,19 +216,34 @@ fn parse_range(s: &str) -> Result<(u64, u64), String> {
 }
 
 fn cmd_shard(raw: &[String]) -> Result<(), String> {
-    let args = Args::parse(raw, &["--small"], &["--seed", "--out", "--range", "--shards"], false)?;
+    let args = Args::parse(
+        raw,
+        &["--small"],
+        &["--seed", "--out", "--range", "--shards", "--payload"],
+        false,
+    )?;
     let (sc, mode) = scenario_of(&args)?;
     let (start, end) =
         parse_range(args.get("--range").ok_or("shard needs --range A..B")?)?;
     let out = args.get("--out").ok_or("shard needs --out FILE (\"-\" for stdout)")?;
     let shards: usize = args.parsed("--shards", 2)?;
+    let payload = match args.get("--payload") {
+        None => PayloadFormat::Bin,
+        Some(s) => PayloadFormat::parse(s)
+            .ok_or_else(|| format!("--payload wants json or bin, got {s:?}"))?,
+    };
 
     let started = std::time::Instant::now();
-    let frames = shard_scenario(&sc, scenario_meta(&sc, mode), start, end, shards);
+    let frames = shard_scenario(&sc, scenario_meta(&sc, mode), start, end, shards, payload);
     for f in &frames {
         eprintln!(
-            "{}: swept positions [{}, {}) — {} blocks",
-            f.header.chain, f.header.start, f.header.end, f.header.blocks
+            "{}: swept positions [{}, {}) — {} blocks (schema v{}, {} payload)",
+            f.header.chain,
+            f.header.start,
+            f.header.end,
+            f.header.blocks,
+            f.header.schema_version,
+            f.header.payload_format.tag(),
         );
     }
     let bytes = txstat_wire::encode_all(&frames);

@@ -32,7 +32,7 @@ use txstat_ingest::{
     ReduceSession, ShardWorker, Sink, TezosCrawlSource, XrpCrawlSource,
 };
 use txstat_ingest::source::BlockSource;
-use txstat_wire::ShardFrame;
+use txstat_wire::{PayloadFormat, ShardFrame};
 use txstat_netsim::handlers::{EosRpcHandler, TezosRpcHandler, XrpRpcHandler};
 use txstat_netsim::server::{spawn_http, spawn_ndjson, EndpointHandle};
 use txstat_netsim::EndpointProfile;
@@ -946,22 +946,25 @@ pub fn scenario_from_meta(meta: &serde_json::Value) -> Result<(Scenario, String)
 
 /// One shard worker process's work: generate the scenario's chains, sweep
 /// the block-position range `[start, end)` of each (clamped to the chain
-/// head), and return the three wire frames. Pure and deterministic —
-/// every worker derives identical chains and the same exchange-rate
-/// oracle from the scenario seed.
+/// head), and return the three wire frames in the requested payload
+/// encoding (binary columns by default; JSON for fleets whose reducer
+/// predates schema v2). Pure and deterministic — every worker derives
+/// identical chains and the same exchange-rate oracle from the scenario
+/// seed.
 pub fn shard_scenario(
     sc: &Scenario,
     meta: serde_json::Value,
     start: u64,
     end: u64,
     shards: usize,
+    payload: PayloadFormat,
 ) -> Vec<ShardFrame> {
     let eos = build_eos(sc);
     let tezos = build_tezos(sc);
     let xrp = build_xrp(sc);
     let oracle = RateOracle::from_trades(&xrp.trades, sc.period.end, sc.period.days() as i64 + 1);
     let governance_periods = governance_periods_of(&tezos);
-    let worker = ShardWorker { start, end, shards: shards.max(1), meta };
+    let worker = ShardWorker { start, end, shards: shards.max(1), payload, meta };
     vec![
         worker.eos_frame(eos.blocks(), sc.period),
         worker.tezos_frame(tezos.blocks(), sc.period, &governance_periods),

@@ -64,6 +64,94 @@ fn three_shard_processes_reduce_to_the_identical_report() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// A mixed fleet: one shard still emitting v1 JSON frames (`--payload
+/// json`) between two v2 binary shards reduces to the byte-identical
+/// report — payload schema rollouts don't partition the fleet.
+#[test]
+fn mixed_json_and_bin_shards_reduce_to_the_identical_report() {
+    let dir = tempdir("mixed");
+
+    let direct = reproduce(&dir, &["report", "--small", "--seed", "7", "--out", "direct.txt"]);
+    assert!(direct.status.success(), "report failed: {}", String::from_utf8_lossy(&direct.stderr));
+
+    for (range, payload, out) in [
+        ("0..250", "bin", "a.frames"),
+        ("250..400", "json", "b.frames"),
+        ("400..99999999", "bin", "c.frames"),
+    ] {
+        let shard = reproduce(
+            &dir,
+            &[
+                "shard", "--range", range, "--small", "--seed", "7", "--payload", payload,
+                "--out", out,
+            ],
+        );
+        assert!(
+            shard.status.success(),
+            "shard {range} ({payload}) failed: {}",
+            String::from_utf8_lossy(&shard.stderr)
+        );
+        let stderr = String::from_utf8_lossy(&shard.stderr);
+        let expect = if payload == "json" { "schema v1, json payload" } else { "schema v2, bin payload" };
+        assert!(stderr.contains(expect), "shard {range} stderr: {stderr}");
+    }
+
+    let reduce = reproduce(
+        &dir,
+        &["reduce", "a.frames", "b.frames", "c.frames", "--out", "reduced.txt"],
+    );
+    assert!(reduce.status.success(), "reduce failed: {}", String::from_utf8_lossy(&reduce.stderr));
+    assert_eq!(
+        read(&dir, "direct.txt"),
+        read(&dir, "reduced.txt"),
+        "mixed-payload reduced report differs from the single-process report"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The incremental path agrees too: `follow` re-observes the chains in
+/// checkpointed batches and its head-of-chain report must be
+/// byte-identical to the one-shot `report`.
+#[test]
+fn follow_reaches_the_identical_report_at_head() {
+    let dir = tempdir("follow");
+
+    let direct = reproduce(&dir, &["report", "--small", "--seed", "7", "--out", "direct.txt"]);
+    assert!(direct.status.success(), "report failed: {}", String::from_utf8_lossy(&direct.stderr));
+
+    let follow = reproduce(
+        &dir,
+        &["follow", "--small", "--seed", "7", "--batch", "400", "--out", "followed.txt"],
+    );
+    assert!(follow.status.success(), "follow failed: {}", String::from_utf8_lossy(&follow.stderr));
+    let stderr = String::from_utf8_lossy(&follow.stderr);
+    assert!(stderr.contains("batch    2"), "expected multiple batches, stderr: {stderr}");
+
+    assert_eq!(
+        read(&dir, "direct.txt"),
+        read(&dir, "followed.txt"),
+        "follow's head report differs from the single-process report"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An unknown payload encoding is a usage error (exit 2), like every other
+/// bad argument.
+#[test]
+fn unknown_payload_value_exits_with_usage() {
+    let dir = tempdir("payload");
+    let out = reproduce(
+        &dir,
+        &["shard", "--range", "0..5", "--payload", "msgpack", "--out", "x.frames"],
+    );
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--payload wants json or bin"), "stderr: {stderr}");
+    assert!(stderr.contains("usage: reproduce"), "stderr: {stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn reduce_refuses_incomplete_coverage() {
     let dir = tempdir("gap");

@@ -132,6 +132,29 @@ impl fmt::Display for AddressError {
 
 impl std::error::Error for AddressError {}
 
+impl txstat_types::colcodec::ColKey for Address {
+    /// Wire column form: a one-byte kind tag (0 = implicit, 1 = originated)
+    /// plus the 64-bit internal id.
+    fn encode_key(&self, w: &mut txstat_types::colcodec::ColWriter) {
+        w.byte(match self.kind {
+            AddrKind::Implicit => 0,
+            AddrKind::Originated => 1,
+        });
+        w.u64(self.id);
+    }
+
+    fn decode_key(
+        r: &mut txstat_types::colcodec::ColReader<'_>,
+    ) -> Result<Self, txstat_types::colcodec::ColError> {
+        let kind = match r.byte()? {
+            0 => AddrKind::Implicit,
+            1 => AddrKind::Originated,
+            other => return Err(r.invalid(format!("bad address kind tag {other}"))),
+        };
+        Ok(Address { kind, id: r.u64()? })
+    }
+}
+
 impl fmt::Display for Address {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}{}", self.prefix(), b58_encode(&self.payload()))

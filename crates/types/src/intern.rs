@@ -146,6 +146,37 @@ impl<K: Copy + Eq + Hash> Interner<K> {
     }
 }
 
+impl<K: Copy + Eq + Hash + crate::colcodec::ColKey> Interner<K> {
+    /// Encode the key table as one binary column: count, then every key in
+    /// id order. Id assignment is the column index, so the encoding is
+    /// exactly the mergeable state.
+    pub fn encode_columns(&self, w: &mut crate::colcodec::ColWriter) {
+        w.u64(self.keys.len() as u64);
+        for k in &self.keys {
+            k.encode_key(w);
+        }
+    }
+
+    /// Decode a key column back into an interner with identical id
+    /// assignment. Duplicate keys are rejected: they would silently alias
+    /// two ids' counters.
+    pub fn decode_columns(
+        r: &mut crate::colcodec::ColReader<'_>,
+    ) -> Result<Self, crate::colcodec::ColError> {
+        let n = r.len(1)?;
+        let mut out = Interner::new();
+        for _ in 0..n {
+            let k = K::decode_key(r)?;
+            let before = out.len();
+            out.intern(k);
+            if out.len() == before {
+                return Err(r.invalid("duplicate key in interner column"));
+            }
+        }
+        Ok(out)
+    }
+}
+
 impl<K: Copy + Eq + Hash + Serialize> Serialize for Interner<K> {
     fn serialize(&self) -> Value {
         Value::Array(self.keys.iter().map(|k| k.serialize()).collect())
@@ -215,6 +246,34 @@ mod tests {
         let back: Interner<u64> = Deserialize::deserialize(&v).expect("valid state");
         assert_eq!(back.keys(), i.keys());
         assert_eq!(back.get(42), i.get(42));
+    }
+
+    #[test]
+    fn column_codec_round_trips_ids() {
+        use crate::colcodec::{ColReader, ColWriter};
+        let mut i: Interner<u64> = Interner::new();
+        for k in [99, 3, 42, 7] {
+            i.intern(k);
+        }
+        let mut w = ColWriter::new();
+        i.encode_columns(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ColReader::new(&bytes);
+        let back = Interner::<u64>::decode_columns(&mut r).expect("valid column");
+        r.finish().expect("fully consumed");
+        assert_eq!(back.keys(), i.keys());
+        assert_eq!(back.get(42), i.get(42));
+    }
+
+    #[test]
+    fn column_codec_rejects_duplicate_keys() {
+        use crate::colcodec::{ColReader, ColWriter};
+        let mut w = ColWriter::new();
+        w.u64(2);
+        w.u64(5);
+        w.u64(5);
+        let bytes = w.into_bytes();
+        assert!(Interner::<u64>::decode_columns(&mut ColReader::new(&bytes)).is_err());
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //!   observation periods and the paper's 6-hour bucketing.
 //! - [`amount`] — `i128` fixed-point quantities and inline symbol codes.
 //! - [`ids`] — chain identifiers and stable FNV-1a hashing.
+//! - [`colcodec`] — the binary column codec (canonical LE varints,
+//!   length-prefixed columns, typed offset errors) behind wire payload
+//!   schema v2.
 //! - [`intern`] — dense key interning and the fx hasher behind the
 //!   columnar sweep engine.
 //! - [`stats`] — streaming mean/stdev, exact top-K, histograms, Gini.
@@ -22,6 +25,7 @@
 //! - [`rng`] — deterministic seed derivation so every run is reproducible.
 
 pub mod amount;
+pub mod colcodec;
 pub mod distrib;
 pub mod ids;
 pub mod intern;
@@ -33,6 +37,7 @@ pub mod table;
 pub mod time;
 
 pub use amount::{fmt_scaled, Qty, SymCode};
+pub use colcodec::{ColError, ColKey, ColReader, ColWriter};
 pub use ids::{fnv1a64, Chain};
 pub use intern::{FxBuildHasher, FxHashMap, Interner};
 pub use series::BucketSeries;

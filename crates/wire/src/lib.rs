@@ -9,7 +9,7 @@
 //! format only has to move state faithfully and refuse anything it cannot
 //! vouch for.
 //!
-//! ## Frame layout (envelope v1)
+//! ## Frame layout (envelope, shared by schema v1 and v2)
 //!
 //! ```text
 //!  offset  size  field
@@ -18,26 +18,34 @@
 //!       4     4  envelope version (u32 LE)            — parse contract
 //!       8     8  content hash (u64 LE, FNV-1a over header ∥ payload bytes)
 //!      16     4  header length H (u32 LE)
-//!      20     H  header section   (JSON: schema_version, chain, range …)
+//!      20     H  header section   (JSON: schema_version, chain, range,
+//!                                  payload_format …)
 //!    20+H     4  payload length P (u32 LE)
-//!    24+H     P  payload section  (v1: JSON accumulator state; opaque to
-//!                                  the envelope — v2 may swap in binary
-//!                                  columns without touching this layout)
+//!    24+H     P  payload section  (v1: JSON accumulator state;
+//!                                  v2: per header `payload_format` —
+//!                                  "bin" binary column sections or
+//!                                  "json" canonical JSON)
 //! ```
 //!
 //! The envelope (magic, version, hash, section lengths) is format-agnostic:
-//! nothing about parsing it requires the payload to be JSON, so a future
-//! schema version can change the payload encoding while old readers still
-//! fail cleanly with [`WireError::UnsupportedVersion`] instead of
-//! misparsing. Frames are self-delimiting, so a file or pipe can carry any
-//! number of them back to back ([`decode_all`]).
+//! nothing about parsing it requires the payload to be JSON, which is what
+//! let schema v2 swap binary columns in under the same layout. This
+//! decoder speaks v1 **and** v2 — a reduction may mix frames from old
+//! JSON-emitting workers with new binary ones — and fails cleanly with
+//! [`WireError::UnsupportedVersion`] on anything newer. Frames are
+//! self-delimiting, so a file or pipe can carry any number of them back to
+//! back ([`decode_all`]).
 
 use serde::Value;
 use txstat_types::ids::{fnv1a64, fnv1a64_extend};
 
-/// The current frame schema version. Bump when the header or payload
-/// schema changes shape; decoders reject anything else.
-pub const SCHEMA_VERSION: u32 = 1;
+/// The first frame schema version: canonical-JSON payloads only.
+pub const SCHEMA_V1: u32 = 1;
+
+/// The current frame schema version: the header carries a
+/// [`PayloadFormat`] tag and payloads default to binary column sections.
+/// Decoders accept [`SCHEMA_V1`] frames too; anything newer is rejected.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// The envelope magic: "TXSF" (txstat shard frame).
 pub const MAGIC: [u8; 4] = *b"TXSF";
@@ -85,11 +93,42 @@ impl std::fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
+/// How a frame's payload section is encoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PayloadFormat {
+    /// Canonical JSON accumulator state (the only v1 format).
+    Json,
+    /// Binary column sections (`txstat_core::columnar::WireState`), the
+    /// v2 default.
+    #[default]
+    Bin,
+}
+
+impl PayloadFormat {
+    /// The header tag string.
+    pub fn tag(self) -> &'static str {
+        match self {
+            PayloadFormat::Json => "json",
+            PayloadFormat::Bin => "bin",
+        }
+    }
+
+    /// Parse a tag string (CLI flag values, header fields).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "json" => Some(PayloadFormat::Json),
+            "bin" => Some(PayloadFormat::Bin),
+            _ => None,
+        }
+    }
+}
+
 /// The self-describing frame header: everything a reducer validates
 /// *before* it touches the payload.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FrameHeader {
-    /// Schema version of header + payload (see [`SCHEMA_VERSION`]).
+    /// Schema version of header + payload ([`SCHEMA_V1`] or
+    /// [`SCHEMA_VERSION`]).
     pub schema_version: u32,
     /// Which chain's accumulator this is ("eos", "tezos", "xrp").
     pub chain: String,
@@ -100,6 +139,10 @@ pub struct FrameHeader {
     /// Blocks actually observed into the accumulator (≤ `end - start`;
     /// smaller when the range was clamped to the chain head).
     pub blocks: u64,
+    /// Payload section encoding. v1 headers carry no tag (implicitly
+    /// JSON — the field is omitted on encode so v1 frames stay
+    /// byte-identical to what PR 4 workers emit); v2 headers spell it out.
+    pub payload_format: PayloadFormat,
     /// Free-form provenance the reducer requires to be identical across
     /// frames of one session (scenario fingerprint, seed, …).
     pub meta: Value,
@@ -107,14 +150,23 @@ pub struct FrameHeader {
 
 impl FrameHeader {
     fn to_value(&self) -> Value {
-        serde_json::json!({
+        let mut v = serde_json::json!({
             "schema_version": self.schema_version,
             "chain": self.chain.clone(),
             "start": self.start,
             "end": self.end,
             "blocks": self.blocks,
             "meta": self.meta.clone(),
-        })
+        });
+        if self.schema_version >= SCHEMA_VERSION {
+            if let Value::Object(m) = &mut v {
+                m.insert(
+                    "payload_format".to_owned(),
+                    Value::String(self.payload_format.tag().to_owned()),
+                );
+            }
+        }
+        v
     }
 
     fn from_value(v: &Value) -> Result<Self, WireError> {
@@ -127,12 +179,22 @@ impl FrameHeader {
             .and_then(Value::as_str)
             .ok_or_else(|| bad("missing chain"))?
             .to_owned();
+        let payload_format = match v.get("payload_format") {
+            None => PayloadFormat::Json,
+            Some(Value::String(s)) => PayloadFormat::parse(s)
+                .ok_or_else(|| bad(&format!("unknown payload_format {s:?}")))?,
+            Some(_) => return Err(bad("payload_format must be a string")),
+        };
+        if schema_version == SCHEMA_V1 && payload_format != PayloadFormat::Json {
+            return Err(bad("schema v1 frames carry JSON payloads only"));
+        }
         Ok(FrameHeader {
             schema_version,
             chain,
             start: u("start")?,
             end: u("end")?,
             blocks: u("blocks")?,
+            payload_format,
             meta: v.get("meta").cloned().unwrap_or(Value::Null),
         })
     }
@@ -142,14 +204,16 @@ impl FrameHeader {
 #[derive(Debug, Clone, PartialEq)]
 pub struct ShardFrame {
     pub header: FrameHeader,
-    /// The payload section bytes. Under [`SCHEMA_VERSION`] 1 this is the
-    /// JSON text of the accumulator state; the envelope treats it as
-    /// opaque bytes either way.
+    /// The payload section bytes — JSON text or binary column sections,
+    /// per `header.payload_format`; the envelope treats them as opaque
+    /// bytes either way.
     pub payload: Vec<u8>,
 }
 
 impl ShardFrame {
-    /// Build a v1 frame around a JSON accumulator state.
+    /// Build a **v1** frame around a JSON accumulator state — the frame
+    /// old (PR 4) reducers still decode, kept producible for mixed-fleet
+    /// rollouts (`reproduce shard --payload json`).
     pub fn from_state(
         chain: &str,
         start: u64,
@@ -160,19 +224,51 @@ impl ShardFrame {
     ) -> Self {
         ShardFrame {
             header: FrameHeader {
-                schema_version: SCHEMA_VERSION,
+                schema_version: SCHEMA_V1,
                 chain: chain.to_owned(),
                 start,
                 end,
                 blocks,
+                payload_format: PayloadFormat::Json,
                 meta,
             },
             payload: serde_json::to_vec(state).expect("accumulator state serializes"),
         }
     }
 
-    /// Parse the payload section back into the JSON state tree.
+    /// Build a **v2** frame around binary column sections
+    /// (`WireState::to_wire_bytes` output) — the default shard payload.
+    pub fn from_columns(
+        chain: &str,
+        start: u64,
+        end: u64,
+        blocks: u64,
+        meta: Value,
+        payload: Vec<u8>,
+    ) -> Self {
+        ShardFrame {
+            header: FrameHeader {
+                schema_version: SCHEMA_VERSION,
+                chain: chain.to_owned(),
+                start,
+                end,
+                blocks,
+                payload_format: PayloadFormat::Bin,
+                meta,
+            },
+            payload,
+        }
+    }
+
+    /// Parse a JSON payload section back into the state tree. Binary
+    /// payloads have no JSON state — decode them with
+    /// `WireState::from_wire_bytes` instead.
     pub fn state(&self) -> Result<Value, WireError> {
+        if self.header.payload_format != PayloadFormat::Json {
+            return Err(WireError::Payload(
+                "binary-column payload has no JSON state".to_owned(),
+            ));
+        }
         serde_json::from_slice(&self.payload).map_err(|e| WireError::Payload(e.to_string()))
     }
 
@@ -207,7 +303,7 @@ impl ShardFrame {
             return Err(WireError::BadMagic(magic));
         }
         let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
-        if version != SCHEMA_VERSION {
+        if version != SCHEMA_V1 && version != SCHEMA_VERSION {
             return Err(WireError::UnsupportedVersion { found: version, supported: SCHEMA_VERSION });
         }
         let expected = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
@@ -281,9 +377,21 @@ mod tests {
         )
     }
 
+    fn bin_frame(chain: &str, start: u64, end: u64) -> ShardFrame {
+        ShardFrame::from_columns(
+            chain,
+            start,
+            end,
+            end - start,
+            json!({"scenario": "test"}),
+            vec![0x02, b'e', 0x01, 0x7f, 0xAB],
+        )
+    }
+
     #[test]
     fn round_trips_bytes_and_state() {
         let f = frame("eos", 10, 20);
+        assert_eq!(f.header.schema_version, SCHEMA_V1);
         let bytes = f.encode();
         let (back, used) = ShardFrame::decode(&bytes).expect("valid frame");
         assert_eq!(used, bytes.len());
@@ -294,8 +402,46 @@ mod tests {
     }
 
     #[test]
-    fn concatenated_frames_round_trip() {
-        let frames = vec![frame("eos", 0, 5), frame("tezos", 0, 5), frame("xrp", 5, 9)];
+    fn v2_binary_frames_round_trip() {
+        let f = bin_frame("xrp", 3, 9);
+        assert_eq!(f.header.schema_version, SCHEMA_VERSION);
+        assert_eq!(f.header.payload_format, PayloadFormat::Bin);
+        let bytes = f.encode();
+        let (back, used) = ShardFrame::decode(&bytes).expect("valid frame");
+        assert_eq!(used, bytes.len());
+        assert_eq!(back, f);
+        assert_eq!(back.payload, f.payload, "binary payload moves verbatim");
+        // A binary payload has no JSON state tree.
+        assert!(matches!(back.state(), Err(WireError::Payload(_))));
+    }
+
+    #[test]
+    fn v1_headers_stay_byte_identical_to_pr4() {
+        // New code emitting a v1 frame must not grow header fields old
+        // readers never saw: the format tag is implicit for v1.
+        let f = frame("eos", 0, 2);
+        let header_json = serde_json::to_string(&f.header.to_value()).unwrap();
+        assert!(
+            !header_json.contains("payload_format"),
+            "v1 header grew a field: {header_json}"
+        );
+        // And a v1 header claiming a binary payload is rejected.
+        let v = json!({
+            "schema_version": 1, "chain": "eos", "start": 0, "end": 2,
+            "blocks": 2, "payload_format": "bin", "meta": null,
+        });
+        assert!(matches!(FrameHeader::from_value(&v), Err(WireError::Header(_))));
+        // As is an unknown format tag.
+        let v = json!({
+            "schema_version": 2, "chain": "eos", "start": 0, "end": 2,
+            "blocks": 2, "payload_format": "msgpack", "meta": null,
+        });
+        assert!(matches!(FrameHeader::from_value(&v), Err(WireError::Header(_))));
+    }
+
+    #[test]
+    fn concatenated_mixed_version_frames_round_trip() {
+        let frames = vec![frame("eos", 0, 5), bin_frame("tezos", 0, 5), frame("xrp", 5, 9)];
         let bytes = encode_all(&frames);
         let back = decode_all(&bytes).expect("all frames decode");
         assert_eq!(back, frames);
@@ -320,13 +466,16 @@ mod tests {
 
     #[test]
     fn rejects_every_truncation_point() {
-        let bytes = frame("xrp", 3, 9).encode();
-        for cut in 0..bytes.len() {
-            let err = ShardFrame::decode(&bytes[..cut]).expect_err("truncated frame must fail");
-            assert!(
-                matches!(err, WireError::Truncated { .. }),
-                "cut at {cut}: got {err:?}"
-            );
+        for whole in [frame("xrp", 3, 9), bin_frame("xrp", 3, 9)] {
+            let bytes = whole.encode();
+            for cut in 0..bytes.len() {
+                let err =
+                    ShardFrame::decode(&bytes[..cut]).expect_err("truncated frame must fail");
+                assert!(
+                    matches!(err, WireError::Truncated { .. }),
+                    "cut at {cut}: got {err:?}"
+                );
+            }
         }
     }
 

@@ -112,6 +112,19 @@ impl fmt::Display for AddressError {
 
 impl std::error::Error for AddressError {}
 
+impl txstat_types::colcodec::ColKey for AccountId {
+    /// Wire column form: the raw 64-bit id.
+    fn encode_key(&self, w: &mut txstat_types::colcodec::ColWriter) {
+        w.u64(self.0);
+    }
+
+    fn decode_key(
+        r: &mut txstat_types::colcodec::ColReader<'_>,
+    ) -> Result<Self, txstat_types::colcodec::ColError> {
+        Ok(AccountId(r.u64()?))
+    }
+}
+
 impl fmt::Display for AccountId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "r{}", b58_encode(&self.payload()))

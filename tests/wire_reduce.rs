@@ -1,15 +1,16 @@
 //! Cross-process reduction equivalence: splitting a block set into k wire
-//! frames (random cuts, random in-frame shard counts), round-tripping
+//! frames (random cuts, random in-frame shard counts, random **payload
+//! formats** — schema v2 binary columns mixed with v1 JSON), round-tripping
 //! every frame through the `txstat_wire` codec *bytes*, and reducing them
 //! centrally must produce sweeps bit-identical to one single-process
 //! columnar sweep over the whole set — plus rejection tests for damaged
-//! frames and an end-to-end reduced-report identity check.
+//! frames/payloads and an end-to-end reduced-report identity check.
 
 use proptest::prelude::*;
 use serde_json::json;
-use txstat::core::{EosColumnar, TezosColumnar, XrpColumnar};
+use txstat::core::{EosColumnar, TezosColumnar, WireState, XrpColumnar};
 use txstat::ingest::{ReduceError, ReduceSession, ShardWorker};
-use txstat::wire::{decode_all, encode_all, ShardFrame, WireError};
+use txstat::wire::{decode_all, encode_all, PayloadFormat, ShardFrame, WireError};
 
 use txstat::eos::{Action, ActionData, Block, Name, Transaction};
 use txstat::tezos::{Address, OpPayload, Operation, PeriodKind, TezosBlock, Vote};
@@ -226,14 +227,17 @@ fn spec_strategy() -> impl Strategy<Value = Vec<BlockSpec>> {
 
 proptest! {
     /// The tentpole law: k frames over random contiguous cuts, each swept
-    /// with its own in-process shard count, round-tripped through the wire
-    /// codec **bytes**, reduce to sweeps whose every compared statistic
-    /// equals a single-process columnar sweep over the whole block set.
+    /// with its own in-process shard count and a proptest-chosen payload
+    /// format (v2 binary or v1 JSON — a fleet mid-rollout), round-tripped
+    /// through the wire codec **bytes**, reduce to sweeps whose every
+    /// compared statistic equals a single-process columnar sweep over the
+    /// whole block set.
     #[test]
     fn k_frame_wire_reduction_equals_single_process(
         spec in spec_strategy(),
         cuts in proptest::collection::vec(0u64..64, 0..4),
         shard_counts in proptest::collection::vec(1usize..5, 5),
+        json_workers in proptest::collection::vec(any::<bool>(), 5),
     ) {
         let eos = eos_blocks(&spec);
         let tezos = tezos_blocks(&spec);
@@ -250,6 +254,11 @@ proptest! {
                 start,
                 end,
                 shards: shard_counts[i % shard_counts.len()],
+                payload: if json_workers[i % json_workers.len()] {
+                    PayloadFormat::Json
+                } else {
+                    PayloadFormat::Bin
+                },
                 meta: meta.clone(),
             };
             let frames = vec![
@@ -324,8 +333,8 @@ proptest! {
     }
 
     /// Frame damage never reduces: any truncation is `Truncated`, any
-    /// payload bit-flip is `HashMismatch` — checked on a real frame at a
-    /// proptest-chosen position.
+    /// payload bit-flip is `HashMismatch` — checked on a real (binary,
+    /// schema v2) frame at a proptest-chosen position.
     #[test]
     fn damaged_frames_are_rejected(
         spec in spec_strategy(),
@@ -333,7 +342,7 @@ proptest! {
         flip in 0usize..1000,
     ) {
         let eos = eos_blocks(&spec);
-        let worker = ShardWorker { start: 0, end: spec.len() as u64, shards: 1, meta: serde_json::Value::Null };
+        let worker = ShardWorker::new(0, spec.len() as u64, serde_json::Value::Null);
         let frame = worker.eos_frame(&eos, window());
         let bytes = frame.encode();
 
@@ -352,6 +361,129 @@ proptest! {
         let err = ShardFrame::decode(&corrupt);
         prop_assert!(err.is_err(), "flipped byte {} decoded fine", pos);
     }
+
+    /// The binary column decoder itself (below the envelope's hash check,
+    /// as an attacker who re-hashed a forged frame would reach it) never
+    /// panics: truncation at *any* offset and bit flips at *any* offset
+    /// either decode or fail with a typed error, for all three chains.
+    #[test]
+    fn damaged_binary_payloads_never_panic(
+        spec in spec_strategy(),
+        cut_frac in 0usize..=100,
+        flip in 0usize..1000,
+        flip_bit in 0u8..8,
+    ) {
+        let periods = vec![(PeriodKind::Promotion, window())];
+        let ora = oracle();
+        let worker = ShardWorker::new(0, spec.len() as u64, serde_json::Value::Null);
+        let frames = [
+            worker.eos_frame(&eos_blocks(&spec), window()),
+            worker.tezos_frame(&tezos_blocks(&spec), window(), &periods),
+            worker.xrp_frame(&xrp_blocks(&spec), window(), &ora),
+        ];
+        for frame in &frames {
+            let payload = &frame.payload;
+            let decode = |bytes: &[u8]| -> Result<(), String> {
+                match frame.header.chain.as_str() {
+                    "eos" => EosColumnar::from_wire_bytes(bytes).map(|_| ()),
+                    "tezos" => TezosColumnar::from_wire_bytes(bytes).map(|_| ()),
+                    _ => XrpColumnar::from_wire_bytes(bytes).map(|_| ()),
+                }
+                .map_err(|e| e.to_string())
+            };
+            // The intact payload decodes.
+            decode(payload).expect("undamaged payload decodes");
+            // Truncation at any offset is an error, not a panic.
+            let cut = cut_frac * payload.len() / 100;
+            if cut < payload.len() {
+                prop_assert!(decode(&payload[..cut]).is_err(), "{}: truncation at {} decoded", frame.header.chain, cut);
+            }
+            // A bit flip anywhere either still decodes (e.g. a flipped
+            // counter value) or fails typed — it must never panic. The
+            // proptest harness converts panics into failures.
+            let mut corrupt = payload.clone();
+            let pos = flip % corrupt.len();
+            corrupt[pos] ^= 1 << flip_bit;
+            let _ = decode(&corrupt);
+        }
+    }
+}
+
+/// Cross-version reduction: one worker still emitting v1 JSON frames next
+/// to two v2 binary workers reduces to exactly the single-process sweeps —
+/// every compared statistic equal, nothing about the payload encoding
+/// leaks into the result.
+#[test]
+fn one_v1_json_frame_among_v2_frames_reduces_identically() {
+    let spec: Vec<BlockSpec> =
+        (0..9).map(|i| vec![vec![(i as u8, i as u8, (i + 1) as u8, 5 + i as i64)]]).collect();
+    let eos = eos_blocks(&spec);
+    let tezos = tezos_blocks(&spec);
+    let xrp = xrp_blocks(&spec);
+    let periods = vec![(PeriodKind::Promotion, window())];
+    let ora = oracle();
+    let meta = json!({"scenario": "mixed"});
+
+    let mut bytes = Vec::new();
+    for (i, (start, end)) in [(0u64, 3u64), (3, 6), (6, 9)].into_iter().enumerate() {
+        let worker = ShardWorker {
+            start,
+            end,
+            shards: 1 + i,
+            // The middle worker is the straggler still on v1 JSON.
+            payload: if i == 1 { PayloadFormat::Json } else { PayloadFormat::Bin },
+            meta: meta.clone(),
+        };
+        let frames = vec![
+            worker.eos_frame(&eos, window()),
+            worker.tezos_frame(&tezos, window(), &periods),
+            worker.xrp_frame(&xrp, window(), &ora),
+        ];
+        bytes.extend_from_slice(&encode_all(&frames));
+    }
+
+    let mut session = ReduceSession::new();
+    let decoded = decode_all(&bytes).expect("frames decode");
+    let versions: Vec<u32> = decoded.iter().map(|f| f.header.schema_version).collect();
+    assert_eq!(versions, vec![2, 2, 2, 1, 1, 1, 2, 2, 2], "a genuinely mixed session");
+    for frame in decoded {
+        session.submit(&frame).expect("frames validate");
+    }
+    let reduced = session.finalize().expect("coverage is complete");
+
+    let whole_eos = EosColumnar::compute(&eos, window());
+    let whole_tz = TezosColumnar::compute(&tezos, window(), &periods);
+    let whole_xrp = XrpColumnar::compute(&xrp, window(), &ora);
+
+    let flat_eos = |s: &txstat::core::EosSweep| {
+        let (rows, total) = s.action_distribution();
+        (
+            rows.iter().map(|r| (r.class, r.action.clone(), r.count)).collect::<Vec<_>>(),
+            total,
+            s.tps(),
+            s.top_received(5).iter().map(|r| (r.account, r.tx_count)).collect::<Vec<_>>(),
+            s.boomerang_report().boomerangs,
+            graph_key(s.graph().report(3)),
+        )
+    };
+    assert_eq!(flat_eos(&reduced.eos), flat_eos(&whole_eos));
+    let flat_tz = |s: &txstat::core::TezosSweep| {
+        let (rows, total) = s.op_distribution();
+        (rows.iter().map(|r| (r.kind, r.count)).collect::<Vec<_>>(), total, s.tps())
+    };
+    assert_eq!(flat_tz(&reduced.tezos), flat_tz(&whole_tz));
+    assert_eq!(reduced.tezos.governance_op_count(), whole_tz.governance_op_count());
+    let clu = txstat::core::ClusterInfo::new();
+    let flat_xr = |s: &txstat::core::XrpSweep| {
+        let (rows, total) = s.tx_distribution();
+        (rows.iter().map(|r| (r.tx_type, r.count)).collect::<Vec<_>>(), total, s.tps())
+    };
+    assert_eq!(flat_xr(&reduced.xrp), flat_xr(&whole_xrp));
+    assert_eq!(
+        reduced.xrp.value_flow(&clu).currencies,
+        whole_xrp.value_flow(&clu).currencies
+    );
+    assert_eq!(graph_key(reduced.xrp.graph().report(3)), graph_key(whole_xrp.graph().report(3)));
 }
 
 /// A frame that decodes but lies about its chain, version, or range is a
@@ -360,12 +492,7 @@ proptest! {
 fn session_rejects_foreign_and_overlapping_frames() {
     let spec: Vec<BlockSpec> = vec![vec![vec![(0, 1, 2, 5)]]; 6];
     let eos = eos_blocks(&spec);
-    let worker = |s: u64, e: u64| ShardWorker {
-        start: s,
-        end: e,
-        shards: 1,
-        meta: json!({"scenario": "a"}),
-    };
+    let worker = |s: u64, e: u64| ShardWorker::new(s, e, json!({"scenario": "a"}));
 
     let mut session = ReduceSession::new();
     session.submit(&worker(0, 3).eos_frame(&eos, window())).expect("first half");

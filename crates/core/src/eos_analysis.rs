@@ -731,6 +731,47 @@ impl EosSweep {
     pub fn graph(&self) -> &crate::graph::TransferGraph<Name> {
         &self.graph
     }
+
+    /// Point lookup for one account's activity (the serve path's
+    /// `/account/eos/<name>` query). `None` if the sweep never saw it.
+    pub fn account_stats(&self, account: Name) -> Option<EosAccountStats> {
+        let received_txs = self.tx_contracts.count_of(&account);
+        let sent_actions = self.sent.count_of(&account);
+        if received_txs == 0 && sent_actions == 0 {
+            return None;
+        }
+        let top_actions = self
+            .contract_actions
+            .get(&account)
+            .map(|t| {
+                t.top(5)
+                    .into_iter()
+                    .map(|(n, c)| (n.to_string_repr(), c))
+                    .collect()
+            })
+            .unwrap_or_default();
+        let unique_send_targets = self
+            .sender_receivers
+            .get(&account)
+            .map(|t| t.distinct() as u64)
+            .unwrap_or(0);
+        Some(EosAccountStats { account, received_txs, sent_actions, unique_send_targets, top_actions })
+    }
+}
+
+/// One EOS account's sweep-level activity summary.
+#[derive(Debug, Clone)]
+pub struct EosAccountStats {
+    pub account: Name,
+    /// Transactions whose first action targets this contract (Figure 4's
+    /// "received" notion).
+    pub received_txs: u64,
+    /// Actions this account authorized as sender.
+    pub sent_actions: u64,
+    /// Distinct contracts this account sent to.
+    pub unique_send_targets: u64,
+    /// Top action names executed on this contract, `(name, count)`.
+    pub top_actions: Vec<(String, u64)>,
 }
 
 #[cfg(test)]

@@ -77,10 +77,10 @@ pub mod xrp_analysis;
 pub use accumulate::par_sweep;
 pub use cluster::ClusterInfo;
 pub use columnar::{EosColumnar, TezosColumnar, WireState, XrpColumnar};
-pub use eos_analysis::EosSweep;
+pub use eos_analysis::{EosAccountStats, EosSweep};
 pub use graph::{GraphReport, TransferGraph};
-pub use tezos_analysis::TezosSweep;
-pub use xrp_analysis::XrpSweep;
+pub use tezos_analysis::{TezosAccountStats, TezosSweep};
+pub use xrp_analysis::{XrpAccountStats, XrpSweep};
 
 /// The three per-chain accumulators behind the full report — what every
 /// reduction path (in-process parallel sweep, streamed shards, distributed

@@ -493,6 +493,40 @@ impl TezosSweep {
     pub fn tps(&self) -> f64 {
         self.txs_in_period as f64 / self.period.seconds().max(1) as f64
     }
+
+    /// Point lookup for one address's send activity (the serve path's
+    /// `/account/tezos/<address>` query). `None` if the sweep never saw it.
+    pub fn account_stats(&self, address: Address) -> Option<TezosAccountStats> {
+        let sent_ops = self.sent.count_of(&address);
+        if sent_ops == 0 {
+            return None;
+        }
+        let (unique_receivers, top_receivers) = self
+            .per_receiver
+            .get(&address)
+            .map(|t| {
+                let top = t
+                    .top(5)
+                    .into_iter()
+                    .map(|(a, c)| (a.to_string(), c))
+                    .collect();
+                (t.distinct() as u64, top)
+            })
+            .unwrap_or((0, Vec::new()));
+        Some(TezosAccountStats { address, sent_ops, unique_receivers, top_receivers })
+    }
+}
+
+/// One Tezos address's sweep-level activity summary.
+#[derive(Debug, Clone)]
+pub struct TezosAccountStats {
+    pub address: Address,
+    /// Transactions this address sent inside the window.
+    pub sent_ops: u64,
+    /// Distinct destinations it sent to.
+    pub unique_receivers: u64,
+    /// Top destinations, `(address, count)`.
+    pub top_receivers: Vec<(String, u64)>,
 }
 
 #[cfg(test)]

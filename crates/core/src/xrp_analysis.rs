@@ -837,6 +837,39 @@ impl XrpSweep {
     pub fn graph(&self) -> &crate::graph::TransferGraph<AccountId> {
         &self.graph
     }
+
+    /// Point lookup for one account's activity (the serve path's
+    /// `/account/xrp/<account>` query). `None` if the sweep never saw it.
+    pub fn account_stats(&self, account: AccountId) -> Option<XrpAccountStats> {
+        let (offer_creates, payments, others) = *self.per_account.get(&account)?;
+        let total = offer_creates + payments + others;
+        Some(XrpAccountStats {
+            account,
+            offer_creates,
+            payments,
+            others,
+            total,
+            share_pct: total as f64 * 100.0 / self.grand_total.max(1) as f64,
+            top_tag: self
+                .tags
+                .get(&account)
+                .and_then(|t| t.top(1).first().cloned()),
+        })
+    }
+}
+
+/// One XRP account's sweep-level activity summary (Figure 8's row shape).
+#[derive(Debug, Clone)]
+pub struct XrpAccountStats {
+    pub account: AccountId,
+    pub offer_creates: u64,
+    pub payments: u64,
+    pub others: u64,
+    pub total: u64,
+    /// Share of all transactions in the window, in percent.
+    pub share_pct: f64,
+    /// Most frequent destination tag, `(tag, count)`.
+    pub top_tag: Option<(u32, u64)>,
 }
 
 #[cfg(test)]

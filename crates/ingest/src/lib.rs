@@ -37,12 +37,14 @@
 pub mod channel;
 pub mod checkpoint;
 pub mod crawl;
+pub mod epoch;
 pub mod reduce;
 pub mod shard;
 pub mod source;
 
 pub use channel::{bounded, ChannelGauge, GaugeSnapshot};
 pub use checkpoint::Checkpoint;
+pub use epoch::EpochCell;
 pub use crawl::{EosCrawlSource, RateCache, TezosCrawlSource, XrpCrawlSource};
 pub use reduce::{ReduceError, ReduceSession, ShardWorker};
 pub use shard::{spawn_sharded, IngestOptions, IngestOutcome, ShardPoolHandle, Sink};

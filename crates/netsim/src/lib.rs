@@ -17,14 +17,25 @@
 //! - [`handlers`] — the chain RPC handlers (EOS `get_block`, Tezos block
 //!   RPC, XRP `ledger`), plus substitutes for the Ripple Data API
 //!   (`exchange_rates`) and XRP Scan (`account_info`).
+//! - [`serve`] — the serving layer: the same HTTP substrate promoted from
+//!   test scaffolding into our own long-lived query service, with
+//!   token-bucket admission, explicit 429 load shedding, per-route-class
+//!   latency/shed counters, and the load generator that drives it.
 
 pub mod endpoint;
 pub mod handlers;
 pub mod http;
 pub mod ndjson;
+pub mod serve;
 pub mod server;
 
-pub use endpoint::{EndpointProfile, EndpointSim, EndpointStats, Gate, TokenBucket};
+pub use endpoint::{
+    EndpointProfile, EndpointSim, EndpointStats, Gate, LatencyHistogram, TokenBucket,
+};
 pub use handlers::{EosRpcHandler, TezosRpcHandler, XrpRpcHandler};
 pub use http::{HttpRequest, HttpResponse};
+pub use serve::{
+    run_load, spawn_query_server, LoadPlan, LoadReport, QueryServerConfig, QueryServerHandle,
+    RouteStats,
+};
 pub use server::{spawn_http, spawn_ndjson, EndpointHandle, HttpHandler, JsonHandler};

@@ -21,6 +21,25 @@
 //!     Incremental re-render loop: replay the chains batch by batch
 //!     through Checkpoint::observe_tail, re-rendering a dashboard line per
 //!     batch, and emit the full report when the head is reached.
+//!
+//! reproduce serve [--small] [--seed N] [--port P] [--batch N] [--shards K]
+//!                 [--epoch-ms MS] [--rate R] [--burst B] [--max-inflight N]
+//!                 [--load [--conns N] [--reqs N]]
+//!     Long-lived query service: the follow loop publishes an immutable
+//!     epoch snapshot per batch while concurrent readers answer
+//!     `/exhibit/<name>`, `/account/<chain>/<name>`, `/report`, and
+//!     `/healthz` — byte-identical to the one-shot report once the head is
+//!     reached. Token-bucket admission sheds excess load with 429s.
+//!     `--load` runs the built-in load generator against the server after
+//!     head and exits; otherwise the server runs until POST
+//!     /admin/shutdown.
+//!
+//! reproduce query --addr HOST:PORT [--wait-head S] [--expect-status N]
+//!                 [--out FILE] [--shutdown] PATH...
+//!     Minimal client for scripting against `serve`: GET each PATH (body
+//!     to stdout or --out), optionally wait for the server to reach head
+//!     first, assert a status code, and/or POST /admin/shutdown at the
+//!     end.
 //! ```
 //!
 //! The pre-subcommand flag spelling (`reproduce --small --crawl …`) still
@@ -30,12 +49,17 @@
 use std::collections::HashMap;
 use std::io::Write;
 use std::process::ExitCode;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 use txstat_core::{ChainSweeps, EosColumnar, TezosColumnar, XrpColumnar};
-use txstat_ingest::Checkpoint;
+use txstat_ingest::{Checkpoint, EpochCell};
+use txstat_netsim::http::{read_response, write_request, HttpRequest, HttpResponse};
+use txstat_netsim::{run_load, spawn_query_server, HttpHandler, LoadPlan, QueryServerConfig};
 use txstat_reports::{
-    comparison, generate, generate_with_crawl, generate_with_crawl_streamed, reduce_frames,
-    render_all, render_comparison, scenario_from_meta, scenario_meta, shard_scenario,
-    CrawlOptions, PipelineData,
+    generate, generate_with_crawl, generate_with_crawl_streamed, reduce_frames, render_report,
+    scenario_from_meta, scenario_meta, shard_scenario, CrawlOptions, EpochFollower, PipelineData,
+    ServeSnapshot, StatsService,
 };
 use txstat_wire::{PayloadFormat, ShardFrame};
 use txstat_workload::Scenario;
@@ -54,6 +78,12 @@ subcommands:
            FRAME-FILE... [--out FILE]
   follow   incremental re-render loop over the appending chains
            [--small] [--seed N] [--batch N] [--shards K] [--out FILE]
+  serve    epoch-swapped query service over the follow loop
+           [--small] [--seed N] [--port P] [--batch N] [--shards K]
+           [--epoch-ms MS] [--rate R] [--burst B] [--max-inflight N]
+           [--load [--conns N] [--reqs N]]
+  query    scripting client for serve: GET PATH... against --addr HOST:PORT
+           [--wait-head S] [--expect-status N] [--out FILE] [--shutdown]
 
 Legacy spelling `reproduce [--small] [--crawl] ...` maps onto `report`.";
 
@@ -117,21 +147,6 @@ fn scenario_of(args: &Args) -> Result<(Scenario, &'static str), String> {
     })
 }
 
-/// Render the full report text — shared verbatim by `report`, `reduce`,
-/// and `follow`, which is what makes their outputs byte-comparable.
-fn render_report(data: &PipelineData) -> String {
-    let mut output = render_all(data);
-    let rows = comparison(data);
-    output.push_str(&render_comparison(&rows));
-    output.push('\n');
-    let misses = rows.iter().filter(|r| !r.within_band).count();
-    output.push_str(&format!(
-        "{} of {} comparison metrics inside their acceptance bands\n",
-        rows.len() - misses,
-        rows.len()
-    ));
-    output
-}
 
 fn write_output(text: &str, out: Option<&str>) -> Result<(), String> {
     match out {
@@ -396,6 +411,238 @@ fn cmd_follow(raw: &[String]) -> Result<(), String> {
     write_output(&render_report(&data), args.get("--out"))
 }
 
+/// Derive one known-present `/account/...` path per chain from the served
+/// sweeps (the busiest account of each), for load mixes and smoke tests.
+fn sample_account_paths(data: &PipelineData) -> Vec<String> {
+    let sweeps = data.sweeps();
+    let mut out = Vec::new();
+    if let Some(r) = sweeps.eos.top_received(1).into_iter().next() {
+        out.push(format!("/account/eos/{}", r.account.to_string_repr()));
+    }
+    if let Some(s) = sweeps.tezos.top_senders(1).into_iter().next() {
+        out.push(format!("/account/tezos/{}", s.sender));
+    }
+    if let Some(a) = sweeps.xrp.most_active(1, &data.cluster).into_iter().next() {
+        out.push(format!("/account/xrp/{}", a.account));
+    }
+    out
+}
+
+fn cmd_serve(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(
+        raw,
+        &["--small", "--load"],
+        &[
+            "--seed",
+            "--port",
+            "--batch",
+            "--shards",
+            "--epoch-ms",
+            "--rate",
+            "--burst",
+            "--max-inflight",
+            "--conns",
+            "--reqs",
+        ],
+        false,
+    )?;
+    let (sc, mode) = scenario_of(&args)?;
+    let port: u16 = args.parsed("--port", 0)?;
+    let batch: usize = args.parsed("--batch", 20_000)?;
+    if batch == 0 {
+        return Err("--batch must be positive".to_owned());
+    }
+    let shards: usize = args.parsed("--shards", 2)?;
+    let epoch_ms: u64 = args.parsed("--epoch-ms", 0)?;
+    let rate: f64 = args.parsed("--rate", 50_000.0)?;
+    let burst: f64 = args.parsed("--burst", 5_000.0)?;
+    let max_inflight: u64 = args.parsed("--max-inflight", 256)?;
+
+    eprintln!("generating {mode} scenario (seed {}); serving in epochs of {batch} blocks…", sc.seed);
+    let mut follower = EpochFollower::new(generate(&sc), batch, shards);
+    // First epoch before accepting queries, so every response has sweeps.
+    let first = follower.advance()?;
+    let mut epoch = 1u64;
+    let cell =
+        Arc::new(EpochCell::new(Arc::new(ServeSnapshot::new(epoch, follower.head(), first))));
+    let service = Arc::new(StatsService::new(cell.clone()));
+
+    let rt = tokio::runtime::Runtime::new().map_err(|e| e.to_string())?;
+    rt.block_on(async {
+        let handler: Arc<dyn HttpHandler> = service.clone();
+        let server = spawn_query_server(
+            handler,
+            QueryServerConfig {
+                name: "stats-serve".to_owned(),
+                bind: format!("127.0.0.1:{port}"),
+                rate_per_sec: rate,
+                burst,
+                max_in_flight: max_inflight,
+            },
+        )
+        .await
+        .map_err(|e| e.to_string())?;
+        // Scripts scrape this line for the bound address.
+        println!("serving on http://{}", server.addr);
+        std::io::stdout().flush().ok();
+
+        while !follower.head() {
+            if epoch_ms > 0 {
+                std::thread::sleep(Duration::from_millis(epoch_ms));
+            }
+            let fork = follower.advance()?;
+            epoch += 1;
+            let head = follower.head();
+            cell.publish(Arc::new(ServeSnapshot::new(epoch, head, fork)));
+            let (e, t, x) = follower.observed();
+            eprintln!(
+                "epoch {epoch}: EOS {e} | Tezos {t} | XRP {x} blocks observed{}",
+                if head { " — head reached" } else { "" }
+            );
+        }
+
+        if args.has("--load") {
+            let conns: usize = args.parsed("--conns", 64)?;
+            let reqs: usize = args.parsed("--reqs", 200)?;
+            let snap = service.snapshot();
+            let mut paths: Vec<String> = ["headline", "fig1", "fig4", "fig7", "fig8", "comparison"]
+                .iter()
+                .map(|n| format!("/exhibit/{n}"))
+                .collect();
+            paths.push("/report".to_owned());
+            paths.extend(sample_account_paths(snap.data()));
+            let plan = LoadPlan { connections: conns, requests_per_conn: reqs, paths };
+            eprintln!(
+                "load: {conns} connections × {reqs} requests over {} paths…",
+                plan.paths.len()
+            );
+            let report = run_load(server.addr, &plan).await;
+            println!(
+                "load: {} requests in {:.2?} → {:.0} req/s | ok {} shed {} errors {} | \
+                 p50 {}µs p99 {}µs max {}µs | cache hits {} misses {}",
+                report.sent,
+                report.elapsed,
+                report.req_per_sec(),
+                report.ok,
+                report.shed,
+                report.errors,
+                report.p50_us,
+                report.p99_us,
+                report.max_us,
+                service.cache_hits.load(Ordering::Relaxed),
+                service.cache_misses.load(Ordering::Relaxed),
+            );
+            return Ok(());
+        }
+
+        eprintln!("head reached; serving until POST /admin/shutdown…");
+        while !service.shutdown_requested() {
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        eprintln!("shutdown requested; exiting");
+        Ok(())
+    })
+}
+
+async fn http_fetch(
+    addr: std::net::SocketAddr,
+    req: &HttpRequest,
+) -> Result<HttpResponse, String> {
+    let sock = tokio::net::TcpStream::connect(addr).await.map_err(|e| e.to_string())?;
+    let mut stream = tokio::io::BufStream::new(sock);
+    write_request(&mut stream, req).await.map_err(|e| e.to_string())?;
+    read_response(&mut stream).await.map_err(|e| e.to_string())
+}
+
+fn write_bytes(bytes: &[u8], out: Option<&str>) -> Result<(), String> {
+    match out {
+        None | Some("-") => std::io::stdout().write_all(bytes).map_err(|e| e.to_string()),
+        Some(path) => std::fs::write(path, bytes).map_err(|e| format!("{path}: {e}")),
+    }
+}
+
+fn cmd_query(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(
+        raw,
+        &["--shutdown"],
+        &["--addr", "--wait-head", "--expect-status", "--out"],
+        true,
+    )?;
+    let addr: std::net::SocketAddr = args
+        .get("--addr")
+        .ok_or("--addr HOST:PORT is required")?
+        .trim_start_matches("http://")
+        .trim_end_matches('/')
+        .parse()
+        .map_err(|_| "--addr: cannot parse HOST:PORT".to_owned())?;
+    if args.positionals.is_empty() && !args.has("--shutdown") && args.get("--wait-head").is_none()
+    {
+        return Err("query needs at least one PATH (or --wait-head / --shutdown)".to_owned());
+    }
+    let expect: Option<u16> = match args.get("--expect-status") {
+        None => None,
+        Some(s) => {
+            Some(s.parse().map_err(|_| format!("--expect-status: cannot parse {s:?}"))?)
+        }
+    };
+    let rt = tokio::runtime::Runtime::new().map_err(|e| e.to_string())?;
+    rt.block_on(async {
+        // The server prints its address before the follow loop starts, but
+        // give slow starts a grace period anyway.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            match http_fetch(addr, &HttpRequest::get("/healthz")).await {
+                Ok(_) => break,
+                Err(e) => {
+                    if Instant::now() >= deadline {
+                        return Err(format!("cannot reach {addr}: {e}"));
+                    }
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+            }
+        }
+        if let Some(secs) = args.get("--wait-head") {
+            let secs: u64 =
+                secs.parse().map_err(|_| format!("--wait-head: cannot parse {secs:?}"))?;
+            let deadline = Instant::now() + Duration::from_secs(secs);
+            loop {
+                let resp =
+                    http_fetch(addr, &HttpRequest::get("/healthz")).await.map_err(|e| e.to_string())?;
+                if String::from_utf8_lossy(&resp.body).contains("\"head\":true") {
+                    break;
+                }
+                if Instant::now() >= deadline {
+                    return Err(format!("server did not reach head within {secs}s"));
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+        let mut out: Vec<u8> = Vec::new();
+        for path in &args.positionals {
+            let resp =
+                http_fetch(addr, &HttpRequest::get(path)).await.map_err(|e| e.to_string())?;
+            if let Some(code) = expect {
+                if resp.status != code {
+                    return Err(format!(
+                        "{path}: expected status {code}, got {} {}",
+                        resp.status, resp.reason
+                    ));
+                }
+            }
+            out.extend_from_slice(&resp.body);
+        }
+        if args.has("--shutdown") {
+            let resp = http_fetch(addr, &HttpRequest::post("/admin/shutdown", Vec::new()))
+                .await
+                .map_err(|e| e.to_string())?;
+            if !resp.is_ok() {
+                return Err(format!("shutdown failed: {} {}", resp.status, resp.reason));
+            }
+        }
+        write_bytes(&out, args.get("--out"))
+    })
+}
+
 fn run() -> Result<(), String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match argv.first().map(String::as_str) {
@@ -404,6 +651,8 @@ fn run() -> Result<(), String> {
         Some("shard") => cmd_shard(&argv[1..]),
         Some("reduce") => cmd_reduce(&argv[1..]),
         Some("follow") => cmd_follow(&argv[1..]),
+        Some("serve") => cmd_serve(&argv[1..]),
+        Some("query") => cmd_query(&argv[1..]),
         Some(flag) if flag.starts_with('-') => {
             // Compatibility shim: the pre-subcommand spelling is a report.
             cmd_report(&argv)

@@ -8,7 +8,7 @@
 //! shared by every figure, so rendering the full report never re-scans the
 //! block vectors.
 
-use crate::pipeline::{local_storage_stats, PipelineData};
+use crate::pipeline::PipelineData;
 use txstat_core::eos_analysis as eos;
 use txstat_core::xrp_analysis as xrp;
 use txstat_types::amount::{fmt_pct, fmt_thousands};
@@ -76,15 +76,13 @@ fn gb(bytes: u64) -> String {
 
 /// Figure 2: dataset characteristics.
 pub fn fig2(data: &PipelineData) -> String {
-    let (eos_stats, tz_stats, x_stats);
     let (e, t, x) = match &data.crawl {
         Some(c) => (&c.eos, &c.tezos, &c.xrp),
         None => {
-            let s = local_storage_stats(data);
-            eos_stats = s.0;
-            tz_stats = s.1;
-            x_stats = s.2;
-            (&eos_stats, &tz_stats, &x_stats)
+            // Memoized: the serialize + LZSS sweep runs once per dataset
+            // family, shared across serve-path forks and epoch swaps.
+            let s = data.storage_stats();
+            (&s.0, &s.1, &s.2)
         }
     };
     let span = |first: Option<ChainTime>, last: Option<ChainTime>| {
@@ -632,26 +630,69 @@ pub fn case_studies(data: &PipelineData) -> String {
     out
 }
 
+/// The separator between report sections.
+pub const SECTION_BREAK: &str = "\n================================================================\n\n";
+
+/// Renderer signature shared by every row of [`SECTIONS`].
+pub type SectionFn = fn(&PipelineData) -> String;
+
+/// Every exhibit section of the report, in render order: `(name, render)`.
+/// The names double as the serve path's `/exhibit/<name>` routes, and the
+/// report is the concatenation of exactly these strings (each followed by
+/// [`SECTION_BREAK`]) — which is what makes a served section byte-identical
+/// to the one-shot report by construction.
+pub const SECTIONS: &[(&str, SectionFn)] = &[
+    ("headline", headline),
+    ("fig1", fig1),
+    ("fig2", fig2),
+    ("fig3", fig3),
+    ("fig4", fig4),
+    ("fig5", fig5),
+    ("fig6", fig6),
+    ("fig7", fig7),
+    ("fig8", fig8),
+    ("fig9", fig9),
+    ("fig11", fig11),
+    ("fig12", fig12),
+    ("case_studies", case_studies),
+];
+
+/// Render every exhibit section: `(name, text)` in report order.
+pub fn report_sections(data: &PipelineData) -> Vec<(&'static str, String)> {
+    SECTIONS.iter().map(|(name, render)| (*name, render(data))).collect()
+}
+
 /// Render every exhibit.
 pub fn render_all(data: &PipelineData) -> String {
     let mut out = String::new();
-    for section in [
-        headline(data),
-        fig1(data),
-        fig2(data),
-        fig3(data),
-        fig4(data),
-        fig5(data),
-        fig6(data),
-        fig7(data),
-        fig8(data),
-        fig9(data),
-        fig11(data),
-        fig12(data),
-        case_studies(data),
-    ] {
+    for (_, section) in report_sections(data) {
         out.push_str(&section);
-        out.push_str("\n================================================================\n\n");
+        out.push_str(SECTION_BREAK);
     }
     out
+}
+
+/// The paper-vs-measured comparison plus the acceptance-band tally — the
+/// report's tail after the exhibit sections. Exposed as its own section so
+/// the serve path can answer `/exhibit/comparison` byte-identically.
+pub fn comparison_section(data: &PipelineData) -> String {
+    let rows = crate::paper::comparison(data);
+    let mut out = crate::paper::render_comparison(&rows);
+    out.push('\n');
+    let misses = rows.iter().filter(|r| !r.within_band).count();
+    out.push_str(&format!(
+        "{} of {} comparison metrics inside their acceptance bands\n",
+        rows.len() - misses,
+        rows.len()
+    ));
+    out
+}
+
+/// Render the full report text — shared verbatim by the `report`, `reduce`,
+/// `follow`, and `serve` paths, which is what makes their outputs
+/// byte-comparable.
+pub fn render_report(data: &PipelineData) -> String {
+    let mut output = render_all(data);
+    output.push_str(&comparison_section(data));
+    output
 }

@@ -1,15 +1,20 @@
 //! # txstat-reports — regenerating every exhibit of the paper
 //!
 //! [`pipeline`] assembles the dataset (directly or through the full RPC
-//! crawl), [`exhibits`] renders each table and figure, and [`paper`]
-//! produces the paper-vs-measured comparison that EXPERIMENTS.md records.
+//! crawl), [`exhibits`] renders each table and figure, [`paper`] produces
+//! the paper-vs-measured comparison that EXPERIMENTS.md records, and
+//! [`serve`] wraps it all in an epoch-swapped long-lived query service.
 
 pub mod exhibits;
 pub mod paper;
 pub mod pipeline;
+pub mod serve;
 
-pub use exhibits::render_all;
+pub use exhibits::{
+    comparison_section, render_all, render_report, report_sections, SECTIONS, SECTION_BREAK,
+};
 pub use paper::{comparison, render_comparison, ComparisonRow};
+pub use serve::{EpochFollower, ServeSnapshot, StatsService};
 pub use pipeline::{
     generate, generate_with_crawl, generate_with_crawl_streamed, reduce_frames, scenario_from_meta,
     scenario_meta, shard_scenario, ChainStreamInfo, ChainSweeps, CrawlOptions, PipelineData,

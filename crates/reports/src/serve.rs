@@ -1,0 +1,343 @@
+//! The stats-serving layer behind `reproduce serve`: immutable per-epoch
+//! snapshots of the pipeline dataset, a keyed response cache that dies with
+//! its snapshot, and the HTTP routing that answers per-exhibit and
+//! per-account queries byte-identically to the one-shot report.
+//!
+//! Consistency model: a [`ServeSnapshot`] is immutable once published
+//! through an [`EpochCell`] — readers load an `Arc`, so a concurrent epoch
+//! swap can never tear a response (it either came wholly from the old
+//! snapshot or wholly from the new one). The response cache lives *inside*
+//! the snapshot, so cache invalidation on swap is not a protocol, it is
+//! reachability: the new epoch starts with an empty cache and the old
+//! cache is dropped with the last reference to the old snapshot.
+
+use crate::exhibits::{comparison_section, render_report, SECTIONS};
+use crate::pipeline::PipelineData;
+use std::collections::HashMap;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use txstat_core::{ChainSweeps, EosColumnar, TezosColumnar, XrpColumnar};
+use txstat_ingest::{Checkpoint, EpochCell};
+use txstat_netsim::http::{HttpRequest, HttpResponse};
+use txstat_netsim::HttpHandler;
+
+/// One epoch's immutable serving state: the forked dataset plus the keyed
+/// response cache for everything rendered from it.
+pub struct ServeSnapshot {
+    epoch: u64,
+    /// Whether the follow loop has reached the chain heads (responses are
+    /// byte-identical to the full one-shot report only once true).
+    head: bool,
+    data: PipelineData,
+    /// path → rendered body. Filled on first request per path, shared by
+    /// `Arc` so cache hits are a lookup + clone of a pointer.
+    cache: Mutex<HashMap<String, Arc<Vec<u8>>>>,
+}
+
+impl ServeSnapshot {
+    pub fn new(epoch: u64, head: bool, data: PipelineData) -> Self {
+        ServeSnapshot { epoch, head, data, cache: Mutex::new(HashMap::new()) }
+    }
+
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    pub fn head(&self) -> bool {
+        self.head
+    }
+
+    pub fn data(&self) -> &PipelineData {
+        &self.data
+    }
+
+    /// Cached responses currently held (observability + tests).
+    pub fn cached_responses(&self) -> usize {
+        self.cache.lock().expect("cache lock").len()
+    }
+
+    /// Drop every cached response, returning how many were evicted. The
+    /// serving path never needs this (epoch swaps retire whole snapshots);
+    /// it exists so benches can measure the uncached render path.
+    pub fn clear_cache(&self) -> usize {
+        let mut cache = self.cache.lock().expect("cache lock");
+        let evicted = cache.len();
+        cache.clear();
+        evicted
+    }
+
+    /// Look the path up in this snapshot's cache, rendering and inserting
+    /// on miss. `None` = not a renderable route (404, never cached).
+    fn get(&self, path: &str, hits: &AtomicU64, misses: &AtomicU64) -> Option<Arc<Vec<u8>>> {
+        if let Some(body) = self.cache.lock().expect("cache lock").get(path) {
+            hits.fetch_add(1, Ordering::Relaxed);
+            return Some(body.clone());
+        }
+        // Render outside the lock: a concurrent miss on the same path
+        // renders twice but both render identical bytes from the immutable
+        // snapshot, so last-insert-wins is harmless.
+        let body = Arc::new(self.render(path)?);
+        misses.fetch_add(1, Ordering::Relaxed);
+        self.cache
+            .lock()
+            .expect("cache lock")
+            .insert(path.to_owned(), body.clone());
+        Some(body)
+    }
+
+    /// Render one route from the snapshot's dataset.
+    fn render(&self, path: &str) -> Option<Vec<u8>> {
+        if path == "/report" {
+            return Some(render_report(&self.data).into_bytes());
+        }
+        if let Some(name) = path.strip_prefix("/exhibit/") {
+            if name == "comparison" {
+                return Some(comparison_section(&self.data).into_bytes());
+            }
+            let (_, render) = SECTIONS.iter().find(|(n, _)| *n == name)?;
+            return Some(render(&self.data).into_bytes());
+        }
+        if let Some(rest) = path.strip_prefix("/account/") {
+            let (chain, name) = rest.split_once('/')?;
+            return self.render_account(chain, name);
+        }
+        None
+    }
+
+    fn render_account(&self, chain: &str, name: &str) -> Option<Vec<u8>> {
+        let sweeps = self.data.sweeps();
+        let body = match chain {
+            "eos" => {
+                let account = txstat_eos::Name::from_str(name).ok()?;
+                let s = sweeps.eos.account_stats(account)?;
+                let top: Vec<serde_json::Value> = s
+                    .top_actions
+                    .into_iter()
+                    .map(|(name, count)| serde_json::json!({"name": name, "count": count}))
+                    .collect();
+                serde_json::json!({
+                    "chain": "eos",
+                    "account": s.account.to_string_repr(),
+                    "received_txs": s.received_txs,
+                    "sent_actions": s.sent_actions,
+                    "unique_send_targets": s.unique_send_targets,
+                    "top_actions": top,
+                })
+            }
+            "tezos" => {
+                let address = txstat_tezos::address::Address::from_str(name).ok()?;
+                let s = sweeps.tezos.account_stats(address)?;
+                let top: Vec<serde_json::Value> = s
+                    .top_receivers
+                    .into_iter()
+                    .map(|(addr, count)| serde_json::json!({"address": addr, "count": count}))
+                    .collect();
+                serde_json::json!({
+                    "chain": "tezos",
+                    "address": s.address.to_string(),
+                    "sent_ops": s.sent_ops,
+                    "unique_receivers": s.unique_receivers,
+                    "top_receivers": top,
+                })
+            }
+            "xrp" => {
+                let account = txstat_xrp::AccountId::from_str(name).ok()?;
+                let s = sweeps.xrp.account_stats(account)?;
+                serde_json::json!({
+                    "chain": "xrp",
+                    "account": s.account.to_string(),
+                    "offer_creates": s.offer_creates,
+                    "payments": s.payments,
+                    "others": s.others,
+                    "total": s.total,
+                    "share_pct": s.share_pct,
+                    "top_tag": s.top_tag.map(|(tag, count)| serde_json::json!({
+                        "tag": tag, "count": count,
+                    })),
+                })
+            }
+            _ => return None,
+        };
+        let mut bytes = serde_json::to_vec(&body).ok()?;
+        bytes.push(b'\n');
+        Some(bytes)
+    }
+}
+
+/// The query service: routes requests against the currently published
+/// snapshot. Cache hit/miss counters are process-wide (they survive epoch
+/// swaps; the caches themselves do not).
+pub struct StatsService {
+    cell: Arc<EpochCell<ServeSnapshot>>,
+    pub cache_hits: AtomicU64,
+    pub cache_misses: AtomicU64,
+    /// Raised by `POST /admin/shutdown`; the serve loop polls it.
+    pub shutdown: AtomicBool,
+}
+
+impl StatsService {
+    pub fn new(cell: Arc<EpochCell<ServeSnapshot>>) -> Self {
+        StatsService {
+            cell,
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    pub fn snapshot(&self) -> Arc<ServeSnapshot> {
+        self.cell.load()
+    }
+
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    fn not_found(path: &str) -> HttpResponse {
+        let body = serde_json::json!({
+            "error": "not found",
+            "path": path,
+            "routes": ["/report", "/exhibit/<name>", "/account/<chain>/<name>", "/healthz"],
+        });
+        let bytes = serde_json::to_vec(&body).unwrap_or_default();
+        HttpResponse::status(404, "Not Found", bytes)
+    }
+
+    /// Answer one request. Every response is computed against exactly one
+    /// snapshot (loaded once up front), so a concurrent epoch swap can
+    /// never mix epochs within a response.
+    pub fn respond(&self, method: &str, path: &str) -> HttpResponse {
+        let snap = self.cell.load();
+        match (method, path) {
+            ("GET", "/healthz") => {
+                let body = serde_json::json!({
+                    "epoch": snap.epoch(),
+                    "head": snap.head(),
+                    "cache_hits": self.cache_hits.load(Ordering::Relaxed),
+                    "cache_misses": self.cache_misses.load(Ordering::Relaxed),
+                    "cached_responses": snap.cached_responses(),
+                });
+                HttpResponse::ok(serde_json::to_vec(&body).unwrap_or_default())
+            }
+            ("POST", "/admin/shutdown") => {
+                self.shutdown.store(true, Ordering::Release);
+                HttpResponse::ok(b"{\"shutting_down\":true}".to_vec())
+            }
+            ("GET", _) => {
+                match snap.get(path, &self.cache_hits, &self.cache_misses) {
+                    Some(body) => HttpResponse::ok(body.as_ref().clone()),
+                    None => Self::not_found(path),
+                }
+            }
+            _ => Self::not_found(path),
+        }
+    }
+}
+
+impl HttpHandler for StatsService {
+    fn handle(&self, req: &HttpRequest) -> HttpResponse {
+        self.respond(&req.method, &req.path)
+    }
+}
+
+// ---- Follow-driven epoch production -----------------------------------------
+
+/// Replays the chains batch by batch through range-keyed checkpoints
+/// (`Checkpoint::observe_tail` — the already-observed prefix is never
+/// re-swept) and forks one immutable dataset per batch for publication.
+pub struct EpochFollower {
+    data: PipelineData,
+    eos_cp: Checkpoint<EosColumnar>,
+    tz_cp: Checkpoint<TezosColumnar>,
+    xrp_cp: Checkpoint<XrpColumnar>,
+    offset: usize,
+    batch: usize,
+    total: usize,
+}
+
+impl EpochFollower {
+    /// `batch` blocks per chain per epoch, swept across `shards` shards.
+    pub fn new(data: PipelineData, batch: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let batch = batch.max(1);
+        let period = data.scenario.period;
+        let fresh = |low: u64| (vec![0u64; shards], low);
+        let (counts, low) = fresh(data.eos_blocks.first().map_or(1, |b| b.num));
+        let eos_cp = Checkpoint {
+            shards: vec![EosColumnar::new(period); shards],
+            counts,
+            low,
+            high: low.saturating_sub(1),
+        };
+        let (counts, low) = fresh(data.tezos_blocks.first().map_or(1, |b| b.level));
+        let tz_cp = Checkpoint {
+            shards: vec![TezosColumnar::new(period, data.governance_periods.clone()); shards],
+            counts,
+            low,
+            high: low.saturating_sub(1),
+        };
+        let (counts, low) = fresh(data.xrp_blocks.first().map_or(1, |b| b.index));
+        let xrp_cp = Checkpoint {
+            shards: vec![XrpColumnar::new(period); shards],
+            counts,
+            low,
+            high: low.saturating_sub(1),
+        };
+        let total = data
+            .eos_blocks
+            .len()
+            .max(data.tezos_blocks.len())
+            .max(data.xrp_blocks.len());
+        EpochFollower { data, eos_cp, tz_cp, xrp_cp, offset: 0, batch, total }
+    }
+
+    /// The base dataset the follower replays (full chains, no sweeps).
+    pub fn base(&self) -> &PipelineData {
+        &self.data
+    }
+
+    /// True once every chain has been observed to its head.
+    pub fn head(&self) -> bool {
+        self.offset >= self.total
+    }
+
+    /// Blocks observed so far per chain `(eos, tezos, xrp)`.
+    pub fn observed(&self) -> (u64, u64, u64) {
+        (self.eos_cp.observed(), self.tz_cp.observed(), self.xrp_cp.observed())
+    }
+
+    /// Observe the next batch of each chain and fork the dataset at the
+    /// new coverage. The fork shares every heavy input with the base by
+    /// `Arc`; only the installed sweeps differ.
+    pub fn advance(&mut self) -> Result<PipelineData, String> {
+        let hi = (self.offset + self.batch).min(self.total);
+        let take = |n: usize| self.offset.min(n)..hi.min(n);
+        let data = &self.data;
+        self.eos_cp
+            .observe_tail(
+                data.eos_blocks[take(data.eos_blocks.len())].iter().map(|b| (b.num, b)),
+                |a, _n, b| a.observe(b),
+            )
+            .map_err(|e| e.to_string())?;
+        self.tz_cp
+            .observe_tail(
+                data.tezos_blocks[take(data.tezos_blocks.len())].iter().map(|b| (b.level, b)),
+                |a, _n, b| a.observe(b),
+            )
+            .map_err(|e| e.to_string())?;
+        self.xrp_cp
+            .observe_tail(
+                data.xrp_blocks[take(data.xrp_blocks.len())].iter().map(|b| (b.index, b)),
+                |a, _n, b| a.observe(b, &data.oracle),
+            )
+            .map_err(|e| e.to_string())?;
+        self.offset = hi;
+        let sweeps = ChainSweeps {
+            eos: self.eos_cp.merged(|a, b| a.merge(b)).finalize(),
+            tezos: self.tz_cp.merged(|a, b| a.merge(b)).finalize(),
+            xrp: self.xrp_cp.merged(|a, b| a.merge(b)).finalize(),
+        };
+        Ok(self.data.fork_with_sweeps(sweeps))
+    }
+}

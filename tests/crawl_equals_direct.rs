@@ -21,12 +21,12 @@ async fn crawl_pipeline_matches_direct_pipeline() {
     assert_eq!(direct.eos_blocks.len(), crawled.eos_blocks.len());
     assert_eq!(direct.eos_blocks, crawled.eos_blocks);
     assert_eq!(direct.tezos_blocks.len(), crawled.tezos_blocks.len());
-    for (d, c) in direct.tezos_blocks.iter().zip(&crawled.tezos_blocks) {
+    for (d, c) in direct.tezos_blocks.iter().zip(crawled.tezos_blocks.iter()) {
         assert_eq!(d.level, c.level);
         assert_eq!(d.operations.len(), c.operations.len());
     }
     assert_eq!(direct.xrp_blocks.len(), crawled.xrp_blocks.len());
-    for (d, c) in direct.xrp_blocks.iter().zip(&crawled.xrp_blocks) {
+    for (d, c) in direct.xrp_blocks.iter().zip(crawled.xrp_blocks.iter()) {
         assert_eq!(d.index, c.index);
         assert_eq!(d.transactions, c.transactions);
     }

@@ -1,0 +1,186 @@
+//! Tier-1 integration tests for the epoch-swapped stats-serving layer:
+//! byte-identity with the one-shot report, torn-read-free epoch swaps
+//! under concurrent readers, cache invalidation on swap, and 429
+//! load-shedding at the HTTP admission layer.
+
+use std::sync::Arc;
+use std::sync::atomic::Ordering;
+use txstat::ingest::EpochCell;
+use txstat::netsim::{run_load, spawn_query_server, HttpHandler, LoadPlan, QueryServerConfig};
+use txstat::reports::{
+    comparison_section, generate, render_report, report_sections, EpochFollower, ServeSnapshot,
+    StatsService,
+};
+use txstat::workload::Scenario;
+
+fn service_over(data: txstat::reports::PipelineData, head: bool) -> (Arc<StatsService>, Arc<EpochCell<ServeSnapshot>>) {
+    let cell = Arc::new(EpochCell::new(Arc::new(ServeSnapshot::new(1, head, data))));
+    (Arc::new(StatsService::new(cell.clone())), cell)
+}
+
+#[test]
+fn served_exhibits_are_byte_identical_to_report_sections() {
+    let sc = Scenario::small(99);
+    // Two independent generations of the same scenario: what the service
+    // serves must equal what the one-shot pipeline renders.
+    let (service, _cell) = service_over(generate(&sc), true);
+    let oracle = generate(&sc);
+
+    for (name, body) in report_sections(&oracle) {
+        let resp = service.respond("GET", &format!("/exhibit/{name}"));
+        assert_eq!(resp.status, 200, "/exhibit/{name}");
+        assert_eq!(resp.body, body.as_bytes(), "/exhibit/{name} body diverged");
+    }
+    let resp = service.respond("GET", "/exhibit/comparison");
+    assert_eq!(resp.body, comparison_section(&oracle).as_bytes());
+    let resp = service.respond("GET", "/report");
+    assert_eq!(resp.body, render_report(&oracle).as_bytes(), "/report body diverged");
+
+    // Unknown routes 404 and are never cached.
+    for path in ["/exhibit/nope", "/account/eos/zzzzznothere", "/account/nochain/x", "/nope"] {
+        assert_eq!(service.respond("GET", path).status, 404, "{path}");
+    }
+
+    // The busiest account of each chain answers with a JSON object.
+    let sweeps = oracle.sweeps();
+    let eos = sweeps.eos.top_received(1)[0].account.to_string_repr();
+    let resp = service.respond("GET", &format!("/account/eos/{eos}"));
+    assert_eq!(resp.status, 200);
+    let text = String::from_utf8(resp.body).expect("utf8 account body");
+    assert!(text.contains("\"chain\":\"eos\"") && text.contains("\"received_txs\""), "{text}");
+    let tz = sweeps.tezos.top_senders(1)[0].sender.to_string();
+    assert_eq!(service.respond("GET", &format!("/account/tezos/{tz}")).status, 200);
+    let xrp = sweeps.xrp.most_active(1, &oracle.cluster)[0].account.to_string();
+    assert_eq!(service.respond("GET", &format!("/account/xrp/{xrp}")).status, 200);
+}
+
+#[test]
+fn epoch_swap_is_never_torn_under_concurrent_readers() {
+    let sc = Scenario::small(7);
+    let data = generate(&sc);
+    let total = data.eos_blocks.len().max(data.tezos_blocks.len()).max(data.xrp_blocks.len());
+    let batch = total.div_ceil(4).max(1);
+    let mut follower = EpochFollower::new(data, batch, 2);
+
+    // Pre-compute every epoch's fork and its expected section bytes: a
+    // reader must only ever observe one of these exact bodies.
+    let mut forks = Vec::new();
+    while !follower.head() {
+        forks.push(follower.advance().expect("advance"));
+    }
+    assert!(forks.len() >= 3, "want >=3 epoch swaps, got {}", forks.len());
+    let allowed: Vec<Vec<u8>> = forks
+        .iter()
+        .map(|f| {
+            report_sections(f)
+                .into_iter()
+                .find(|(n, _)| *n == "headline")
+                .expect("headline section")
+                .1
+                .into_bytes()
+        })
+        .collect();
+
+    let mut forks = forks.into_iter();
+    let cell = Arc::new(EpochCell::new(Arc::new(ServeSnapshot::new(
+        1,
+        false,
+        forks.next().expect("first epoch"),
+    ))));
+    let service = Arc::new(StatsService::new(cell.clone()));
+    let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let service = service.clone();
+            let done = done.clone();
+            let allowed = &allowed;
+            scope.spawn(move || {
+                let mut last_epoch = 0u64;
+                let mut reads = 0u64;
+                while !done.load(Ordering::Acquire) || reads == 0 {
+                    let epoch = service.snapshot().epoch();
+                    assert!(epoch >= last_epoch, "epoch went backwards");
+                    last_epoch = epoch;
+                    let resp = service.respond("GET", "/exhibit/headline");
+                    assert_eq!(resp.status, 200);
+                    assert!(
+                        allowed.contains(&resp.body),
+                        "served body matches no published epoch (torn read?)"
+                    );
+                    reads += 1;
+                }
+            });
+        }
+        let mut epoch = 1u64;
+        for fork in forks {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            epoch += 1;
+            cell.publish(Arc::new(ServeSnapshot::new(epoch, false, fork)));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        done.store(true, Ordering::Release);
+    });
+    assert!(cell.epoch() >= 4, "expected >=3 publishes after the initial epoch");
+}
+
+#[test]
+fn response_cache_is_invalidated_by_epoch_swap() {
+    let sc = Scenario::small(7);
+    let data = generate(&sc);
+    let total = data.eos_blocks.len().max(data.tezos_blocks.len()).max(data.xrp_blocks.len());
+    let mut follower = EpochFollower::new(data, total.div_ceil(2).max(1), 2);
+    let first = follower.advance().expect("first epoch");
+    let (service, cell) = service_over(first, false);
+
+    let a1 = service.respond("GET", "/exhibit/headline");
+    let a2 = service.respond("GET", "/exhibit/headline");
+    assert_eq!(a1.body, a2.body);
+    assert_eq!(service.cache_misses.load(Ordering::Relaxed), 1, "first read renders");
+    assert_eq!(service.cache_hits.load(Ordering::Relaxed), 1, "second read is cached");
+    assert_eq!(service.snapshot().cached_responses(), 1);
+
+    let second = follower.advance().expect("second epoch");
+    cell.publish(Arc::new(ServeSnapshot::new(2, follower.head(), second)));
+
+    // Fresh snapshot, fresh cache: the same path misses again and serves
+    // the new epoch's (different) statistics.
+    assert_eq!(service.snapshot().cached_responses(), 0, "swap empties the cache");
+    let b1 = service.respond("GET", "/exhibit/headline");
+    assert_eq!(service.cache_misses.load(Ordering::Relaxed), 2);
+    assert_ne!(a1.body, b1.body, "new epoch must serve new statistics");
+}
+
+#[test]
+fn admission_sheds_excess_load_with_429s_and_keeps_serving() {
+    let (service, _cell) = service_over(generate(&Scenario::small(5)), true);
+    let rt = tokio::runtime::Runtime::new().expect("runtime");
+    rt.block_on(async move {
+        let handler: Arc<dyn HttpHandler> = service.clone();
+        let server = spawn_query_server(
+            handler,
+            QueryServerConfig {
+                name: "shed-test".to_owned(),
+                bind: "127.0.0.1:0".to_owned(),
+                rate_per_sec: 50.0,
+                burst: 10.0,
+                max_in_flight: 4,
+            },
+        )
+        .await
+        .expect("spawn server");
+        let plan = LoadPlan {
+            connections: 8,
+            requests_per_conn: 50,
+            paths: vec!["/exhibit/headline".to_owned(), "/exhibit/fig1".to_owned()],
+        };
+        let report = run_load(server.addr, &plan).await;
+        assert_eq!(report.errors, 0, "shedding must be 429s, not dropped connections");
+        assert!(report.shed > 0, "load above the rate must shed: {report:?}");
+        assert!(report.ok > 0, "server must keep serving under overload: {report:?}");
+        assert_eq!(report.sent, report.ok + report.shed);
+        assert_eq!(server.routes.exhibit.shed.load(Ordering::Relaxed), report.shed);
+        // Only admitted requests are timed into the latency histogram.
+        assert_eq!(server.routes.exhibit.latency.total(), report.ok);
+    });
+}

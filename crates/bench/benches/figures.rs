@@ -230,7 +230,7 @@ fn fused_stream(c: &mut Criterion) {
         g.bench_function(format!("stream_{shards}_shards"), |b| {
             b.iter(|| {
                 tokio::runtime::block_on(async {
-                    let opts = IngestOptions { shards, channel_capacity: 256 };
+                    let opts = IngestOptions { shards, channel_capacity: 256, label: "" };
                     let (sink, pool) = spawn_sharded(
                         opts,
                         move || EosSweep::new(period),

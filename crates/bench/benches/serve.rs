@@ -10,7 +10,6 @@
 
 use criterion::{criterion_group, Criterion};
 use std::hint::black_box;
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use txstat_bench::bench_scenario;
 use txstat_ingest::EpochCell;
@@ -150,8 +149,8 @@ fn load_section() {
             report.p50_us,
             report.p99_us,
             report.max_us,
-            service.cache_hits.load(Ordering::Relaxed),
-            service.cache_misses.load(Ordering::Relaxed),
+            service.cache_hits.get(),
+            service.cache_misses.get(),
         );
         let done = report.ok + report.shed;
         append_bench_row("serve/load_p50_latency", report.p50_us as f64 * 1_000.0, done);

@@ -1,0 +1,123 @@
+//! `telemetry/` benches: the cost of the instruments themselves (counter
+//! bump, histogram record, span enter/exit) and — the number that matters
+//! — the fused-report sweep with instrumentation armed vs dormant. The
+//! paired arms drive the exact span layout `PipelineData::sweeps()` uses,
+//! so their delta is the tracing tax on the hottest analytics path; the
+//! contract is < 2% overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+use txstat_bench::bench_data;
+use txstat_core::{ChainSweeps, EosColumnar, TezosColumnar, XrpColumnar};
+use txstat_reports::PipelineData;
+use txstat_telemetry::{tracer, Histogram, Registry, Span, Tracer};
+
+/// The fused-report workload in the production span layout: one `sweep`
+/// span per chain around each columnar compute (what
+/// `PipelineData::sweeps()` does on first use). Whether those spans cost
+/// anything is decided entirely by the global tracer's state.
+fn fused_sweeps(data: &PipelineData) -> ChainSweeps {
+    let period = data.scenario.period;
+    ChainSweeps {
+        eos: {
+            let _span = Span::enter("sweep", "eos");
+            EosColumnar::compute(&data.eos_blocks, period)
+        },
+        tezos: {
+            let _span = Span::enter("sweep", "tezos");
+            TezosColumnar::compute(&data.tezos_blocks, period, &data.governance_periods)
+        },
+        xrp: {
+            let _span = Span::enter("sweep", "xrp");
+            XrpColumnar::compute(&data.xrp_blocks, period, &data.oracle)
+        },
+    }
+}
+
+fn telemetry(c: &mut Criterion) {
+    let data = bench_data();
+    let mut g = c.benchmark_group("telemetry");
+    g.sample_size(20);
+
+    // Instrument micro-costs. Batched 1024 ops per iteration so the
+    // harness's per-iteration clock reads don't drown the instrument.
+    let registry = Registry::new();
+    let counter = registry.counter("txstat_bench_ops_total", "bench counter");
+    g.bench_function("counter_bump_x1024", |b| {
+        b.iter(|| {
+            for _ in 0..1024 {
+                counter.inc();
+            }
+            black_box(counter.get())
+        })
+    });
+
+    let hist = Histogram::new();
+    g.bench_function("histogram_record_x1024", |b| {
+        b.iter(|| {
+            for i in 0..1024u64 {
+                hist.record_us(i * 37);
+            }
+            black_box(hist.total())
+        })
+    });
+
+    let disabled = Tracer::new();
+    g.bench_function("span_enter_exit_disabled_x1024", |b| {
+        b.iter(|| {
+            for _ in 0..1024 {
+                let _span = disabled.span("bench", "off");
+            }
+        })
+    });
+
+    let enabled = Tracer::new();
+    enabled.enable();
+    g.bench_function("span_enter_exit_enabled_x1024", |b| {
+        b.iter(|| {
+            for _ in 0..1024 {
+                let _span = enabled.span("bench", "on");
+            }
+        })
+    });
+
+    // The headline pair: identical workload, global tracer off vs on.
+    tracer().disable();
+    g.bench_function("fused_report_uninstrumented", |b| {
+        b.iter(|| black_box(fused_sweeps(data)))
+    });
+    tracer().enable();
+    g.bench_function("fused_report_instrumented", |b| {
+        b.iter(|| black_box(fused_sweeps(data)))
+    });
+    tracer().disable();
+    g.finish();
+
+    // Print the measured overhead so runs (and CI logs) show the <2%
+    // contract directly instead of leaving it to a diff of two rows.
+    let time_one = |enable: bool| {
+        if enable {
+            tracer().enable();
+        } else {
+            tracer().disable();
+        }
+        let started = Instant::now();
+        for _ in 0..3 {
+            black_box(fused_sweeps(data));
+        }
+        started.elapsed().as_secs_f64() / 3.0
+    };
+    let off = time_one(false);
+    let on = time_one(true);
+    tracer().disable();
+    println!(
+        "telemetry overhead on fused sweeps: {:.3} ms off vs {:.3} ms on ({:+.2}%)",
+        off * 1e3,
+        on * 1e3,
+        (on / off - 1.0) * 100.0
+    );
+}
+
+criterion_group!(benches, telemetry);
+criterion_main!(benches);

@@ -135,7 +135,7 @@ mod tests {
 
         let text = source::eos_to_ndjson(blocks);
         let (streamed, stats) = tokio::runtime::block_on(async {
-            let opts = IngestOptions { shards: 3, channel_capacity: 16 };
+            let opts = IngestOptions { shards: 3, channel_capacity: 16, label: "" };
             let (sink, pool) = spawn_sharded(
                 opts,
                 move || txstat_core::EosSweep::new(period),

@@ -29,6 +29,7 @@
 use serde::{Deserialize, Serialize, Value};
 use std::io::Write;
 use txstat_core::{ChainSweeps, EosColumnar, TezosColumnar, WireState, XrpColumnar};
+use txstat_telemetry::{static_counter, Span};
 use txstat_tezos::governance::PeriodKind;
 use txstat_types::time::Period;
 use txstat_wire::{PayloadFormat, ShardFrame, WireError, SCHEMA_V1, SCHEMA_VERSION};
@@ -182,16 +183,33 @@ impl Coverage {
 /// binary payloads through the `WireState` column decoder. Either way the
 /// accumulator runs the same id-bounds/arity validation.
 fn decode_payload<A: WireState + Deserialize>(frame: &ShardFrame) -> Result<A, ReduceError> {
+    let _span = Span::enter("reduce_decode", &frame.header.chain);
+    static_counter!(BYTES, "txstat_wire_payload_bytes_total", "Wire payload bytes decoded")
+        .add(frame.payload.len() as u64);
     let payload_err = |error: String| ReduceError::Payload {
         chain: frame.header.chain.clone(),
         error,
     };
     match frame.header.payload_format {
         PayloadFormat::Json => {
+            static_counter!(
+                V1,
+                "txstat_wire_frames_decoded_total",
+                "Wire frames decoded by payload format",
+                "format" => "v1_json"
+            )
+            .inc();
             let state = frame.state()?;
             A::deserialize(&state).map_err(|e| payload_err(e.to_string()))
         }
         PayloadFormat::Bin => {
+            static_counter!(
+                V2,
+                "txstat_wire_frames_decoded_total",
+                "Wire frames decoded by payload format",
+                "format" => "v2_bin"
+            )
+            .inc();
             A::from_wire_bytes(&frame.payload).map_err(|e| payload_err(e.to_string()))
         }
     }
@@ -219,6 +237,8 @@ impl ReduceSession {
     /// Validate one frame and stage its accumulator for the final merge.
     /// On `Err` the session is unchanged and stays usable.
     pub fn submit(&mut self, frame: &ShardFrame) -> Result<(), ReduceError> {
+        let _span = Span::enter("reduce_submit", &frame.header.chain);
+        static_counter!(FRAMES, "txstat_reduce_frames_submitted_total", "Frames submitted to reduce sessions").inc();
         let h = &frame.header;
         let chain_idx = CHAINS
             .iter()
@@ -324,6 +344,8 @@ impl ReduceSession {
     /// ascending range order, so the result is bit-identical to a
     /// single-process sweep over the union of the ranges.
     pub fn finalize(self) -> Result<ChainSweeps, ReduceError> {
+        let _span = Span::enter("reduce_finalize", "");
+        static_counter!(MERGES, "txstat_reduce_merges_total", "Reduce sessions finalized").inc();
         for (i, chain) in CHAINS.iter().enumerate() {
             let gaps = self.coverage[i].gaps();
             if !gaps.is_empty() {

@@ -22,6 +22,7 @@
 use crate::channel::{bounded, GaugeSnapshot, Receiver, Sender};
 use std::sync::Arc;
 use tokio::task::JoinHandle;
+use txstat_telemetry::{Counter, Span};
 
 /// Ingestion tuning: how many shard workers fold in parallel and how many
 /// blocks each shard channel may buffer before producers stall.
@@ -29,11 +30,18 @@ use tokio::task::JoinHandle;
 pub struct IngestOptions {
     pub shards: usize,
     pub channel_capacity: usize,
+    /// Telemetry label for this pool (conventionally the chain name).
+    /// Non-empty: folds count into the global registry's
+    /// `txstat_ingest_blocks_folded_total{chain=label}` and shard workers
+    /// trace `ingest_shard_fold` spans. Empty: the pool stays unregistered
+    /// (private counter, no metric series) — right for anonymous pools in
+    /// tests and benches.
+    pub label: &'static str,
 }
 
 impl Default for IngestOptions {
     fn default() -> Self {
-        IngestOptions { shards: 4, channel_capacity: 128 }
+        IngestOptions { shards: 4, channel_capacity: 128, label: "" }
     }
 }
 
@@ -120,16 +128,34 @@ where
     let shards = opts.shards.max(1);
     let identity = Arc::new(identity);
     let observe = Arc::new(observe);
+    // Resolve the fold counter once, outside the per-block hot loop:
+    // labeled pools share the registry series, anonymous pools get a
+    // private (unexported) counter.
+    let folded: Arc<Counter> = if opts.label.is_empty() {
+        Arc::new(Counter::new())
+    } else {
+        txstat_telemetry::registry().counter_with(
+            "txstat_ingest_blocks_folded_total",
+            "Blocks folded by sharded ingest workers",
+            &[("chain", opts.label)],
+        )
+    };
     let mut senders = Vec::with_capacity(shards);
     let mut workers = Vec::with_capacity(shards);
     let mut gauge_fns: Vec<Box<dyn Fn() -> GaugeSnapshot + Send>> = Vec::with_capacity(shards);
-    for _ in 0..shards {
+    for shard in 0..shards {
         let (tx, rx, gauge) = bounded::<(u64, B)>(opts.channel_capacity);
         senders.push(tx);
         gauge_fns.push(Box::new(move || gauge.snapshot()));
         let identity = identity.clone();
         let observe = observe.clone();
-        workers.push(tokio::spawn(worker_loop(rx, identity, observe)));
+        let folded = folded.clone();
+        let label = if opts.label.is_empty() {
+            String::new()
+        } else {
+            format!("{}/{shard}", opts.label)
+        };
+        workers.push(tokio::spawn(worker_loop(rx, identity, observe, label, folded)));
     }
     (Sink { senders }, ShardPoolHandle { workers, gauge_fns })
 }
@@ -138,12 +164,18 @@ async fn worker_loop<B, A>(
     mut rx: Receiver<(u64, B)>,
     identity: Arc<impl Fn() -> A>,
     observe: Arc<impl Fn(&mut A, u64, &B)>,
+    label: String,
+    folded: Arc<Counter>,
 ) -> (A, u64) {
+    // One span covers the worker's whole fold (first recv to stream end);
+    // per-block spans would out-cost the observe() they measure.
+    let _span = Span::enter("ingest_shard_fold", &label);
     let mut acc = identity();
     let mut observed = 0u64;
     while let Some((n, block)) = rx.recv().await {
         observe(&mut acc, n, &block);
         observed += 1;
+        folded.inc();
     }
     (acc, observed)
 }
@@ -171,7 +203,7 @@ mod tests {
     #[test]
     fn sharded_sum_equals_sequential() {
         tokio::runtime::block_on(async {
-            let opts = IngestOptions { shards: 3, channel_capacity: 4 };
+            let opts = IngestOptions { shards: 3, channel_capacity: 4, label: "" };
             let (sink, pool) =
                 spawn_sharded(opts, || 0u64, |acc: &mut u64, _n, b: &u64| *acc += *b);
             for (n, v) in (0u64..1000).enumerate() {
@@ -189,7 +221,7 @@ mod tests {
     #[test]
     fn routing_is_by_residue_class() {
         tokio::runtime::block_on(async {
-            let opts = IngestOptions { shards: 4, channel_capacity: 8 };
+            let opts = IngestOptions { shards: 4, channel_capacity: 8, label: "" };
             let (sink, pool) = spawn_sharded(
                 opts,
                 Vec::new,
@@ -210,7 +242,7 @@ mod tests {
     #[test]
     fn gauges_report_bounded_buffering() {
         tokio::runtime::block_on(async {
-            let opts = IngestOptions { shards: 2, channel_capacity: 2 };
+            let opts = IngestOptions { shards: 2, channel_capacity: 2, label: "" };
             let (sink, pool) =
                 spawn_sharded(opts, || 0u64, |acc: &mut u64, _n, _b: &u64| *acc += 1);
             for n in 0..100u64 {

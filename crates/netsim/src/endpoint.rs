@@ -9,8 +9,12 @@
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+/// The quarter-octave latency histogram began life in this module and now
+/// lives in `txstat_telemetry` (promoted in the telemetry PR) together
+/// with the counter/gauge primitives `EndpointStats` is built from.
+pub use txstat_telemetry::{Counter, Gauge, Histogram as LatencyHistogram};
 
 /// Behaviour profile of one simulated endpoint.
 #[derive(Debug, Clone)]
@@ -112,113 +116,29 @@ pub enum Gate {
     Fault,
 }
 
-/// A cheap lock-free latency histogram: quarter-octave (≤ ~19% wide)
-/// buckets over microseconds, atomic counters throughout. Recording is one
-/// `fetch_add`; quantiles walk 256 buckets. Precise enough for p50/p99
-/// admission observability without a sample buffer or a lock.
-#[derive(Debug)]
-pub struct LatencyHistogram {
-    counts: [AtomicU64; Self::BUCKETS],
-    total: AtomicU64,
-    sum_us: AtomicU64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        LatencyHistogram {
-            counts: std::array::from_fn(|_| AtomicU64::new(0)),
-            total: AtomicU64::new(0),
-            sum_us: AtomicU64::new(0),
-        }
-    }
-}
-
-impl LatencyHistogram {
-    const BUCKETS: usize = 256;
-
-    /// Bucket index for a microsecond value: exact below 4 µs, then four
-    /// sub-buckets per power of two (quarter-octave resolution).
-    fn bucket_of(us: u64) -> usize {
-        if us < 4 {
-            return us as usize;
-        }
-        let b = 63 - us.leading_zeros() as usize; // us >= 4 ⇒ b >= 2
-        let sub = ((us >> (b - 2)) & 0b11) as usize;
-        (4 * (b - 1) + sub).min(Self::BUCKETS - 1)
-    }
-
-    /// Lower edge of a bucket (the value quantiles report).
-    fn bucket_value(idx: usize) -> u64 {
-        if idx < 4 {
-            return idx as u64;
-        }
-        let b = idx / 4 + 1;
-        let sub = (idx % 4) as u64;
-        (4 + sub) << (b - 2)
-    }
-
-    pub fn record_us(&self, us: u64) {
-        self.counts[Self::bucket_of(us)].fetch_add(1, Ordering::Relaxed);
-        self.total.fetch_add(1, Ordering::Relaxed);
-        self.sum_us.fetch_add(us, Ordering::Relaxed);
-    }
-
-    pub fn record(&self, elapsed: Duration) {
-        self.record_us(elapsed.as_micros().min(u64::MAX as u128) as u64);
-    }
-
-    pub fn total(&self) -> u64 {
-        self.total.load(Ordering::Relaxed)
-    }
-
-    pub fn mean_us(&self) -> f64 {
-        let n = self.total();
-        if n == 0 {
-            return 0.0;
-        }
-        self.sum_us.load(Ordering::Relaxed) as f64 / n as f64
-    }
-
-    /// The `q`-quantile (0.0 ..= 1.0) in microseconds, as the lower edge of
-    /// the bucket where the cumulative count crosses it. 0 when empty.
-    pub fn quantile_us(&self, q: f64) -> u64 {
-        let n = self.total();
-        if n == 0 {
-            return 0;
-        }
-        let target = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (idx, c) in self.counts.iter().enumerate() {
-            seen += c.load(Ordering::Relaxed);
-            if seen >= target {
-                return Self::bucket_value(idx);
-            }
-        }
-        Self::bucket_value(Self::BUCKETS - 1)
-    }
-}
-
-/// Shared per-endpoint counters (observable by tests and the crawler report).
+/// Shared per-endpoint counters (observable by tests and the crawler
+/// report), built from the `txstat_telemetry` instruments so route classes
+/// can be registered into a metrics registry for `/metrics` exposition.
 #[derive(Debug, Default)]
 pub struct EndpointStats {
-    pub requests: AtomicU64,
-    pub served: AtomicU64,
-    pub rate_limited: AtomicU64,
-    pub faults: AtomicU64,
-    pub bytes_in: AtomicU64,
-    pub bytes_out: AtomicU64,
+    pub requests: Counter,
+    pub served: Counter,
+    pub rate_limited: Counter,
+    pub faults: Counter,
+    pub bytes_in: Counter,
+    pub bytes_out: Counter,
     /// Requests currently being handled (between read and response write).
-    pub in_flight: AtomicU64,
-    /// Peak concurrent in-flight requests. A backpressured streaming
-    /// consumer keeps this bounded by the crawler's worker count: when the
-    /// ingest channels fill, the crawl workers park *before* issuing the
-    /// next request, so the stall is visible server-side as a plateau here
-    /// rather than a growing request backlog.
-    pub max_in_flight: AtomicU64,
+    /// Its high-water mark (`Gauge::peak`) records peak concurrency: a
+    /// backpressured streaming consumer keeps this bounded by the
+    /// crawler's worker count — when the ingest channels fill, the crawl
+    /// workers park *before* issuing the next request, so the stall is
+    /// visible server-side as a plateau here rather than a growing
+    /// request backlog.
+    pub in_flight: Gauge,
     /// Requests refused 429 by *admission control* (serving-layer load
     /// shedding), as opposed to `rate_limited` which counts the simulated
     /// endpoint behaviour model's 429s.
-    pub shed: AtomicU64,
+    pub shed: Counter,
     /// Service latency of served requests (admission → response written).
     pub latency: LatencyHistogram,
 }
@@ -228,28 +148,30 @@ pub struct InFlightGuard<'a>(&'a EndpointStats);
 
 impl Drop for InFlightGuard<'_> {
     fn drop(&mut self) {
-        self.0.in_flight.fetch_sub(1, Ordering::Relaxed);
+        self.0.in_flight.dec();
     }
 }
 
 impl EndpointStats {
     /// Mark one request in flight until the returned guard drops.
     pub fn enter(&self) -> InFlightGuard<'_> {
-        let now = self.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
-        self.max_in_flight.fetch_max(now, Ordering::Relaxed);
+        self.in_flight.inc();
         InFlightGuard(self)
     }
-}
 
-impl EndpointStats {
+    /// Peak concurrent in-flight requests.
+    pub fn max_in_flight(&self) -> u64 {
+        self.in_flight.peak()
+    }
+
     pub fn snapshot(&self) -> (u64, u64, u64, u64, u64, u64) {
         (
-            self.requests.load(Ordering::Relaxed),
-            self.served.load(Ordering::Relaxed),
-            self.rate_limited.load(Ordering::Relaxed),
-            self.faults.load(Ordering::Relaxed),
-            self.bytes_in.load(Ordering::Relaxed),
-            self.bytes_out.load(Ordering::Relaxed),
+            self.requests.get(),
+            self.served.get(),
+            self.rate_limited.get(),
+            self.faults.get(),
+            self.bytes_in.get(),
+            self.bytes_out.get(),
         )
     }
 }
@@ -338,34 +260,19 @@ mod tests {
         assert!(faults > 0, "faults={faults}");
     }
 
+    // (The latency-histogram bucket/quantile tests moved to
+    // `txstat_telemetry::metrics` together with the histogram itself.)
+
     #[test]
-    fn latency_histogram_buckets_and_quantiles() {
-        let h = LatencyHistogram::default();
-        assert_eq!(h.quantile_us(0.5), 0, "empty histogram");
-        // Exact low buckets.
-        for us in 0..4 {
-            assert_eq!(LatencyHistogram::bucket_value(LatencyHistogram::bucket_of(us)), us);
+    fn endpoint_stats_track_in_flight_peak() {
+        let s = EndpointStats::default();
+        {
+            let _a = s.enter();
+            let _b = s.enter();
+            assert_eq!(s.in_flight.get(), 2);
         }
-        // Bucket lower edges never exceed the recorded value, and stay
-        // within quarter-octave resolution of it.
-        for us in [4u64, 7, 8, 100, 1_000, 65_535, 1_000_000, u64::MAX / 2] {
-            let edge = LatencyHistogram::bucket_value(LatencyHistogram::bucket_of(us));
-            assert!(edge <= us, "edge {edge} > {us}");
-            assert!(us < edge + edge / 4 + 1, "us {us} too far above edge {edge}");
-        }
-        // Quantiles over a known distribution: 90 fast + 10 slow.
-        for _ in 0..90 {
-            h.record_us(100);
-        }
-        for _ in 0..10 {
-            h.record_us(10_000);
-        }
-        assert_eq!(h.total(), 100);
-        let p50 = h.quantile_us(0.5);
-        let p99 = h.quantile_us(0.99);
-        assert!((96..=100).contains(&p50), "p50={p50}");
-        assert!((8_192..=10_000).contains(&p99), "p99={p99}");
-        assert!(h.mean_us() > 100.0 && h.mean_us() < 10_000.0);
+        assert_eq!(s.in_flight.get(), 0);
+        assert_eq!(s.max_in_flight(), 2);
     }
 
     #[test]

@@ -17,9 +17,9 @@ use crate::http::{
 };
 use parking_lot::Mutex;
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use txstat_telemetry::{Gauge, MetricKind, Registry, Sample, SampleValue};
 use tokio::io::BufStream;
 use tokio::net::{TcpListener, TcpStream};
 use tokio::task::JoinHandle;
@@ -82,11 +82,67 @@ impl RouteStats {
     }
 
     pub fn total_requests(&self) -> u64 {
-        self.classes().iter().map(|(_, s)| s.requests.load(Ordering::Relaxed)).sum()
+        self.classes().iter().map(|(_, s)| s.requests.get()).sum()
     }
 
     pub fn total_shed(&self) -> u64 {
-        self.classes().iter().map(|(_, s)| s.shed.load(Ordering::Relaxed)).sum()
+        self.classes().iter().map(|(_, s)| s.shed.get()).sum()
+    }
+
+    /// Register a collector exposing every route class in `registry` as
+    /// `txstat_serve_*{route=...}` families (counters, the in-flight
+    /// gauge + peak, and the latency histogram), so a serve process's
+    /// `/metrics` endpoint reports the same numbers its load-shed logic
+    /// acts on.
+    pub fn register_into(self: &Arc<Self>, registry: &Registry) {
+        let routes = self.clone();
+        registry.register_collector(move |out| {
+            let counter = |name: &str, help: &str, route: &'static str, v: u64| Sample {
+                name: format!("txstat_serve_{name}"),
+                help: help.to_string(),
+                kind: MetricKind::Counter,
+                labels: vec![("route".to_string(), route.to_string())],
+                value: SampleValue::Int(v),
+            };
+            for (route, s) in routes.classes() {
+                out.push(counter("requests_total", "Requests received", route, s.requests.get()));
+                out.push(counter("served_total", "Requests served", route, s.served.get()));
+                out.push(counter(
+                    "shed_total",
+                    "Requests shed 429 by admission control",
+                    route,
+                    s.shed.get(),
+                ));
+                out.push(counter("bytes_in_total", "Request bytes read", route, s.bytes_in.get()));
+                out.push(counter(
+                    "bytes_out_total",
+                    "Response bytes written",
+                    route,
+                    s.bytes_out.get(),
+                ));
+                out.push(Sample {
+                    name: "txstat_serve_in_flight".to_string(),
+                    help: "Requests currently being handled".to_string(),
+                    kind: MetricKind::Gauge,
+                    labels: vec![("route".to_string(), route.to_string())],
+                    value: SampleValue::Int(s.in_flight.get()),
+                });
+                out.push(Sample {
+                    name: "txstat_serve_in_flight_peak".to_string(),
+                    help: "Peak concurrent in-flight requests".to_string(),
+                    kind: MetricKind::Gauge,
+                    labels: vec![("route".to_string(), route.to_string())],
+                    value: SampleValue::Int(s.max_in_flight()),
+                });
+                out.push(Sample {
+                    name: "txstat_serve_latency_us".to_string(),
+                    help: "Service latency of served requests (µs)".to_string(),
+                    kind: MetricKind::Histogram,
+                    labels: vec![("route".to_string(), route.to_string())],
+                    value: SampleValue::Hist(s.latency.snapshot()),
+                });
+            }
+        });
     }
 }
 
@@ -95,13 +151,13 @@ impl RouteStats {
 /// the ceiling applies across routes).
 struct Admission {
     bucket: Mutex<TokenBucket>,
-    in_flight: AtomicU64,
+    in_flight: Gauge,
     max_in_flight: u64,
 }
 
 impl Admission {
     fn try_admit(&self) -> bool {
-        if self.in_flight.load(Ordering::Relaxed) >= self.max_in_flight {
+        if self.in_flight.get() >= self.max_in_flight {
             return false;
         }
         self.bucket.lock().try_take()
@@ -113,7 +169,7 @@ struct AdmitGuard<'a>(&'a Admission);
 
 impl Drop for AdmitGuard<'_> {
     fn drop(&mut self) {
-        self.0.in_flight.fetch_sub(1, Ordering::Relaxed);
+        self.0.in_flight.dec();
     }
 }
 
@@ -140,7 +196,7 @@ pub async fn spawn_query_server(
     let routes = Arc::new(RouteStats::default());
     let admission = Arc::new(Admission {
         bucket: Mutex::new(TokenBucket::new(cfg.rate_per_sec, cfg.burst)),
-        in_flight: AtomicU64::new(0),
+        in_flight: Gauge::new(),
         max_in_flight: cfg.max_in_flight,
     });
     let routes2 = routes.clone();
@@ -162,26 +218,26 @@ pub async fn spawn_query_server(
                     };
                     let stats = routes.for_path(&req.path);
                     let _in_flight = stats.enter();
-                    stats.requests.fetch_add(1, Ordering::Relaxed);
+                    stats.requests.inc();
                     stats
                         .bytes_in
-                        .fetch_add(request_wire_size(&req) as u64, Ordering::Relaxed);
+                        .add(request_wire_size(&req) as u64);
                     let admitted = admission.try_admit();
                     let resp = if admitted {
-                        admission.in_flight.fetch_add(1, Ordering::Relaxed);
+                        admission.in_flight.inc();
                         let _admit = AdmitGuard(&admission);
                         let started = Instant::now();
                         let resp = handler.handle(&req);
                         stats.latency.record(started.elapsed());
-                        stats.served.fetch_add(1, Ordering::Relaxed);
+                        stats.served.inc();
                         resp
                     } else {
-                        stats.shed.fetch_add(1, Ordering::Relaxed);
+                        stats.shed.inc();
                         HttpResponse::status(429, "Too Many Requests", SHED_BODY.to_vec())
                     };
                     stats
                         .bytes_out
-                        .fetch_add(response_wire_size(&resp) as u64, Ordering::Relaxed);
+                        .add(response_wire_size(&resp) as u64);
                     if write_response(&mut stream, &resp).await.is_err() {
                         break;
                     }
@@ -331,9 +387,9 @@ mod tests {
             write_request(&mut stream, &HttpRequest::get(path)).await.unwrap();
             assert_eq!(read_response(&mut stream).await.unwrap().status, status);
         }
-        assert_eq!(h.routes.exhibit.requests.load(Ordering::Relaxed), 1);
-        assert_eq!(h.routes.account.requests.load(Ordering::Relaxed), 1);
-        assert_eq!(h.routes.other.requests.load(Ordering::Relaxed), 1);
+        assert_eq!(h.routes.exhibit.requests.get(), 1);
+        assert_eq!(h.routes.account.requests.get(), 1);
+        assert_eq!(h.routes.other.requests.get(), 1);
         assert_eq!(h.routes.exhibit.latency.total(), 1);
         assert_eq!(h.routes.total_shed(), 0);
     }
@@ -358,9 +414,9 @@ mod tests {
         assert!(shed >= 15, "shed={shed} codes={codes:?}");
         assert!(served >= 3, "served={served}");
         let s = &h.routes.exhibit;
-        assert_eq!(s.shed.load(Ordering::Relaxed), shed as u64);
-        assert_eq!(s.served.load(Ordering::Relaxed), served as u64);
-        assert_eq!(s.requests.load(Ordering::Relaxed), 20);
+        assert_eq!(s.shed.get(), shed as u64);
+        assert_eq!(s.served.get(), served as u64);
+        assert_eq!(s.requests.get(), 20);
         // Only served requests are timed.
         assert_eq!(s.latency.total(), served as u64);
         assert!(s.latency.quantile_us(0.5) <= s.latency.quantile_us(0.99));

@@ -9,7 +9,6 @@ use crate::http::{
 use crate::ndjson::{read_frame, write_frame};
 use serde_json::{json, Value};
 use std::net::SocketAddr;
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use tokio::io::BufStream;
 use tokio::net::TcpListener;
@@ -72,31 +71,31 @@ pub async fn spawn_http(
                         _ => break,
                     };
                     let _in_flight = stats.enter();
-                    stats.requests.fetch_add(1, Ordering::Relaxed);
+                    stats.requests.inc();
                     stats
                         .bytes_in
-                        .fetch_add(request_wire_size(&req) as u64, Ordering::Relaxed);
+                        .add(request_wire_size(&req) as u64);
                     let (gate, delay) = sim.gate();
                     if !delay.is_zero() {
                         tokio::time::sleep(delay).await;
                     }
                     let resp = match gate {
                         Gate::Fault => {
-                            stats.faults.fetch_add(1, Ordering::Relaxed);
+                            stats.faults.inc();
                             break; // connection reset
                         }
                         Gate::RateLimited => {
-                            stats.rate_limited.fetch_add(1, Ordering::Relaxed);
+                            stats.rate_limited.inc();
                             HttpResponse::status(429, "Too Many Requests", b"{\"error\":\"rate limited\"}".to_vec())
                         }
                         Gate::Proceed => {
-                            stats.served.fetch_add(1, Ordering::Relaxed);
+                            stats.served.inc();
                             handler.handle(&req)
                         }
                     };
                     stats
                         .bytes_out
-                        .fetch_add(response_wire_size(&resp) as u64, Ordering::Relaxed);
+                        .add(response_wire_size(&resp) as u64);
                     if write_response(&mut stream, &resp).await.is_err() {
                         break;
                     }
@@ -134,30 +133,30 @@ pub async fn spawn_ndjson(
                         _ => break,
                     };
                     let _in_flight = stats.enter();
-                    stats.requests.fetch_add(1, Ordering::Relaxed);
-                    stats.bytes_in.fetch_add(nbytes as u64, Ordering::Relaxed);
+                    stats.requests.inc();
+                    stats.bytes_in.add(nbytes as u64);
                     let (gate, delay) = sim.gate();
                     if !delay.is_zero() {
                         tokio::time::sleep(delay).await;
                     }
                     let resp = match gate {
                         Gate::Fault => {
-                            stats.faults.fetch_add(1, Ordering::Relaxed);
+                            stats.faults.inc();
                             break;
                         }
                         Gate::RateLimited => {
-                            stats.rate_limited.fetch_add(1, Ordering::Relaxed);
+                            stats.rate_limited.inc();
                             json!({"id": req.get("id").cloned().unwrap_or(Value::Null),
                                    "status": "error", "error": "slowDown"})
                         }
                         Gate::Proceed => {
-                            stats.served.fetch_add(1, Ordering::Relaxed);
+                            stats.served.inc();
                             handler.handle(&req)
                         }
                     };
                     match write_frame(&mut stream, &resp).await {
                         Ok(n) => {
-                            stats.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
+                            stats.bytes_out.add(n as u64);
                         }
                         Err(_) => break,
                     }
@@ -241,6 +240,6 @@ mod tests {
         let mut stream = BufStream::new(sock);
         write_request(&mut stream, &HttpRequest::get("/")).await.unwrap();
         assert!(read_response(&mut stream).await.is_err(), "connection dropped");
-        assert_eq!(h.stats.faults.load(Ordering::Relaxed), 1);
+        assert_eq!(h.stats.faults.get(), 1);
     }
 }

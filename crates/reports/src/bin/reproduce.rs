@@ -45,11 +45,17 @@
 //! The pre-subcommand flag spelling (`reproduce --small --crawl …`) still
 //! works and maps onto `report`. Unrecognized flags or subcommands print
 //! usage and exit non-zero.
+//!
+//! Observability: `report`, `shard`, `reduce`, `follow`, and `serve` all
+//! take `--trace-out FILE` (write one NDJSON span event per pipeline stage
+//! to FILE) and `--timings` (print a per-stage wall-time summary table on
+//! stderr at exit). `serve` additionally exposes `GET /metrics`
+//! (Prometheus text) and `GET /statusz` (JSON) with the ingest, reduce,
+//! epoch, and serve metric families.
 
 use std::collections::HashMap;
 use std::io::Write;
 use std::process::ExitCode;
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use txstat_core::{ChainSweeps, EosColumnar, TezosColumnar, XrpColumnar};
@@ -84,6 +90,10 @@ subcommands:
            [--load [--conns N] [--reqs N]]
   query    scripting client for serve: GET PATH... against --addr HOST:PORT
            [--wait-head S] [--expect-status N] [--out FILE] [--shutdown]
+
+report/shard/reduce/follow/serve also take:
+  --trace-out FILE   write NDJSON span events per pipeline stage to FILE
+  --timings          print a per-stage wall-time summary table on stderr
 
 Legacy spelling `reproduce [--small] [--crawl] ...` maps onto `report`.";
 
@@ -147,6 +157,31 @@ fn scenario_of(args: &Args) -> Result<(Scenario, &'static str), String> {
     })
 }
 
+/// Arm the global tracer per `--trace-out FILE` (NDJSON span events) and
+/// `--timings` (end-of-run stage summary). Either flag enables tracing;
+/// with neither, spans stay inert (one relaxed load each).
+fn init_tracing(args: &Args) -> Result<(), String> {
+    if let Some(path) = args.get("--trace-out") {
+        let file = std::fs::File::create(path)
+            .map_err(|e| format!("--trace-out: cannot create {path}: {e}"))?;
+        txstat_telemetry::tracer().set_sink(Box::new(std::io::BufWriter::new(file)));
+    }
+    if args.has("--timings") {
+        txstat_telemetry::tracer().enable();
+    }
+    Ok(())
+}
+
+/// Flush the trace sink and print the per-stage wall-time table when
+/// `--timings` was given.
+fn finish_tracing(args: &Args) {
+    let tracer = txstat_telemetry::tracer();
+    if args.has("--timings") {
+        eprint!("{}", tracer.render_summary());
+    }
+    tracer.flush();
+}
+
 
 fn write_output(text: &str, out: Option<&str>) -> Result<(), String> {
     match out {
@@ -165,11 +200,12 @@ fn write_output(text: &str, out: Option<&str>) -> Result<(), String> {
 fn cmd_report(raw: &[String]) -> Result<(), String> {
     let args = Args::parse(
         raw,
-        &["--small", "--crawl", "--materialize"],
-        &["--seed", "--out"],
+        &["--small", "--crawl", "--materialize", "--timings"],
+        &["--seed", "--out", "--trace-out"],
         false,
     )?;
     let (sc, _) = scenario_of(&args)?;
+    init_tracing(&args)?;
 
     eprintln!(
         "scenario: {} .. {} (divisors: EOS 1/{}, Tezos 1/{}, XRP 1/{})",
@@ -215,7 +251,9 @@ fn cmd_report(raw: &[String]) -> Result<(), String> {
         );
     }
     eprintln!("pipeline ready in {:?}; rendering exhibits…", started.elapsed());
-    write_output(&render_report(&data), args.get("--out"))
+    let result = write_output(&render_report(&data), args.get("--out"));
+    finish_tracing(&args);
+    result
 }
 
 fn parse_range(s: &str) -> Result<(u64, u64), String> {
@@ -233,11 +271,12 @@ fn parse_range(s: &str) -> Result<(u64, u64), String> {
 fn cmd_shard(raw: &[String]) -> Result<(), String> {
     let args = Args::parse(
         raw,
-        &["--small"],
-        &["--seed", "--out", "--range", "--shards", "--payload"],
+        &["--small", "--timings"],
+        &["--seed", "--out", "--range", "--shards", "--payload", "--trace-out"],
         false,
     )?;
     let (sc, mode) = scenario_of(&args)?;
+    init_tracing(&args)?;
     let (start, end) =
         parse_range(args.get("--range").ok_or("shard needs --range A..B")?)?;
     let out = args.get("--out").ok_or("shard needs --out FILE (\"-\" for stdout)")?;
@@ -275,14 +314,16 @@ fn cmd_shard(raw: &[String]) -> Result<(), String> {
         started.elapsed(),
         out
     );
+    finish_tracing(&args);
     Ok(())
 }
 
 fn cmd_reduce(raw: &[String]) -> Result<(), String> {
-    let args = Args::parse(raw, &[], &["--out"], true)?;
+    let args = Args::parse(raw, &["--timings"], &["--out", "--trace-out"], true)?;
     if args.positionals.is_empty() {
         return Err("reduce needs at least one frame file".to_owned());
     }
+    init_tracing(&args)?;
     let started = std::time::Instant::now();
     let mut frames: Vec<ShardFrame> = Vec::new();
     for path in &args.positionals {
@@ -301,13 +342,20 @@ fn cmd_reduce(raw: &[String]) -> Result<(), String> {
     );
     let data = reduce_frames(&sc, &frames).map_err(|e| e.to_string())?;
     eprintln!("reduction ready in {:?}; rendering exhibits…", started.elapsed());
-    write_output(&render_report(&data), args.get("--out"))
+    let result = write_output(&render_report(&data), args.get("--out"));
+    finish_tracing(&args);
+    result
 }
 
 fn cmd_follow(raw: &[String]) -> Result<(), String> {
-    let args =
-        Args::parse(raw, &["--small"], &["--seed", "--out", "--batch", "--shards"], false)?;
+    let args = Args::parse(
+        raw,
+        &["--small", "--timings"],
+        &["--seed", "--out", "--batch", "--shards", "--trace-out"],
+        false,
+    )?;
     let (sc, _) = scenario_of(&args)?;
+    init_tracing(&args)?;
     let batch: usize = args.parsed("--batch", 500)?;
     if batch == 0 {
         return Err("--batch must be positive".to_owned());
@@ -361,6 +409,7 @@ fn cmd_follow(raw: &[String]) -> Result<(), String> {
         .max(data.xrp_blocks.len());
     let mut round = 0u64;
     while offset < total {
+        let _span = txstat_telemetry::Span::enter("follow_batch", "");
         let hi = (offset + batch).min(total);
         let take = |n: usize| offset.min(n)..hi.min(n);
         eos_cp
@@ -408,7 +457,9 @@ fn cmd_follow(raw: &[String]) -> Result<(), String> {
         xrp: xrp_cp.merged(|a, b| a.merge(b)).finalize(),
     };
     assert!(data.install_sweeps(sweeps), "follow computed no report sweeps");
-    write_output(&render_report(&data), args.get("--out"))
+    let result = write_output(&render_report(&data), args.get("--out"));
+    finish_tracing(&args);
+    result
 }
 
 /// Derive one known-present `/account/...` path per chain from the served
@@ -431,7 +482,7 @@ fn sample_account_paths(data: &PipelineData) -> Vec<String> {
 fn cmd_serve(raw: &[String]) -> Result<(), String> {
     let args = Args::parse(
         raw,
-        &["--small", "--load"],
+        &["--small", "--load", "--timings"],
         &[
             "--seed",
             "--port",
@@ -443,10 +494,12 @@ fn cmd_serve(raw: &[String]) -> Result<(), String> {
             "--max-inflight",
             "--conns",
             "--reqs",
+            "--trace-out",
         ],
         false,
     )?;
     let (sc, mode) = scenario_of(&args)?;
+    init_tracing(&args)?;
     let port: u16 = args.parsed("--port", 0)?;
     let batch: usize = args.parsed("--batch", 20_000)?;
     if batch == 0 {
@@ -459,13 +512,19 @@ fn cmd_serve(raw: &[String]) -> Result<(), String> {
     let max_inflight: u64 = args.parsed("--max-inflight", 256)?;
 
     eprintln!("generating {mode} scenario (seed {}); serving in epochs of {batch} blocks…", sc.seed);
+    // The serve path exports through the process-global registry so
+    // `/metrics` carries every layer's families (ingest counters from the
+    // shard pools, reduce/epoch progress from the follow loop, serve route
+    // stats) in one exposition.
+    let registry = txstat_telemetry::registry().clone();
     let mut follower = EpochFollower::new(generate(&sc), batch, shards);
+    follower.bind_metrics(&registry);
     // First epoch before accepting queries, so every response has sweeps.
     let first = follower.advance()?;
     let mut epoch = 1u64;
     let cell =
         Arc::new(EpochCell::new(Arc::new(ServeSnapshot::new(epoch, follower.head(), first))));
-    let service = Arc::new(StatsService::new(cell.clone()));
+    let service = Arc::new(StatsService::with_registry(cell.clone(), registry.clone()));
 
     let rt = tokio::runtime::Runtime::new().map_err(|e| e.to_string())?;
     rt.block_on(async {
@@ -482,6 +541,9 @@ fn cmd_serve(raw: &[String]) -> Result<(), String> {
         )
         .await
         .map_err(|e| e.to_string())?;
+        // Route-class counters (requests/served/shed/bytes/latency) join
+        // the same registry the service exposes on /metrics.
+        server.routes.register_into(&registry);
         // Scripts scrape this line for the bound address.
         println!("serving on http://{}", server.addr);
         std::io::stdout().flush().ok();
@@ -529,9 +591,10 @@ fn cmd_serve(raw: &[String]) -> Result<(), String> {
                 report.p50_us,
                 report.p99_us,
                 report.max_us,
-                service.cache_hits.load(Ordering::Relaxed),
-                service.cache_misses.load(Ordering::Relaxed),
+                service.cache_hits.get(),
+                service.cache_misses.get(),
             );
+            finish_tracing(&args);
             return Ok(());
         }
 
@@ -540,6 +603,7 @@ fn cmd_serve(raw: &[String]) -> Result<(), String> {
             std::thread::sleep(Duration::from_millis(25));
         }
         eprintln!("shutdown requested; exiting");
+        finish_tracing(&args);
         Ok(())
     })
 }

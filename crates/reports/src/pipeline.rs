@@ -28,9 +28,10 @@ use txstat_crawler::{
 };
 use txstat_ingest::crawl::ledger_ious;
 use txstat_ingest::{
-    spawn_sharded, EosCrawlSource, IngestOptions, IngestOutcome, RateCache, ReduceError,
-    ReduceSession, ShardWorker, Sink, TezosCrawlSource, XrpCrawlSource,
+    spawn_sharded, EosCrawlSource, GaugeSnapshot, IngestOptions, IngestOutcome, RateCache,
+    ReduceError, ReduceSession, ShardWorker, Sink, TezosCrawlSource, XrpCrawlSource,
 };
+use txstat_telemetry::Span;
 use txstat_ingest::source::BlockSource;
 use txstat_wire::{PayloadFormat, ShardFrame};
 use txstat_netsim::handlers::{EosRpcHandler, TezosRpcHandler, XrpRpcHandler};
@@ -105,9 +106,18 @@ impl PipelineData {
         self.sweeps.get_or_init(|| {
             let period = self.scenario.period;
             ChainSweeps {
-                eos: EosColumnar::compute(&self.eos_blocks, period),
-                tezos: TezosColumnar::compute(&self.tezos_blocks, period, &self.governance_periods),
-                xrp: XrpColumnar::compute(&self.xrp_blocks, period, &self.oracle),
+                eos: {
+                    let _span = Span::enter("sweep", "eos");
+                    EosColumnar::compute(&self.eos_blocks, period)
+                },
+                tezos: {
+                    let _span = Span::enter("sweep", "tezos");
+                    TezosColumnar::compute(&self.tezos_blocks, period, &self.governance_periods)
+                },
+                xrp: {
+                    let _span = Span::enter("sweep", "xrp");
+                    XrpColumnar::compute(&self.xrp_blocks, period, &self.oracle)
+                },
             }
         })
     }
@@ -227,7 +237,7 @@ pub struct CrawlSummary {
 
 /// Streaming accounting for one chain: the block-range bounds the shards
 /// observed plus the backpressure gauges of the shard channels.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ChainStreamInfo {
     pub first: Option<(u64, ChainTime)>,
     pub last: Option<(u64, ChainTime)>,
@@ -240,6 +250,10 @@ pub struct ChainStreamInfo {
     pub peak_buffered: u64,
     /// Producer sends that parked on a full channel (backpressure hits).
     pub blocked_sends: u64,
+    /// Per-shard channel gauges in shard order — previously dropped at the
+    /// end of the streamed crawl, now carried so `/statusz` and the
+    /// registry can show per-shard backpressure.
+    pub gauges: Vec<GaugeSnapshot>,
 }
 
 /// What the streamed path records instead of block vectors.
@@ -342,8 +356,10 @@ impl CrawlOptions {
         CrawlOptions { eos_advertised: 32, eos_shortlisted: 6, concurrency: 12, ..Self::default() }
     }
 
-    fn ingest(&self) -> IngestOptions {
-        IngestOptions { shards: self.shards, channel_capacity: self.channel_capacity }
+    /// Ingest tuning for one chain's shard pool, labeled so folds and
+    /// fold spans attribute to that chain in the registry.
+    fn ingest_for(&self, chain: &'static str) -> IngestOptions {
+        IngestOptions { shards: self.shards, channel_capacity: self.channel_capacity, label: chain }
     }
 }
 
@@ -530,6 +546,7 @@ pub async fn generate_with_crawl(
         let low = served.eos.config.start_block_num;
         let concurrency = opts.concurrency;
         tokio::spawn(async move {
+            let _span = Span::enter("crawl", "eos");
             let head = eos_head(&pool, &cfg).await?;
             crawl_eos(pool, cfg, low, head, concurrency).await
         })
@@ -540,6 +557,7 @@ pub async fn generate_with_crawl(
         let low = served.tezos.config.start_level;
         let concurrency = opts.concurrency;
         tokio::spawn(async move {
+            let _span = Span::enter("crawl", "tezos");
             let head = tezos_head(&pool, &cfg).await?;
             crawl_tezos(pool, cfg, low, head, concurrency).await
         })
@@ -550,6 +568,7 @@ pub async fn generate_with_crawl(
         let low = served.xrp.config.start_index;
         let concurrency = opts.concurrency;
         tokio::spawn(async move {
+            let _span = Span::enter("crawl", "xrp");
             let head = xrp_head(&pool, &cfg).await?;
             crawl_xrp(pool, cfg, low, head, concurrency).await
         })
@@ -672,15 +691,17 @@ struct SweepShardAcc<S> {
 /// Fold the stream bounds across shards, build the chain's stream info,
 /// and merge the shard sweeps in index order.
 fn reduce_sweep_shards<S>(
+    chain: &'static str,
     out: IngestOutcome<SweepShardAcc<S>>,
     opts: &CrawlOptions,
     mut merge: impl FnMut(&mut S, S),
 ) -> (S, ChainStreamInfo) {
+    let _span = Span::enter("merge", chain);
     let bounds = out.shards.iter().fold(Bounds::default(), |mut b, s| {
         b.merge(s.bounds);
         b
     });
-    let info = chain_stream_info(bounds, &out, opts);
+    let info = chain_stream_info(chain, bounds, &out, opts);
     let mut it = out.shards.into_iter();
     let mut sweep = it.next().expect("at least one shard").sweep;
     for other in it {
@@ -732,10 +753,31 @@ impl XrpShardAcc {
 }
 
 fn chain_stream_info<A>(
+    chain: &'static str,
     bounds: Bounds,
     outcome: &IngestOutcome<A>,
     opts: &CrawlOptions,
 ) -> ChainStreamInfo {
+    // Export each shard channel's end-of-stream gauges to the registry so
+    // backpressure is visible on `/metrics` even after the pool is gone.
+    let registry = txstat_telemetry::registry();
+    for (shard, g) in outcome.gauges.iter().enumerate() {
+        let shard = shard.to_string();
+        registry
+            .gauge_with(
+                "txstat_ingest_channel_high_water",
+                "Peak blocks buffered in one shard channel",
+                &[("chain", chain), ("shard", &shard)],
+            )
+            .set(g.high_water);
+        registry
+            .gauge_with(
+                "txstat_ingest_channel_blocked_sends",
+                "Producer sends that parked on a full shard channel",
+                &[("chain", chain), ("shard", &shard)],
+            )
+            .set(g.blocked_sends);
+    }
     ChainStreamInfo {
         first: bounds.first,
         last: bounds.last,
@@ -744,6 +786,7 @@ fn chain_stream_info<A>(
         streamed_blocks: outcome.total_observed(),
         peak_buffered: outcome.peak_buffered(),
         blocked_sends: outcome.gauges.iter().map(|g| g.blocked_sends).sum(),
+        gauges: outcome.gauges.clone(),
     }
 }
 
@@ -765,7 +808,7 @@ pub async fn generate_with_crawl_streamed(
     // workers intern and batch each block as it arrives; the reducer merges
     // the per-shard interned states and finalizes once.
     let (eos_sink, eos_pool): (Sink<txstat_eos::Block>, _) = spawn_sharded(
-        opts.ingest(),
+        opts.ingest_for("eos"),
         move || SweepShardAcc { sweep: EosColumnar::new(period), bounds: Bounds::default() },
         |acc: &mut SweepShardAcc<EosColumnar>, n, b: &txstat_eos::Block| {
             acc.bounds.record(n, b.time);
@@ -778,6 +821,7 @@ pub async fn generate_with_crawl_streamed(
         let low = served.eos.config.start_block_num;
         let concurrency = opts.concurrency;
         tokio::spawn(async move {
+            let _span = Span::enter("crawl", "eos");
             let head = eos_head(&pool, &cfg).await?;
             let src = EosCrawlSource { pool, cfg, low, high: head, concurrency };
             src.produce(eos_sink).await.map_err(CrawlError::from)
@@ -788,7 +832,7 @@ pub async fn generate_with_crawl_streamed(
     let governance_periods = governance_periods_of(&served.tezos);
     let tz_periods = governance_periods.clone();
     let (tz_sink, tz_pool): (Sink<txstat_tezos::TezosBlock>, _) = spawn_sharded(
-        opts.ingest(),
+        opts.ingest_for("tezos"),
         move || SweepShardAcc {
             sweep: TezosColumnar::new(period, tz_periods.clone()),
             bounds: Bounds::default(),
@@ -804,6 +848,7 @@ pub async fn generate_with_crawl_streamed(
         let low = served.tezos.config.start_level;
         let concurrency = opts.concurrency;
         tokio::spawn(async move {
+            let _span = Span::enter("crawl", "tezos");
             let head = tezos_head(&pool, &cfg).await?;
             let src = TezosCrawlSource { pool, cfg, low, high: head, concurrency };
             src.produce(tz_sink).await.map_err(CrawlError::from)
@@ -815,7 +860,7 @@ pub async fn generate_with_crawl_streamed(
     // that cache.
     let rates_for_obs = rates.clone();
     let (xrp_sink, xrp_shard_pool): (Sink<txstat_xrp::LedgerBlock>, _) = spawn_sharded(
-        opts.ingest(),
+        opts.ingest_for("xrp"),
         move || XrpShardAcc {
             sweep: XrpColumnar::new(period),
             bounds: Bounds::default(),
@@ -834,6 +879,7 @@ pub async fn generate_with_crawl_streamed(
         let concurrency = opts.concurrency;
         let rates = rates.clone();
         tokio::spawn(async move {
+            let _span = Span::enter("crawl", "xrp");
             let head = xrp_head(&pool, &cfg).await?;
             let src = XrpCrawlSource { pool, cfg, low, high: head, concurrency, rates };
             src.produce(xrp_sink).await.map_err(CrawlError::from)
@@ -857,16 +903,17 @@ pub async fn generate_with_crawl_streamed(
     // Reduce: merge the per-shard columnar states in index order, then
     // resolve interned ids once (finalize) into the scalar sweeps the
     // exhibits render from.
-    let (eos_col, eos_info) = reduce_sweep_shards(eos_out, opts, EosColumnar::merge);
+    let (eos_col, eos_info) = reduce_sweep_shards("eos", eos_out, opts, EosColumnar::merge);
     let eos_sweep = eos_col.finalize();
-    let (tz_col, tz_info) = reduce_sweep_shards(tz_out, opts, TezosColumnar::merge);
+    let (tz_col, tz_info) = reduce_sweep_shards("tezos", tz_out, opts, TezosColumnar::merge);
     let tz_sweep = tz_col.finalize();
     let (xrp_sweep, seen_accounts, xrp_info) = {
+        let _span = Span::enter("merge", "xrp");
         let bounds = xrp_out.shards.iter().fold(Bounds::default(), |mut b, s| {
             b.merge(s.bounds);
             b
         });
-        let info = chain_stream_info(bounds, &xrp_out, opts);
+        let info = chain_stream_info("xrp", bounds, &xrp_out, opts);
         let merged = xrp_out.merged(XrpShardAcc::merge);
         (merged.sweep.finalize(), merged.seen, info)
     };

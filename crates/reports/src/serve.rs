@@ -15,12 +15,14 @@ use crate::exhibits::{comparison_section, render_report, SECTIONS};
 use crate::pipeline::PipelineData;
 use std::collections::HashMap;
 use std::str::FromStr;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 use txstat_core::{ChainSweeps, EosColumnar, TezosColumnar, XrpColumnar};
 use txstat_ingest::{Checkpoint, EpochCell};
 use txstat_netsim::http::{HttpRequest, HttpResponse};
 use txstat_netsim::HttpHandler;
+use txstat_telemetry::{Counter, Gauge, Histogram, MetricKind, Registry, Sample, SampleValue, Span};
 
 /// One epoch's immutable serving state: the forked dataset plus the keyed
 /// response cache for everything rendered from it.
@@ -69,16 +71,16 @@ impl ServeSnapshot {
 
     /// Look the path up in this snapshot's cache, rendering and inserting
     /// on miss. `None` = not a renderable route (404, never cached).
-    fn get(&self, path: &str, hits: &AtomicU64, misses: &AtomicU64) -> Option<Arc<Vec<u8>>> {
+    fn get(&self, path: &str, hits: &Counter, misses: &Counter) -> Option<Arc<Vec<u8>>> {
         if let Some(body) = self.cache.lock().expect("cache lock").get(path) {
-            hits.fetch_add(1, Ordering::Relaxed);
+            hits.inc();
             return Some(body.clone());
         }
         // Render outside the lock: a concurrent miss on the same path
         // renders twice but both render identical bytes from the immutable
         // snapshot, so last-insert-wins is harmless.
         let body = Arc::new(self.render(path)?);
-        misses.fetch_add(1, Ordering::Relaxed);
+        misses.inc();
         self.cache
             .lock()
             .expect("cache lock")
@@ -166,24 +168,67 @@ impl ServeSnapshot {
 }
 
 /// The query service: routes requests against the currently published
-/// snapshot. Cache hit/miss counters are process-wide (they survive epoch
-/// swaps; the caches themselves do not).
+/// snapshot. Cache hit/miss counters live in the service's metric
+/// registry, so they survive epoch swaps (the caches themselves do not)
+/// but never leak across services — each `new()` gets a private registry,
+/// which is what keeps concurrent tests from seeing each other's traffic.
 pub struct StatsService {
     cell: Arc<EpochCell<ServeSnapshot>>,
-    pub cache_hits: AtomicU64,
-    pub cache_misses: AtomicU64,
+    registry: Arc<Registry>,
+    pub cache_hits: Arc<Counter>,
+    pub cache_misses: Arc<Counter>,
     /// Raised by `POST /admin/shutdown`; the serve loop polls it.
     pub shutdown: AtomicBool,
 }
 
 impl StatsService {
+    /// Service with a private registry — right for tests and embedding.
     pub fn new(cell: Arc<EpochCell<ServeSnapshot>>) -> Self {
-        StatsService {
-            cell,
-            cache_hits: AtomicU64::new(0),
-            cache_misses: AtomicU64::new(0),
-            shutdown: AtomicBool::new(false),
-        }
+        Self::with_registry(cell, Arc::new(Registry::new()))
+    }
+
+    /// Service exporting through `registry`. The serve binary passes the
+    /// process-global registry so `/metrics` also carries the ingest,
+    /// reduce, and epoch families contributed by the follow loop.
+    pub fn with_registry(cell: Arc<EpochCell<ServeSnapshot>>, registry: Arc<Registry>) -> Self {
+        let cache_hits = registry
+            .counter("txstat_serve_cache_hits_total", "Response-cache hits across all epochs");
+        let cache_misses = registry.counter(
+            "txstat_serve_cache_misses_total",
+            "Response-cache misses (responses rendered from the snapshot)",
+        );
+        // Epoch number, head flag, and cache size are properties of the
+        // *currently published* snapshot, not monotone counters: a gather-
+        // time collector reads them off the cell instead of mirroring them
+        // into instruments that could lag a swap.
+        let watched = cell.clone();
+        registry.register_collector(move |out| {
+            let snap = watched.load();
+            let gauge = |name: &str, help: &str, v: u64| Sample {
+                name: name.to_string(),
+                help: help.to_string(),
+                kind: MetricKind::Gauge,
+                labels: Vec::new(),
+                value: SampleValue::Int(v),
+            };
+            out.push(gauge("txstat_epoch_current", "Currently published serve epoch", snap.epoch()));
+            out.push(gauge(
+                "txstat_epoch_at_head",
+                "1 once the follow loop has reached the chain heads",
+                snap.head() as u64,
+            ));
+            out.push(gauge(
+                "txstat_serve_cached_responses",
+                "Responses cached in the live snapshot",
+                snap.cached_responses() as u64,
+            ));
+        });
+        StatsService { cell, registry, cache_hits, cache_misses, shutdown: AtomicBool::new(false) }
+    }
+
+    /// The registry this service exports through (`/metrics`, `/statusz`).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     pub fn snapshot(&self) -> Arc<ServeSnapshot> {
@@ -198,10 +243,47 @@ impl StatsService {
         let body = serde_json::json!({
             "error": "not found",
             "path": path,
-            "routes": ["/report", "/exhibit/<name>", "/account/<chain>/<name>", "/healthz"],
+            "routes": ["/report", "/exhibit/<name>", "/account/<chain>/<name>",
+                       "/healthz", "/metrics", "/statusz"],
         });
         let bytes = serde_json::to_vec(&body).unwrap_or_default();
         HttpResponse::status(404, "Not Found", bytes)
+    }
+
+    /// `/statusz`: the JSON observability snapshot — epoch/cache headline
+    /// numbers plus the full registry snapshot and (when the dataset came
+    /// off the streamed path) the per-chain backpressure summary.
+    fn statusz(&self, snap: &ServeSnapshot) -> serde_json::Value {
+        let mut body = serde_json::json!({
+            "epoch": snap.epoch(),
+            "head": snap.head(),
+            "cache_hits": self.cache_hits.get(),
+            "cache_misses": self.cache_misses.get(),
+            "cached_responses": snap.cached_responses(),
+            "metrics": self.registry.snapshot_json(),
+        });
+        if let Some(stream) = &snap.data().stream {
+            let chain = |info: &crate::pipeline::ChainStreamInfo| {
+                serde_json::json!({
+                    "shards": info.shards,
+                    "channel_capacity": info.channel_capacity,
+                    "streamed_blocks": info.streamed_blocks,
+                    "peak_buffered": info.peak_buffered,
+                    "blocked_sends": info.blocked_sends,
+                })
+            };
+            if let serde_json::Value::Object(map) = &mut body {
+                map.insert(
+                    "stream".to_string(),
+                    serde_json::json!({
+                        "eos": chain(&stream.eos),
+                        "tezos": chain(&stream.tezos),
+                        "xrp": chain(&stream.xrp),
+                    }),
+                );
+            }
+        }
+        body
     }
 
     /// Answer one request. Every response is computed against exactly one
@@ -214,10 +296,18 @@ impl StatsService {
                 let body = serde_json::json!({
                     "epoch": snap.epoch(),
                     "head": snap.head(),
-                    "cache_hits": self.cache_hits.load(Ordering::Relaxed),
-                    "cache_misses": self.cache_misses.load(Ordering::Relaxed),
+                    "cache_hits": self.cache_hits.get(),
+                    "cache_misses": self.cache_misses.get(),
                     "cached_responses": snap.cached_responses(),
                 });
+                HttpResponse::ok(serde_json::to_vec(&body).unwrap_or_default())
+            }
+            // Exposition routes render live registry state, never cached.
+            ("GET", "/metrics") => {
+                HttpResponse::ok(self.registry.render_prometheus().into_bytes())
+            }
+            ("GET", "/statusz") => {
+                let body = self.statusz(&snap);
                 HttpResponse::ok(serde_json::to_vec(&body).unwrap_or_default())
             }
             ("POST", "/admin/shutdown") => {
@@ -243,6 +333,57 @@ impl HttpHandler for StatsService {
 
 // ---- Follow-driven epoch production -----------------------------------------
 
+/// Registry handles the follow loop updates every [`EpochFollower::advance`].
+/// These are the ingest / reduce / epoch metric families of the serve
+/// `/metrics` endpoint.
+struct FollowMetrics {
+    eos_observed: Arc<Counter>,
+    tezos_observed: Arc<Counter>,
+    xrp_observed: Arc<Counter>,
+    merges: Arc<Counter>,
+    merge_us: Arc<Histogram>,
+    published: Arc<Counter>,
+    publish_latency_us: Arc<Histogram>,
+    batch_lag: Arc<Gauge>,
+}
+
+impl FollowMetrics {
+    fn bind(registry: &Registry) -> Self {
+        let observed = |chain: &str| {
+            registry.counter_with(
+                "txstat_ingest_blocks_observed_total",
+                "Blocks observed by the follow loop's checkpoints",
+                &[("chain", chain)],
+            )
+        };
+        FollowMetrics {
+            eos_observed: observed("eos"),
+            tezos_observed: observed("tezos"),
+            xrp_observed: observed("xrp"),
+            merges: registry.counter(
+                "txstat_reduce_follow_merges_total",
+                "Checkpoint shard merges performed by the follow loop",
+            ),
+            merge_us: registry.histogram(
+                "txstat_reduce_merge_us",
+                "Wall time merging checkpoint shards into publishable sweeps",
+            ),
+            published: registry.counter(
+                "txstat_epoch_published_total",
+                "Epoch datasets forked for publication",
+            ),
+            publish_latency_us: registry.histogram(
+                "txstat_epoch_publish_latency_us",
+                "Wall time of one follow advance (observe batch + merge + fork)",
+            ),
+            batch_lag: registry.gauge(
+                "txstat_epoch_batch_lag_blocks",
+                "Blocks between the follow offset and the chain heads",
+            ),
+        }
+    }
+}
+
 /// Replays the chains batch by batch through range-keyed checkpoints
 /// (`Checkpoint::observe_tail` — the already-observed prefix is never
 /// re-swept) and forks one immutable dataset per batch for publication.
@@ -254,6 +395,7 @@ pub struct EpochFollower {
     offset: usize,
     batch: usize,
     total: usize,
+    metrics: Option<FollowMetrics>,
 }
 
 impl EpochFollower {
@@ -289,7 +431,13 @@ impl EpochFollower {
             .len()
             .max(data.tezos_blocks.len())
             .max(data.xrp_blocks.len());
-        EpochFollower { data, eos_cp, tz_cp, xrp_cp, offset: 0, batch, total }
+        EpochFollower { data, eos_cp, tz_cp, xrp_cp, offset: 0, batch, total, metrics: None }
+    }
+
+    /// Export follow-loop progress through `registry`: per-chain observed
+    /// block counters, merge count/latency, and epoch publication metrics.
+    pub fn bind_metrics(&mut self, registry: &Registry) {
+        self.metrics = Some(FollowMetrics::bind(registry));
     }
 
     /// The base dataset the follower replays (full chains, no sweeps).
@@ -311,6 +459,9 @@ impl EpochFollower {
     /// new coverage. The fork shares every heavy input with the base by
     /// `Arc`; only the installed sweeps differ.
     pub fn advance(&mut self) -> Result<PipelineData, String> {
+        let _span = Span::enter("follow_advance", "");
+        let started = Instant::now();
+        let before = self.observed();
         let hi = (self.offset + self.batch).min(self.total);
         let take = |n: usize| self.offset.min(n)..hi.min(n);
         let data = &self.data;
@@ -333,11 +484,26 @@ impl EpochFollower {
             )
             .map_err(|e| e.to_string())?;
         self.offset = hi;
-        let sweeps = ChainSweeps {
-            eos: self.eos_cp.merged(|a, b| a.merge(b)).finalize(),
-            tezos: self.tz_cp.merged(|a, b| a.merge(b)).finalize(),
-            xrp: self.xrp_cp.merged(|a, b| a.merge(b)).finalize(),
+        let merge_started = Instant::now();
+        let sweeps = {
+            let _span = Span::enter("follow_merge", "");
+            ChainSweeps {
+                eos: self.eos_cp.merged(|a, b| a.merge(b)).finalize(),
+                tezos: self.tz_cp.merged(|a, b| a.merge(b)).finalize(),
+                xrp: self.xrp_cp.merged(|a, b| a.merge(b)).finalize(),
+            }
         };
+        if let Some(m) = &self.metrics {
+            let after = self.observed();
+            m.eos_observed.add(after.0 - before.0);
+            m.tezos_observed.add(after.1 - before.1);
+            m.xrp_observed.add(after.2 - before.2);
+            m.merges.inc();
+            m.merge_us.record(merge_started.elapsed());
+            m.published.inc();
+            m.publish_latency_us.record(started.elapsed());
+            m.batch_lag.set((self.total - self.offset) as u64);
+        }
         Ok(self.data.fork_with_sweeps(sweeps))
     }
 }

@@ -7,6 +7,8 @@
 //! - [`types`] — shared primitives (time, amounts, stats, LZSS, tables)
 //! - [`eos`], [`tezos`], [`xrp`] — the three ledger simulators
 //! - [`workload`] — the agent-based scenario engine (paper preset)
+//! - [`telemetry`] — lock-free metrics registry, stage tracer, and
+//!   Prometheus/JSON exposition
 //! - [`netsim`], [`crawler`] — RPC substrate and measurement crawler
 //! - [`ingest`] — streaming crawl-to-accumulator ingestion and the
 //!   distributed [`ingest::ReduceSession`]
@@ -20,6 +22,7 @@ pub use txstat_ingest as ingest;
 pub use txstat_eos as eos;
 pub use txstat_netsim as netsim;
 pub use txstat_reports as reports;
+pub use txstat_telemetry as telemetry;
 pub use txstat_tezos as tezos;
 pub use txstat_types as types;
 pub use txstat_wire as wire;

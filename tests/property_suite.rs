@@ -882,7 +882,7 @@ mod fused {
     {
         use txstat::ingest::{spawn_sharded, BlockSource, IngestOptions, MemorySource};
         tokio::runtime::block_on(async move {
-            let opts = IngestOptions { shards, channel_capacity: capacity };
+            let opts = IngestOptions { shards, channel_capacity: capacity, label: "" };
             let (sink, pool) = spawn_sharded(opts, identity, observe);
             let producer = tokio::spawn(MemorySource::new(blocks).produce(sink));
             let out = pool.finish().await;

@@ -136,8 +136,8 @@ fn response_cache_is_invalidated_by_epoch_swap() {
     let a1 = service.respond("GET", "/exhibit/headline");
     let a2 = service.respond("GET", "/exhibit/headline");
     assert_eq!(a1.body, a2.body);
-    assert_eq!(service.cache_misses.load(Ordering::Relaxed), 1, "first read renders");
-    assert_eq!(service.cache_hits.load(Ordering::Relaxed), 1, "second read is cached");
+    assert_eq!(service.cache_misses.get(), 1, "first read renders");
+    assert_eq!(service.cache_hits.get(), 1, "second read is cached");
     assert_eq!(service.snapshot().cached_responses(), 1);
 
     let second = follower.advance().expect("second epoch");
@@ -147,7 +147,7 @@ fn response_cache_is_invalidated_by_epoch_swap() {
     // the new epoch's (different) statistics.
     assert_eq!(service.snapshot().cached_responses(), 0, "swap empties the cache");
     let b1 = service.respond("GET", "/exhibit/headline");
-    assert_eq!(service.cache_misses.load(Ordering::Relaxed), 2);
+    assert_eq!(service.cache_misses.get(), 2);
     assert_ne!(a1.body, b1.body, "new epoch must serve new statistics");
 }
 
@@ -179,8 +179,68 @@ fn admission_sheds_excess_load_with_429s_and_keeps_serving() {
         assert!(report.shed > 0, "load above the rate must shed: {report:?}");
         assert!(report.ok > 0, "server must keep serving under overload: {report:?}");
         assert_eq!(report.sent, report.ok + report.shed);
-        assert_eq!(server.routes.exhibit.shed.load(Ordering::Relaxed), report.shed);
+        assert_eq!(server.routes.exhibit.shed.get(), report.shed);
         // Only admitted requests are timed into the latency histogram.
         assert_eq!(server.routes.exhibit.latency.total(), report.ok);
     });
+}
+
+#[test]
+fn metrics_and_statusz_expose_every_layer() {
+    use txstat::telemetry::Registry;
+
+    let sc = Scenario::small(11);
+    let data = generate(&sc);
+    let total = data.eos_blocks.len().max(data.tezos_blocks.len()).max(data.xrp_blocks.len());
+    let registry = Arc::new(Registry::new());
+    let mut follower = EpochFollower::new(data, total.div_ceil(2).max(1), 2);
+    follower.bind_metrics(&registry);
+    let first = follower.advance().expect("first epoch");
+    let cell = Arc::new(EpochCell::new(Arc::new(ServeSnapshot::new(1, follower.head(), first))));
+    let service = StatsService::with_registry(cell, registry);
+
+    // Render something so the cache counters move.
+    assert_eq!(service.respond("GET", "/exhibit/headline").status, 200);
+
+    let resp = service.respond("GET", "/metrics");
+    assert_eq!(resp.status, 200);
+    let text = String::from_utf8(resp.body).expect("utf8 exposition");
+    for family in [
+        "txstat_ingest_blocks_observed_total",
+        "txstat_reduce_follow_merges_total",
+        "txstat_epoch_published_total",
+        "txstat_epoch_current",
+        "txstat_serve_cache_hits_total",
+        "txstat_serve_cache_misses_total",
+    ] {
+        assert!(text.contains(family), "missing {family} in:\n{text}");
+    }
+    assert!(text.contains("chain=\"eos\""), "per-chain labels missing:\n{text}");
+    // Prometheus text shape: every family announces HELP and TYPE.
+    assert!(text.contains("# HELP txstat_epoch_published_total"));
+    assert!(text.contains("# TYPE txstat_serve_cache_misses_total counter"));
+
+    let resp = service.respond("GET", "/statusz");
+    assert_eq!(resp.status, 200);
+    let status: serde_json::Value =
+        serde_json::from_str(&String::from_utf8(resp.body).expect("utf8"))
+            .expect("statusz parses as JSON");
+    assert_eq!(status["epoch"].as_u64(), Some(1));
+    assert_eq!(status["cache_misses"].as_u64(), Some(1));
+    assert!(!status["metrics"].is_null(), "statusz carries the registry snapshot");
+}
+
+#[test]
+fn cache_counters_are_isolated_per_service() {
+    // Two services over the same scenario: each `StatsService::new` gets a
+    // private registry, so one service's traffic must never show up in the
+    // other's counters (this used to bleed through process-wide statics).
+    let (a, _cell_a) = service_over(generate(&Scenario::small(3)), true);
+    let (b, _cell_b) = service_over(generate(&Scenario::small(3)), true);
+    a.respond("GET", "/exhibit/headline");
+    a.respond("GET", "/exhibit/headline");
+    assert_eq!(a.cache_misses.get(), 1);
+    assert_eq!(a.cache_hits.get(), 1);
+    assert_eq!(b.cache_misses.get(), 0, "service B saw no traffic");
+    assert_eq!(b.cache_hits.get(), 0);
 }

@@ -1,0 +1,116 @@
+//! `fleet/` benches: the fault-tolerant socket fleet's reduction path.
+//!
+//! Three arms over real loopback sockets: a clean 3-worker fleet (the
+//! transport + scheduling tax over an in-process sweep), the same fleet
+//! behind `ChaosProfile::flaky` proxies (what the retry/backoff machinery
+//! costs when 5% of connections die), and a fleet with one permanently
+//! dead address (what straggler re-dispatch costs per reduction). All
+//! arms reduce the whole bench scenario end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::net::TcpListener;
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+use txstat_bench::bench_scenario;
+use txstat_ingest::{reduce_fleet, serve_assignments, FleetConfig};
+use txstat_netsim::{spawn_chaos_proxy, ChaosProfile};
+use txstat_reports::{scenario_meta, ShardContext};
+use txstat_wire::PayloadFormat;
+
+/// Worker-side chain state, shared by every in-process worker thread.
+fn ctx() -> &'static Arc<ShardContext> {
+    static CTX: OnceLock<Arc<ShardContext>> = OnceLock::new();
+    CTX.get_or_init(|| Arc::new(ShardContext::new(&bench_scenario())))
+}
+
+/// One real socket worker on an ephemeral port, accept loop detached.
+fn spawn_worker() -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind worker");
+    let addr = listener.local_addr().expect("worker addr").to_string();
+    let ctx = Arc::clone(ctx());
+    std::thread::spawn(move || {
+        let _ = serve_assignments(&listener, None, Duration::from_millis(2_000), |a| {
+            Ok(ctx.frames(a.meta.clone(), a.start, a.end, a.shards, a.payload))
+        });
+    });
+    addr
+}
+
+/// An address that refuses every connection: bound once, then dropped.
+fn dead_addr() -> String {
+    let l = TcpListener::bind("127.0.0.1:0").expect("bind dead");
+    l.local_addr().expect("dead addr").to_string()
+}
+
+fn fleet(c: &mut Criterion) {
+    let total = ctx().total_blocks();
+    let meta = scenario_meta(&bench_scenario(), "bench");
+    let workers: Vec<String> = (0..3).map(|_| spawn_worker()).collect();
+
+    let mut g = c.benchmark_group("fleet");
+    g.sample_size(10);
+
+    g.bench_function("reduce_3workers_clean", |b| {
+        let mut cfg = FleetConfig::new(workers.clone());
+        cfg.chunks = 6;
+        cfg.backoff_ms = 1;
+        b.iter(|| {
+            black_box(
+                reduce_fleet(&cfg, total, 2, PayloadFormat::Bin, meta.clone())
+                    .expect("clean fleet must converge"),
+            )
+        })
+    });
+
+    g.bench_function("reduce_3workers_flaky_proxy", |b| {
+        let proxies: Vec<_> = workers
+            .iter()
+            .enumerate()
+            .map(|(w, upstream)| {
+                spawn_chaos_proxy(
+                    "127.0.0.1:0",
+                    upstream.clone(),
+                    ChaosProfile::flaky(&format!("bench-w{w}"), 0xBEEF + w as u64),
+                )
+                .expect("spawn chaos proxy")
+            })
+            .collect();
+        let mut cfg = FleetConfig::new(proxies.iter().map(|p| p.addr.to_string()).collect());
+        cfg.chunks = 6;
+        cfg.retries = 6;
+        cfg.backoff_ms = 1;
+        b.iter(|| {
+            black_box(
+                reduce_fleet(&cfg, total, 2, PayloadFormat::Bin, meta.clone())
+                    .expect("flaky fleet must still converge"),
+            )
+        });
+        for p in proxies {
+            p.stop();
+        }
+    });
+
+    g.bench_function("reduce_3workers_one_dead", |b| {
+        // Two live workers plus a refused port: every reduction burns the
+        // dead worker's retry budget and re-dispatches its leases, so the
+        // arm prices straggler recovery, not just transport.
+        let mut addrs = vec![workers[0].clone(), workers[1].clone()];
+        addrs.push(dead_addr());
+        let mut cfg = FleetConfig::new(addrs);
+        cfg.chunks = 6;
+        cfg.retries = 1;
+        cfg.backoff_ms = 1;
+        b.iter(|| {
+            black_box(
+                reduce_fleet(&cfg, total, 2, PayloadFormat::Bin, meta.clone())
+                    .expect("survivors must absorb the dead worker's range"),
+            )
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, fleet);
+criterion_main!(benches);

@@ -148,9 +148,16 @@ fn dispersion_rows(
         .into_iter()
         .map(|(sender, sent_count)| {
             let recv = per_receiver.get(&sender).cloned().unwrap_or_default();
+            // Fold the per-receiver counts in sorted order: HashMap
+            // iteration order varies per instance, and a float fold over
+            // a varying order can flip the rounded mean/stdev between two
+            // otherwise-identical accumulations (direct sweep vs merged
+            // shards).
+            let mut counts: Vec<u64> = recv.iter().map(|(_, c)| *c).collect();
+            counts.sort_unstable();
             let mut stats = RunningStats::new();
-            for (_, c) in recv.iter() {
-                stats.push(*c as f64);
+            for c in counts {
+                stats.push(c as f64);
             }
             SenderDispersion {
                 sender,

@@ -23,6 +23,13 @@
 //! hex-embedded in the JSON envelope — decoding a month-scale checkpoint
 //! is column reads, not a JSON value-tree walk, and the shard payload is
 //! byte-identical to what the same accumulator ships in a v2 wire frame.
+//!
+//! Schema v4 adds per-range content marks ([`RangeMark`]): after each
+//! observed batch the follower seals a mark recording the batch's high
+//! block, block count, and a chained content hash over the blocks it
+//! covered. A later pass over the (possibly reorged) chain can then find
+//! the exact mark where history diverged — a mismatched mark invalidates
+//! only the checkpoint's suffix, not the whole sweep.
 
 use crate::shard::IngestOutcome;
 use crate::IngestError;
@@ -33,9 +40,24 @@ use txstat_types::ids::fnv1a64;
 
 /// Schema version of the serialized checkpoint layout. v1 had no version
 /// discipline beyond a constant; v2 added the content hash and canonical
-/// JSON shard trees; v3 switches shard content to hex-embedded binary
-/// column sections. Anything else is rejected.
-pub const CHECKPOINT_SCHEMA_VERSION: u64 = 3;
+/// JSON shard trees; v3 switched shard content to hex-embedded binary
+/// column sections; v4 adds the per-range content marks. Anything else is
+/// rejected.
+pub const CHECKPOINT_SCHEMA_VERSION: u64 = 4;
+
+/// One sealed observation range: the batch's high block number, how many
+/// blocks it covered, and a chained content hash over those blocks. Marks
+/// accumulate in observation order, so comparing them against a chain's
+/// current content locates the first reorged range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RangeMark {
+    /// Highest block number observed when the mark was sealed.
+    pub high: u64,
+    /// Blocks covered by this mark (since the previous mark).
+    pub blocks: u64,
+    /// Content hash over the covered blocks, in observation order.
+    pub hash: u64,
+}
 
 /// Frozen sharded sweep state over the inclusive block range `[low, high]`.
 #[derive(Debug, Clone, PartialEq)]
@@ -48,12 +70,42 @@ pub struct Checkpoint<A> {
     /// Inclusive observed block range.
     pub low: u64,
     pub high: u64,
+    /// Sealed per-range content marks, in observation order (empty unless
+    /// the owner seals them — see [`Checkpoint::seal_mark`]).
+    pub marks: Vec<RangeMark>,
 }
 
 impl<A> Checkpoint<A> {
+    /// An empty checkpoint poised to observe from block `low` upward: no
+    /// marks, zero counts, `high` one below `low` so the first tail block
+    /// at `low` clears the high-water check.
+    pub fn new(shards: Vec<A>, low: u64) -> Self {
+        let counts = vec![0u64; shards.len()];
+        Checkpoint { shards, counts, low, high: low.saturating_sub(1), marks: Vec::new() }
+    }
+
     /// Freeze an ingestion outcome over the range it streamed.
     pub fn from_outcome(outcome: IngestOutcome<A>, low: u64, high: u64) -> Self {
-        Checkpoint { counts: outcome.observed.clone(), shards: outcome.shards, low, high }
+        Checkpoint {
+            counts: outcome.observed.clone(),
+            shards: outcome.shards,
+            low,
+            high,
+            marks: Vec::new(),
+        }
+    }
+
+    /// Seal everything observed since the last mark under `hash` (the
+    /// caller computes it over the covered blocks' content). No-op when
+    /// nothing new was observed — empty marks would be indistinguishable
+    /// from each other during divergence search.
+    pub fn seal_mark(&mut self, hash: u64) {
+        let marked: u64 = self.marks.iter().map(|m| m.blocks).sum();
+        let blocks = self.observed() - marked;
+        if blocks == 0 {
+            return;
+        }
+        self.marks.push(RangeMark { high: self.high, blocks, hash });
     }
 
     /// The cache key: range plus shard layout (a checkpoint with a
@@ -116,13 +168,38 @@ impl<A> Checkpoint<A> {
 /// The content hash over the payload fields, computed incrementally in a
 /// fixed field order (no composite value is materialized: the shard state
 /// tree can be month-scale).
-fn payload_hash(low: u64, high: u64, counts: &Value, shards: &Value) -> u64 {
+fn payload_hash(low: u64, high: u64, counts: &Value, shards: &Value, marks: &Value) -> u64 {
     use txstat_types::ids::fnv1a64_extend;
     let mut h = fnv1a64(&low.to_le_bytes());
     h = fnv1a64_extend(h, &high.to_le_bytes());
     let text = |v: &Value| serde_json::to_string(v).expect("payload field serializes");
     h = fnv1a64_extend(h, text(counts).as_bytes());
-    fnv1a64_extend(h, text(shards).as_bytes())
+    h = fnv1a64_extend(h, text(shards).as_bytes());
+    fnv1a64_extend(h, text(marks).as_bytes())
+}
+
+fn marks_to_value(marks: &[RangeMark]) -> Value {
+    Value::Array(
+        marks
+            .iter()
+            .map(|m| json!([m.high, m.blocks, m.hash]))
+            .collect(),
+    )
+}
+
+fn marks_from_value(v: &Value) -> Result<Vec<RangeMark>, IngestError> {
+    let bad = |m: &str| IngestError::Checkpoint(m.to_owned());
+    v.as_array()
+        .ok_or_else(|| bad("marks must be an array"))?
+        .iter()
+        .map(|m| {
+            let triple = m.as_array().filter(|a| a.len() == 3).ok_or_else(|| {
+                bad("each mark must be a [high, blocks, hash] triple")
+            })?;
+            let u = |i: usize| triple[i].as_u64().ok_or_else(|| bad("non-integer mark field"));
+            Ok(RangeMark { high: u(0)?, blocks: u(1)?, hash: u(2)? })
+        })
+        .collect()
 }
 
 impl<A: WireState> Checkpoint<A> {
@@ -137,13 +214,15 @@ impl<A: WireState> Checkpoint<A> {
                 .map(|s| Value::String(colcodec::to_hex(&s.to_wire_bytes())))
                 .collect(),
         );
+        let marks = marks_to_value(&self.marks);
         json!({
             "schema_version": CHECKPOINT_SCHEMA_VERSION,
-            "content_hash": payload_hash(self.low, self.high, &counts, &shards),
+            "content_hash": payload_hash(self.low, self.high, &counts, &shards, &marks),
             "low": self.low,
             "high": self.high,
             "counts": counts,
             "shards": shards,
+            "marks": marks,
         })
     }
 
@@ -170,8 +249,9 @@ impl<A: WireState> Checkpoint<A> {
         let high = v.get("high").and_then(Value::as_u64).ok_or_else(|| bad("missing high"))?;
         let raw_counts = v.get("counts").ok_or_else(|| bad("missing counts"))?;
         let raw_shards = v.get("shards").ok_or_else(|| bad("missing shards"))?;
+        let raw_marks = v.get("marks").ok_or_else(|| bad("missing marks"))?;
         // Verify the payload hash before interpreting any shard state.
-        let computed = payload_hash(low, high, raw_counts, raw_shards);
+        let computed = payload_hash(low, high, raw_counts, raw_shards, raw_marks);
         if computed != recorded {
             return Err(IngestError::CheckpointCorrupt { expected: recorded, found: computed });
         }
@@ -195,7 +275,8 @@ impl<A: WireState> Checkpoint<A> {
         if shards.is_empty() || shards.len() != counts.len() {
             return Err(bad("shard/count arity mismatch"));
         }
-        Ok(Checkpoint { shards, counts, low, high })
+        let marks = marks_from_value(raw_marks)?;
+        Ok(Checkpoint { shards, counts, low, high, marks })
     }
 }
 
@@ -260,12 +341,7 @@ mod tests {
     fn fold_range(range: std::ops::RangeInclusive<u64>, shards: usize) -> Checkpoint<MiniAcc> {
         let low = *range.start();
         assert!(low >= 1, "test helper uses low-1 as the empty high-water mark");
-        let mut cp = Checkpoint {
-            shards: vec![MiniAcc::identity(); shards],
-            counts: vec![0; shards],
-            low,
-            high: low - 1,
-        };
+        let mut cp = Checkpoint::new(vec![MiniAcc::identity(); shards], low);
         cp.observe_tail(range.map(|n| (n, n * 7 % 13)), |a, n, w| a.observe(n, w))
             .expect("ascending tail");
         cp
@@ -273,12 +349,32 @@ mod tests {
 
     #[test]
     fn serialization_round_trips() {
-        let cp = fold_range(10..=99, 3);
+        let mut cp = fold_range(10..=99, 3);
+        cp.seal_mark(0xfeed);
         let v = cp.to_json();
         let back: Checkpoint<MiniAcc> = Checkpoint::from_json(&v).expect("valid checkpoint");
         assert_eq!(back, cp);
         assert_eq!(back.range_key(), "10..=99/3");
         assert_eq!(back.observed(), 90);
+        assert_eq!(back.marks, vec![RangeMark { high: 99, blocks: 90, hash: 0xfeed }]);
+    }
+
+    #[test]
+    fn marks_seal_incrementally_and_skip_empty_ranges() {
+        let mut cp = fold_range(1..=10, 2);
+        cp.seal_mark(111);
+        // Nothing new observed: sealing again must not create an empty mark.
+        cp.seal_mark(222);
+        cp.observe_tail((11..=25).map(|n| (n, n)), |a, n, w| a.observe(n, w))
+            .expect("tail extends");
+        cp.seal_mark(333);
+        assert_eq!(
+            cp.marks,
+            vec![
+                RangeMark { high: 10, blocks: 10, hash: 111 },
+                RangeMark { high: 25, blocks: 15, hash: 333 },
+            ]
+        );
     }
 
     #[test]
@@ -369,12 +465,7 @@ mod tests {
 
     #[test]
     fn checkpoint_serializes_interner_state() {
-        let mut cp = Checkpoint {
-            shards: vec![InternedAcc::identity(); 3],
-            counts: vec![0; 3],
-            low: 1,
-            high: 0,
-        };
+        let mut cp = Checkpoint::new(vec![InternedAcc::identity(); 3], 1);
         // Keys collide across shards on purpose: each shard's interner
         // assigns its own ids.
         cp.observe_tail((1u64..=60).map(|n| (n, n % 7)), |a, _n, k| a.observe(k))
@@ -428,13 +519,21 @@ mod tests {
             Err(IngestError::CheckpointSchema { found: Some(1), expected: CHECKPOINT_SCHEMA_VERSION })
         ));
         // A v2-era checkpoint (canonical-JSON shard trees) is a typed
-        // rejection too — its shard content is unreadable to the v3
+        // rejection too — its shard content is unreadable to the
         // binary-column path.
         let v = json!({"schema_version": 2, "content_hash": 0, "low": 1, "high": 3,
             "counts": [3], "shards": [{"blocks": 3, "weight": 0, "buckets": [0, 0, 0, 0]}]});
         assert!(matches!(
             Checkpoint::<MiniAcc>::from_json(&v),
             Err(IngestError::CheckpointSchema { found: Some(2), .. })
+        ));
+        // A v3-era checkpoint (binary shards but no range marks) is schema
+        // skew as well: v4's content hash covers the mark list.
+        let v = json!({"schema_version": 3, "content_hash": 0, "low": 1, "high": 3,
+            "counts": [3], "shards": ["00"]});
+        assert!(matches!(
+            Checkpoint::<MiniAcc>::from_json(&v),
+            Err(IngestError::CheckpointSchema { found: Some(3), .. })
         ));
         // A future schema is rejected the same way.
         let mut v = fold_range(1..=9, 2).to_json();

@@ -1,0 +1,306 @@
+//! Reorg-safe chain following on top of range-marked checkpoints.
+//!
+//! [`ChainFollow`] wraps a [`Checkpoint`] with the bookkeeping `follow`
+//! mode needs to survive a chain reorganization: after every observed
+//! batch it seals a [`RangeMark`] (a chained content hash over the batch's
+//! blocks) and snapshots the checkpoint into a bounded ring. When the
+//! upstream chain is re-read — [`ChainFollow::resync`] — the marks are
+//! re-verified positionally against the chain's *current* content; the
+//! first mismatching mark locates the divergence point, and the follower
+//! rolls back to the newest snapshot whose marks all still agree. Only the
+//! invalidated suffix is re-swept; if the divergence is deeper than the
+//! snapshot window, the follower rebuilds from its initial (empty) state,
+//! which is the same as a from-scratch sweep.
+//!
+//! Rollback activity is exported through the process-global telemetry
+//! registry as `txstat_follow_rollbacks_total`,
+//! `txstat_follow_marks_invalidated_total`, and
+//! `txstat_follow_rebuilds_total`, all labeled by chain.
+
+use crate::checkpoint::Checkpoint;
+use crate::IngestError;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use txstat_telemetry::{registry, Counter};
+use txstat_types::ids::{fnv1a64, fnv1a64_extend};
+
+/// Default number of post-batch snapshots retained for rollback. A reorg
+/// touching at most the last `window` batches rolls back surgically;
+/// anything deeper falls back to a full rebuild.
+pub const DEFAULT_SNAPSHOT_WINDOW: usize = 8;
+
+/// Chained content hash over a batch of blocks, in observation order.
+/// This is what a [`RangeMark`] seals and what [`ChainFollow::resync`]
+/// recomputes against the current chain content.
+///
+/// [`RangeMark`]: crate::checkpoint::RangeMark
+pub fn range_hash<B>(blocks: &[B], hash_block: impl Fn(&B) -> u64) -> u64 {
+    let mut h = fnv1a64(b"range");
+    for b in blocks {
+        h = fnv1a64_extend(h, &hash_block(b).to_le_bytes());
+    }
+    h
+}
+
+/// Outcome of a [`ChainFollow::resync`] pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Resync {
+    /// Sealed marks that still match the chain's current content.
+    pub agreed: usize,
+    /// Sealed marks invalidated by the divergence (0 = no reorg seen).
+    pub invalidated: usize,
+    /// True when the divergence was deeper than the snapshot window and
+    /// the follower reset to its initial state (full re-sweep ahead).
+    pub rebuilt: bool,
+    /// Blocks already covered after the rollback; the caller resumes
+    /// observation at `blocks[resume..]` of the current chain.
+    pub resume: u64,
+}
+
+/// A checkpointed follower for one chain: seals a content mark per batch,
+/// keeps a bounded snapshot ring, and rolls back to the last agreeing
+/// mark when the chain's history changes under it.
+pub struct ChainFollow<A> {
+    chain: String,
+    initial: Checkpoint<A>,
+    cp: Checkpoint<A>,
+    snapshots: VecDeque<Checkpoint<A>>,
+    window: usize,
+    rollbacks: Arc<Counter>,
+    invalidated: Arc<Counter>,
+    rebuilds: Arc<Counter>,
+}
+
+/// Eagerly register the follow metric families for the standard chains so
+/// they render from `/metrics` (at zero) before any follower runs.
+pub fn register_metrics() {
+    for chain in ["eos", "tezos", "xrp"] {
+        for (name, help) in FAMILIES {
+            registry().counter_with(name, help, &[("chain", chain)]).add(0);
+        }
+    }
+}
+
+const FAMILIES: [(&str, &str); 3] = [
+    ("txstat_follow_rollbacks_total", "Reorg rollbacks performed by follow resync"),
+    (
+        "txstat_follow_marks_invalidated_total",
+        "Sealed range marks invalidated by chain divergence",
+    ),
+    (
+        "txstat_follow_rebuilds_total",
+        "Follow resyncs that reset to the initial state (reorg deeper than the snapshot window)",
+    ),
+];
+
+impl<A: Clone> ChainFollow<A> {
+    /// Start following from `cp` (typically [`Checkpoint::new`] at the
+    /// chain's first block), retaining up to `window` rollback snapshots.
+    pub fn new(chain: &str, cp: Checkpoint<A>, window: usize) -> Self {
+        let labels = &[("chain", chain)][..];
+        let reg = registry();
+        let ctr = |i: usize| reg.counter_with(FAMILIES[i].0, FAMILIES[i].1, labels);
+        ChainFollow {
+            chain: chain.to_owned(),
+            initial: cp.clone(),
+            cp,
+            snapshots: VecDeque::new(),
+            window: window.max(1),
+            rollbacks: ctr(0),
+            invalidated: ctr(1),
+            rebuilds: ctr(2),
+        }
+    }
+
+    /// The chain label this follower reports under.
+    pub fn chain(&self) -> &str {
+        &self.chain
+    }
+
+    /// The live checkpoint (read-only; mutate only through `advance`).
+    pub fn checkpoint(&self) -> &Checkpoint<A> {
+        &self.cp
+    }
+
+    /// Blocks observed so far — the positional resume point into the
+    /// chain's block vector.
+    pub fn observed(&self) -> u64 {
+        self.cp.observed()
+    }
+
+    /// Observe one batch: fold `slice` into the checkpoint, seal a content
+    /// mark over it, and snapshot for rollback. An empty slice is a no-op.
+    /// On error the checkpoint is restored from the newest snapshot (a
+    /// partially-absorbed batch would otherwise poison it).
+    pub fn advance<B>(
+        &mut self,
+        slice: &[B],
+        num: impl Fn(&B) -> u64,
+        observe: impl Fn(&mut A, u64, &B),
+        hash_block: impl Fn(&B) -> u64,
+    ) -> Result<u64, IngestError> {
+        let appended = match self
+            .cp
+            .observe_tail(slice.iter().map(|b| (num(b), b)), |a, n, b| observe(a, n, b))
+        {
+            Ok(n) => n,
+            Err(e) => {
+                self.cp =
+                    self.snapshots.back().cloned().unwrap_or_else(|| self.initial.clone());
+                return Err(e);
+            }
+        };
+        if appended > 0 {
+            self.cp.seal_mark(range_hash(slice, hash_block));
+            self.snapshots.push_back(self.cp.clone());
+            while self.snapshots.len() > self.window {
+                self.snapshots.pop_front();
+            }
+        }
+        Ok(appended)
+    }
+
+    /// Re-verify the sealed marks against the chain's current content and
+    /// roll back past any divergence. `blocks` is the full current chain
+    /// in observation order, starting at the same origin the follower
+    /// started from; each mark covers the next `mark.blocks` positions.
+    ///
+    /// Returns where to resume: `blocks[resume..]` is the unswept suffix.
+    pub fn resync<B>(&mut self, blocks: &[B], hash_block: impl Fn(&B) -> u64) -> Resync {
+        let mut cursor = 0usize;
+        let mut agreed = 0usize;
+        for m in &self.cp.marks {
+            let end = cursor + m.blocks as usize;
+            if end > blocks.len() || range_hash(&blocks[cursor..end], &hash_block) != m.hash {
+                break;
+            }
+            agreed += 1;
+            cursor = end;
+        }
+        let invalidated = self.cp.marks.len() - agreed;
+        if invalidated == 0 {
+            return Resync { agreed, invalidated: 0, rebuilt: false, resume: self.cp.observed() };
+        }
+        self.rollbacks.inc();
+        self.invalidated.add(invalidated as u64);
+        // Restore the newest snapshot whose whole mark list still agrees.
+        let rebuilt = match self.snapshots.iter().position(|s| s.marks.len() == agreed) {
+            Some(i) if agreed > 0 => {
+                self.cp = self.snapshots[i].clone();
+                self.snapshots.truncate(i + 1);
+                false
+            }
+            _ => {
+                // Divergence predates the snapshot window (or reaches the
+                // very first batch): start over from the initial state.
+                self.cp = self.initial.clone();
+                self.snapshots.clear();
+                self.rebuilds.inc();
+                true
+            }
+        };
+        Resync { agreed, invalidated, rebuilt, resume: self.cp.observed() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Sum-of-values accumulator; the "block" is a bare u64 whose content
+    /// hash is itself, so mutating a value IS a reorg.
+    #[derive(Debug, Clone, PartialEq)]
+    struct Sum(u64);
+
+    fn follower(chain: &[u64], window: usize) -> ChainFollow<Sum> {
+        let _ = chain;
+        ChainFollow::new("test", Checkpoint::new(vec![Sum(0); 3], 1), window)
+    }
+
+    fn drive(f: &mut ChainFollow<Sum>, chain: &[u64], batch: usize) {
+        let mut off = f.observed() as usize;
+        while off < chain.len() {
+            let hi = (off + batch).min(chain.len());
+            // Block numbers are positional (1-based), like the pipeline's.
+            let nums: Vec<(u64, u64)> =
+                chain[off..hi].iter().enumerate().map(|(i, v)| ((off + i + 1) as u64, *v)).collect();
+            f.advance(&nums, |b| b.0, |a, _n, b| a.0 += b.1, |b| b.1).expect("tail extends");
+            off = hi;
+        }
+    }
+
+    fn from_scratch(chain: &[u64]) -> u64 {
+        chain.iter().sum()
+    }
+
+    fn merged(f: &ChainFollow<Sum>) -> u64 {
+        f.checkpoint().merged(|a, b| a.0 += b.0).0
+    }
+
+    #[test]
+    fn clean_resync_is_a_no_op() {
+        let chain: Vec<u64> = (1..=100).collect();
+        let mut f = follower(&chain, 4);
+        drive(&mut f, &chain, 10);
+        let blocks: Vec<(u64, u64)> =
+            chain.iter().enumerate().map(|(i, v)| ((i + 1) as u64, *v)).collect();
+        let r = f.resync(&blocks, |b| b.1);
+        assert_eq!(r, Resync { agreed: 10, invalidated: 0, rebuilt: false, resume: 100 });
+        assert_eq!(merged(&f), from_scratch(&chain));
+    }
+
+    #[test]
+    fn shallow_reorg_rolls_back_suffix_only() {
+        let chain: Vec<u64> = (1..=100).collect();
+        let mut f = follower(&chain, 4);
+        drive(&mut f, &chain, 10);
+        // Reorg the last two batches: values at positions 85.. change.
+        let mut reorged = chain.clone();
+        for v in &mut reorged[85..] {
+            *v += 1000;
+        }
+        let blocks: Vec<(u64, u64)> =
+            reorged.iter().enumerate().map(|(i, v)| ((i + 1) as u64, *v)).collect();
+        let r = f.resync(&blocks, |b| b.1);
+        assert_eq!(r.agreed, 8);
+        assert_eq!(r.invalidated, 2);
+        assert!(!r.rebuilt, "divergence is inside the snapshot window");
+        assert_eq!(r.resume, 80, "resumes at the first invalidated mark");
+        // Re-sweep the suffix: must equal a from-scratch fold of the
+        // reorged chain.
+        drive(&mut f, &reorged, 10);
+        assert_eq!(merged(&f), from_scratch(&reorged));
+    }
+
+    #[test]
+    fn deep_reorg_rebuilds_from_scratch() {
+        let chain: Vec<u64> = (1..=100).collect();
+        let mut f = follower(&chain, 2); // tiny window
+        drive(&mut f, &chain, 10);
+        let mut reorged = chain.clone();
+        reorged[5] += 7; // diverges in the very first batch
+        let blocks: Vec<(u64, u64)> =
+            reorged.iter().enumerate().map(|(i, v)| ((i + 1) as u64, *v)).collect();
+        let r = f.resync(&blocks, |b| b.1);
+        assert_eq!(r.agreed, 0);
+        assert_eq!(r.invalidated, 10);
+        assert!(r.rebuilt);
+        assert_eq!(r.resume, 0);
+        drive(&mut f, &reorged, 10);
+        assert_eq!(merged(&f), from_scratch(&reorged));
+    }
+
+    #[test]
+    fn failed_advance_restores_the_last_snapshot() {
+        let chain: Vec<u64> = (1..=30).collect();
+        let mut f = follower(&chain, 4);
+        drive(&mut f, &chain, 10);
+        let before = merged(&f);
+        // A batch that re-observes block 5 fails mid-fold; the follower
+        // must come back unpoisoned.
+        let bad = vec![(31u64, 1u64), (5u64, 1u64)];
+        assert!(f.advance(&bad, |b| b.0, |a, _n, b| a.0 += b.1, |b| b.1).is_err());
+        assert_eq!(merged(&f), before);
+        assert_eq!(f.observed(), 30);
+    }
+}

@@ -21,7 +21,12 @@
 //!   test scaffolding into our own long-lived query service, with
 //!   token-bucket admission, explicit 429 load shedding, per-route-class
 //!   latency/shed counters, and the load generator that drives it.
+//! - [`chaos`] — the endpoint fault vocabulary promoted to a standalone
+//!   fault-injecting TCP proxy (resets, truncation, bit-flips, latency)
+//!   between real processes, for exercising the wire layer's typed damage
+//!   rejection over a live transport.
 
+pub mod chaos;
 pub mod endpoint;
 pub mod handlers;
 pub mod http;
@@ -29,6 +34,7 @@ pub mod ndjson;
 pub mod serve;
 pub mod server;
 
+pub use chaos::{spawn_chaos_proxy, ChaosHandle, ChaosProfile, ChaosStats};
 pub use endpoint::{
     EndpointProfile, EndpointSim, EndpointStats, Gate, LatencyHistogram, TokenBucket,
 };

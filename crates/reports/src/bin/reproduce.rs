@@ -6,21 +6,58 @@
 //!
 //! reproduce shard --range A..B --out FILE [--small] [--seed N] [--shards K]
 //!                 [--payload bin|json]
-//!     One distributed shard worker: sweep block positions [A, B) of each
-//!     chain into columnar accumulators and write them as wire frames
-//!     (txstat_wire). FILE "-" writes to stdout. --payload picks the frame
-//!     encoding: bin (schema v2 binary columns, default) or json (v1
-//!     frames old reducers still read).
+//! reproduce shard --listen ADDR [--max-requests N] [--timeout-ms MS]
+//!                 [--small] [--seed N]
+//!     One distributed shard worker. File mode sweeps block positions
+//!     [A, B) of each chain into columnar accumulators and writes them as
+//!     wire frames (txstat_wire); FILE "-" writes to stdout. --payload
+//!     picks the frame encoding: bin (schema v2 binary columns, default)
+//!     or json (v1 frames old reducers still read). Socket mode
+//!     (--listen) binds a TCP accept loop instead and answers fleet
+//!     range-assignment requests until killed (or until --max-requests
+//!     assignments have been served — the deterministic way to die
+//!     mid-reduction in tests). It prints `shard worker on ADDR` on
+//!     stdout once bound, for scripts to scrape.
 //!
 //! reproduce reduce FRAME-FILE... [--out FILE]
+//! reproduce reduce --connect ADDR,ADDR,... [--small] [--seed N]
+//!                  [--shards K] [--payload bin|json] [--chunks N]
+//!                  [--timeout-ms MS] [--retries N] [--backoff-ms MS]
+//!                  [--out FILE] [--metrics-out FILE]
 //!     Central reducer: validate + merge shard frames (schema version,
 //!     chain tags, overlap, provenance, coverage) and render the full
-//!     report — byte-identical to `reproduce report` on the same scenario.
+//!     report — byte-identical to `reproduce report` on the same
+//!     scenario. File mode reads concatenated frame bundles; failures
+//!     name the offending file. Fleet mode (--connect) drives the listed
+//!     socket workers with per-request deadlines, exponential backoff,
+//!     bounded retry budgets, and straggler re-dispatch: a timed-out or
+//!     dead worker's range goes back on the queue for the survivors, and
+//!     failures name the worker address. --metrics-out dumps the
+//!     `txstat_fleet_*` counters (Prometheus text) at exit.
 //!
 //! reproduce follow [--small] [--seed N] [--batch N] [--shards K] [--out FILE]
+//!                  [--snapshots W] [--reorg-at-batch R] [--reorg-depth D]
+//!                  [--reorg-seed S] [--metrics-out FILE]
 //!     Incremental re-render loop: replay the chains batch by batch
-//!     through Checkpoint::observe_tail, re-rendering a dashboard line per
-//!     batch, and emit the full report when the head is reached.
+//!     through checkpointed followers that seal a content mark per batch,
+//!     re-rendering a dashboard line each round, and emit the full report
+//!     when the head is reached. --reorg-at-batch injects a reorg after
+//!     batch R, rewriting the last D block positions of every chain: the
+//!     followers detect the divergence by mark, roll back only the
+//!     invalidated suffix (or rebuild when it predates the snapshot
+//!     window), re-sweep to the new head, and the run fails unless the
+//!     result is byte-identical to a from-scratch sweep of the reorged
+//!     chains.
+//!
+//! reproduce chaos --upstream ADDR [--listen ADDR] [--fault-rate F]
+//!                 [--truncate-rate F] [--flip-rate F] [--latency-ms L]
+//!                 [--jitter-ms J] [--seed N] [--max-seconds S]
+//!     Fault-injecting TCP proxy between real processes: relays every
+//!     connection to --upstream while resetting, truncating, bit-flipping,
+//!     or delaying streams per the configured rates. Prints `chaos proxy
+//!     on ADDR -> UPSTREAM` once bound, then runs until killed (or
+//!     --max-seconds elapses). Point a fleet reducer at it to rehearse
+//!     worker failure.
 //!
 //! reproduce serve [--small] [--seed N] [--port P] [--batch N] [--shards K]
 //!                 [--epoch-ms MS] [--rate R] [--burst B] [--max-inflight N]
@@ -59,13 +96,19 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use txstat_core::{ChainSweeps, EosColumnar, TezosColumnar, XrpColumnar};
-use txstat_ingest::{Checkpoint, EpochCell};
+use txstat_ingest::{
+    reduce_fleet, serve_assignments, ChainFollow, Checkpoint, EpochCell, FleetConfig,
+};
 use txstat_netsim::http::{read_response, write_request, HttpRequest, HttpResponse};
-use txstat_netsim::{run_load, spawn_query_server, HttpHandler, LoadPlan, QueryServerConfig};
+use txstat_netsim::{
+    run_load, spawn_chaos_proxy, spawn_query_server, ChaosProfile, HttpHandler, LoadPlan,
+    QueryServerConfig,
+};
 use txstat_reports::{
-    generate, generate_with_crawl, generate_with_crawl_streamed, reduce_frames, render_report,
-    scenario_from_meta, scenario_meta, shard_scenario, CrawlOptions, EpochFollower, PipelineData,
-    ServeSnapshot, StatsService,
+    eos_block_hash, generate, generate_with_crawl, generate_with_crawl_streamed,
+    reduce_frames_labeled, reduce_frames_labeled_into, render_report, reorg_data,
+    scenario_from_meta, scenario_meta, shard_scenario, tezos_block_hash, xrp_block_hash,
+    CrawlOptions, EpochFollower, PipelineData, ServeSnapshot, ShardContext, StatsService,
 };
 use txstat_wire::{PayloadFormat, ShardFrame};
 use txstat_workload::Scenario;
@@ -76,14 +119,27 @@ usage: reproduce <subcommand> [options]
 subcommands:
   report   render every exhibit from the generated scenario (default)
            [--small] [--seed N] [--crawl [--materialize]] [--out FILE]
-  shard    sweep block positions [A, B) into a wire-frame bundle
+  shard    sweep block positions [A, B) into a wire-frame bundle, or serve
+           ranges over a socket as one fleet worker
            --range A..B --out FILE [--small] [--seed N] [--shards K]
            [--payload bin|json]  (bin = schema v2 binary columns, default;
                                   json = v1 frames for old reducers)
-  reduce   merge shard frame files and render the full report
+           --listen ADDR [--max-requests N] [--timeout-ms MS]
+  reduce   merge shard frames and render the full report, from files or by
+           driving a socket worker fleet (retry/backoff + re-dispatch)
            FRAME-FILE... [--out FILE]
-  follow   incremental re-render loop over the appending chains
+           --connect ADDR,ADDR,... [--small] [--seed N] [--shards K]
+           [--payload bin|json] [--chunks N] [--timeout-ms MS]
+           [--retries N] [--backoff-ms MS] [--metrics-out FILE]
+  follow   incremental re-render loop over the appending chains, with
+           reorg-safe rollback via per-batch content marks
            [--small] [--seed N] [--batch N] [--shards K] [--out FILE]
+           [--snapshots W] [--reorg-at-batch R] [--reorg-depth D]
+           [--reorg-seed S] [--metrics-out FILE]
+  chaos    fault-injecting TCP proxy for rehearsing worker failure
+           --upstream ADDR [--listen ADDR] [--fault-rate F]
+           [--truncate-rate F] [--flip-rate F] [--latency-ms L]
+           [--jitter-ms J] [--seed N] [--max-seconds S]
   serve    epoch-swapped query service over the follow loop
            [--small] [--seed N] [--port P] [--batch N] [--shards K]
            [--epoch-ms MS] [--rate R] [--burst B] [--max-inflight N]
@@ -183,6 +239,18 @@ fn finish_tracing(args: &Args) {
 }
 
 
+/// Dump the process-global metric registry (Prometheus text) to the
+/// `--metrics-out` file, if given — the offline commands' equivalent of
+/// serve's `GET /metrics`.
+fn dump_metrics(args: &Args) -> Result<(), String> {
+    if let Some(path) = args.get("--metrics-out") {
+        std::fs::write(path, txstat_telemetry::registry().render_prometheus())
+            .map_err(|e| format!("--metrics-out: cannot write {path}: {e}"))?;
+        eprintln!("metrics written to {path}");
+    }
+    Ok(())
+}
+
 fn write_output(text: &str, out: Option<&str>) -> Result<(), String> {
     match out {
         Some("-") | None => {
@@ -268,17 +336,77 @@ fn parse_range(s: &str) -> Result<(u64, u64), String> {
     Ok((start, end))
 }
 
+/// Socket worker mode of `shard`: bind, announce the address, and answer
+/// fleet range assignments against one pre-generated scenario until the
+/// request budget (if any) is spent.
+fn shard_listen(args: &Args, sc: &Scenario, mode: &str, listen: &str) -> Result<(), String> {
+    let max_requests: Option<u64> = match args.get("--max-requests") {
+        None => None,
+        Some(s) => {
+            Some(s.parse().map_err(|_| format!("--max-requests: cannot parse {s:?}"))?)
+        }
+    };
+    let timeout_ms: u64 = args.parsed("--timeout-ms", 10_000)?;
+    txstat_ingest::fleet::register_metrics();
+    eprintln!("generating {mode} scenario (seed {}); serving shard assignments…", sc.seed);
+    let ctx = ShardContext::new(sc);
+    let expected = scenario_meta(sc, mode);
+    let listener = std::net::TcpListener::bind(listen)
+        .map_err(|e| format!("cannot bind {listen}: {e}"))?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    // Scripts scrape this line for the bound address.
+    println!("shard worker on {addr}");
+    std::io::stdout().flush().ok();
+    let served =
+        serve_assignments(&listener, max_requests, Duration::from_millis(timeout_ms), |a| {
+            if a.meta != expected {
+                return Err(format!(
+                    "assignment meta does not describe this worker's {mode} scenario (seed {})",
+                    sc.seed
+                ));
+            }
+            eprintln!(
+                "assignment [{}, {}): {} shard(s), {} payload",
+                a.start,
+                a.end,
+                a.shards,
+                a.payload.tag()
+            );
+            Ok(ctx.frames(a.meta.clone(), a.start, a.end, a.shards, a.payload))
+        })
+        .map_err(|e| format!("worker accept loop: {e}"))?;
+    eprintln!("worker served {served} assignment(s); exiting");
+    dump_metrics(args)?;
+    Ok(())
+}
+
 fn cmd_shard(raw: &[String]) -> Result<(), String> {
     let args = Args::parse(
         raw,
         &["--small", "--timings"],
-        &["--seed", "--out", "--range", "--shards", "--payload", "--trace-out"],
+        &[
+            "--seed",
+            "--out",
+            "--range",
+            "--shards",
+            "--payload",
+            "--trace-out",
+            "--listen",
+            "--max-requests",
+            "--timeout-ms",
+            "--metrics-out",
+        ],
         false,
     )?;
     let (sc, mode) = scenario_of(&args)?;
     init_tracing(&args)?;
+    if let Some(listen) = args.get("--listen") {
+        let result = shard_listen(&args, &sc, mode, listen);
+        finish_tracing(&args);
+        return result;
+    }
     let (start, end) =
-        parse_range(args.get("--range").ok_or("shard needs --range A..B")?)?;
+        parse_range(args.get("--range").ok_or("shard needs --range A..B (or --listen ADDR)")?)?;
     let out = args.get("--out").ok_or("shard needs --out FILE (\"-\" for stdout)")?;
     let shards: usize = args.parsed("--shards", 2)?;
     let payload = match args.get("--payload") {
@@ -318,40 +446,179 @@ fn cmd_shard(raw: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Fleet mode of `reduce`: tile the sweep into chunks and drive the
+/// `--connect` workers through the retry/backoff/re-dispatch loop, then
+/// merge whatever frames the survivors produced.
+fn reduce_fleet_mode(args: &Args, connect: &str) -> Result<PipelineData, String> {
+    let (sc, mode) = scenario_of(args)?;
+    let workers: Vec<String> = connect
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(String::from)
+        .collect();
+    let shards: usize = args.parsed("--shards", 2)?;
+    let payload = match args.get("--payload") {
+        None => PayloadFormat::Bin,
+        Some(s) => PayloadFormat::parse(s)
+            .ok_or_else(|| format!("--payload wants json or bin, got {s:?}"))?,
+    };
+    let mut cfg = FleetConfig::new(workers);
+    cfg.chunks = args.parsed("--chunks", 0)?;
+    cfg.timeout = Duration::from_millis(args.parsed("--timeout-ms", 10_000)?);
+    cfg.retries = args.parsed("--retries", 4)?;
+    cfg.backoff_ms = args.parsed("--backoff-ms", 50)?;
+    cfg.seed = sc.seed;
+    txstat_ingest::fleet::register_metrics();
+    eprintln!(
+        "generating {mode} scenario (seed {}); driving {} worker(s)…",
+        sc.seed,
+        cfg.workers.len()
+    );
+    let data = generate(&sc);
+    let total = data
+        .eos_blocks
+        .len()
+        .max(data.tezos_blocks.len())
+        .max(data.xrp_blocks.len()) as u64;
+    let labeled = reduce_fleet(&cfg, total, shards, payload, scenario_meta(&sc, mode))
+        .map_err(|e| e.to_string())?;
+    eprintln!("fleet returned {} frames; merging…", labeled.len());
+    reduce_frames_labeled_into(data, &labeled)
+}
+
 fn cmd_reduce(raw: &[String]) -> Result<(), String> {
-    let args = Args::parse(raw, &["--timings"], &["--out", "--trace-out"], true)?;
-    if args.positionals.is_empty() {
-        return Err("reduce needs at least one frame file".to_owned());
-    }
+    let args = Args::parse(
+        raw,
+        &["--small", "--timings"],
+        &[
+            "--out",
+            "--trace-out",
+            "--connect",
+            "--seed",
+            "--shards",
+            "--payload",
+            "--chunks",
+            "--timeout-ms",
+            "--retries",
+            "--backoff-ms",
+            "--metrics-out",
+        ],
+        true,
+    )?;
     init_tracing(&args)?;
     let started = std::time::Instant::now();
-    let mut frames: Vec<ShardFrame> = Vec::new();
-    for path in &args.positionals {
-        let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        let decoded =
-            txstat_wire::decode_all(&bytes).map_err(|e| format!("{path}: {e}"))?;
-        eprintln!("{path}: {} frames", decoded.len());
-        frames.extend(decoded);
-    }
-    let meta = frames.first().map(|f| f.header.meta.clone()).ok_or("no frames found")?;
-    let (sc, mode) = scenario_from_meta(&meta)?;
-    eprintln!(
-        "reducing {} frames of the {mode} scenario (seed {})…",
-        frames.len(),
-        sc.seed
-    );
-    let data = reduce_frames(&sc, &frames).map_err(|e| e.to_string())?;
+    let data = if let Some(connect) = args.get("--connect") {
+        if !args.positionals.is_empty() {
+            return Err("reduce takes frame files or --connect, not both".to_owned());
+        }
+        reduce_fleet_mode(&args, connect)?
+    } else {
+        if args.positionals.is_empty() {
+            return Err(
+                "reduce needs at least one frame file (or --connect ADDR,...)".to_owned()
+            );
+        }
+        let mut labeled: Vec<(String, ShardFrame)> = Vec::new();
+        for path in &args.positionals {
+            let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let decoded =
+                txstat_wire::decode_all(&bytes).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("{path}: {} frames", decoded.len());
+            labeled.extend(decoded.into_iter().map(|f| (path.clone(), f)));
+        }
+        let meta =
+            labeled.first().map(|(_, f)| f.header.meta.clone()).ok_or("no frames found")?;
+        let (sc, mode) = scenario_from_meta(&meta)?;
+        eprintln!(
+            "reducing {} frames of the {mode} scenario (seed {})…",
+            labeled.len(),
+            sc.seed
+        );
+        reduce_frames_labeled(&sc, &labeled)?
+    };
     eprintln!("reduction ready in {:?}; rendering exhibits…", started.elapsed());
     let result = write_output(&render_report(&data), args.get("--out"));
+    dump_metrics(&args)?;
     finish_tracing(&args);
     result
+}
+
+/// Advance all three chain followers over one global batch window of the
+/// dataset (clamped per chain — a chain shorter than the window no-ops
+/// once it is exhausted).
+fn advance_all(
+    d: &PipelineData,
+    offset: usize,
+    hi: usize,
+    eos_f: &mut ChainFollow<EosColumnar>,
+    tz_f: &mut ChainFollow<TezosColumnar>,
+    xrp_f: &mut ChainFollow<XrpColumnar>,
+) -> Result<(), String> {
+    let take = |n: usize| offset.min(n)..hi.min(n);
+    eos_f
+        .advance(
+            &d.eos_blocks[take(d.eos_blocks.len())],
+            |b| b.num,
+            |a, _n, b| a.observe(b),
+            eos_block_hash,
+        )
+        .map_err(|e| e.to_string())?;
+    tz_f.advance(
+        &d.tezos_blocks[take(d.tezos_blocks.len())],
+        |b| b.level,
+        |a, _n, b| a.observe(b),
+        tezos_block_hash,
+    )
+    .map_err(|e| e.to_string())?;
+    xrp_f
+        .advance(
+            &d.xrp_blocks[take(d.xrp_blocks.len())],
+            |b| b.index,
+            |a, _n, b| a.observe(b, &d.oracle),
+            xrp_block_hash,
+        )
+        .map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+/// Drive one follower from wherever it stands to the head of `blocks` in
+/// `batch`-sized rounds — the post-rollback re-sweep. Positions are
+/// contiguous from the follower's origin, so its observed count is also
+/// its resume offset.
+fn drive_to_head<A: Clone, B>(
+    f: &mut ChainFollow<A>,
+    blocks: &[B],
+    batch: usize,
+    num: impl Fn(&B) -> u64,
+    observe: impl Fn(&mut A, u64, &B),
+    hash: impl Fn(&B) -> u64,
+) -> Result<(), String> {
+    let mut offset = f.observed() as usize;
+    while offset < blocks.len() {
+        let hi = (offset + batch).min(blocks.len());
+        f.advance(&blocks[offset..hi], &num, &observe, &hash).map_err(|e| e.to_string())?;
+        offset = hi;
+    }
+    Ok(())
 }
 
 fn cmd_follow(raw: &[String]) -> Result<(), String> {
     let args = Args::parse(
         raw,
         &["--small", "--timings"],
-        &["--seed", "--out", "--batch", "--shards", "--trace-out"],
+        &[
+            "--seed",
+            "--out",
+            "--batch",
+            "--shards",
+            "--trace-out",
+            "--snapshots",
+            "--reorg-at-batch",
+            "--reorg-depth",
+            "--reorg-seed",
+            "--metrics-out",
+        ],
         false,
     )?;
     let (sc, _) = scenario_of(&args)?;
@@ -362,104 +629,217 @@ fn cmd_follow(raw: &[String]) -> Result<(), String> {
     }
     let shards: usize = args.parsed("--shards", 2)?;
     let shards = shards.max(1);
+    let window: usize =
+        args.parsed("--snapshots", txstat_ingest::follow::DEFAULT_SNAPSHOT_WINDOW)?;
+    let reorg_at: Option<u64> = match args.get("--reorg-at-batch") {
+        None => None,
+        Some(s) => {
+            Some(s.parse().map_err(|_| format!("--reorg-at-batch: cannot parse {s:?}"))?)
+        }
+    };
+    let reorg_depth: usize = args.parsed("--reorg-depth", batch)?;
+    let reorg_seed: u64 = args.parsed("--reorg-seed", 1)?;
+    txstat_ingest::follow::register_metrics();
 
     eprintln!("generating chains; following head in batches of {batch} blocks per chain…");
     let data = generate(&sc);
     let period = sc.period;
 
-    // One range-keyed checkpoint per chain; each batch appends a tail via
-    // observe_tail, so the already-observed prefix is never re-swept.
-    let fresh = |low: u64| (vec![0u64; shards], low);
-    let mk_eos = || {
-        let (counts, low) = fresh(data.eos_blocks.first().map_or(1, |b| b.num));
-        Checkpoint {
-            shards: vec![EosColumnar::new(period); shards],
-            counts,
-            low,
-            high: low.saturating_sub(1),
-        }
-    };
-    let mk_tz = || {
-        let (counts, low) = fresh(data.tezos_blocks.first().map_or(1, |b| b.level));
-        Checkpoint {
-            shards: vec![TezosColumnar::new(period, data.governance_periods.clone()); shards],
-            counts,
-            low,
-            high: low.saturating_sub(1),
-        }
-    };
-    let mk_xrp = || {
-        let (counts, low) = fresh(data.xrp_blocks.first().map_or(1, |b| b.index));
-        Checkpoint {
-            shards: vec![XrpColumnar::new(period); shards],
-            counts,
-            low,
-            high: low.saturating_sub(1),
-        }
-    };
-    let mut eos_cp = mk_eos();
-    let mut tz_cp = mk_tz();
-    let mut xrp_cp = mk_xrp();
+    // One mark-sealing follower per chain: each batch appends a tail
+    // through the checkpoint (the observed prefix is never re-swept) and
+    // seals a content mark, so a later reorg is detected by mark and
+    // invalidates only its suffix.
+    let mut eos_f = ChainFollow::new(
+        "eos",
+        Checkpoint::new(
+            vec![EosColumnar::new(period); shards],
+            data.eos_blocks.first().map_or(1, |b| b.num),
+        ),
+        window,
+    );
+    let mut tz_f = ChainFollow::new(
+        "tezos",
+        Checkpoint::new(
+            vec![TezosColumnar::new(period, data.governance_periods.clone()); shards],
+            data.tezos_blocks.first().map_or(1, |b| b.level),
+        ),
+        window,
+    );
+    let mut xrp_f = ChainFollow::new(
+        "xrp",
+        Checkpoint::new(
+            vec![XrpColumnar::new(period); shards],
+            data.xrp_blocks.first().map_or(1, |b| b.index),
+        ),
+        window,
+    );
 
-    let mut offset = 0usize;
     let total = data
         .eos_blocks
         .len()
         .max(data.tezos_blocks.len())
         .max(data.xrp_blocks.len());
+    let mut offset = 0usize;
     let mut round = 0u64;
     while offset < total {
         let _span = txstat_telemetry::Span::enter("follow_batch", "");
         let hi = (offset + batch).min(total);
-        let take = |n: usize| offset.min(n)..hi.min(n);
-        eos_cp
-            .observe_tail(
-                data.eos_blocks[take(data.eos_blocks.len())].iter().map(|b| (b.num, b)),
-                |a, _n, b| a.observe(b),
-            )
-            .map_err(|e| e.to_string())?;
-        tz_cp
-            .observe_tail(
-                data.tezos_blocks[take(data.tezos_blocks.len())].iter().map(|b| (b.level, b)),
-                |a, _n, b| a.observe(b),
-            )
-            .map_err(|e| e.to_string())?;
-        xrp_cp
-            .observe_tail(
-                data.xrp_blocks[take(data.xrp_blocks.len())].iter().map(|b| (b.index, b)),
-                |a, _n, b| a.observe(b, &data.oracle),
-            )
-            .map_err(|e| e.to_string())?;
+        advance_all(&data, offset, hi, &mut eos_f, &mut tz_f, &mut xrp_f)?;
         round += 1;
 
         // Re-render the headline statistics from the merged (cloned) shard
         // state — O(shards) merges, no prefix re-sweep.
-        let eos = eos_cp.merged(|a, b| a.merge(b)).finalize();
-        let tz = tz_cp.merged(|a, b| a.merge(b)).finalize();
-        let xrp = xrp_cp.merged(|a, b| a.merge(b)).finalize();
+        let eos = eos_f.checkpoint().merged(|a, b| a.merge(b)).finalize();
+        let tz = tz_f.checkpoint().merged(|a, b| a.merge(b)).finalize();
+        let xrp = xrp_f.checkpoint().merged(|a, b| a.merge(b)).finalize();
         eprintln!(
             "batch {round:>4}: EOS {:>7} blocks ({:.2} tps) | Tezos {:>7} ({:.2} tps) | XRP {:>7} ({:.2} tps)",
-            eos_cp.observed(),
+            eos_f.observed(),
             eos.tps(),
-            tz_cp.observed(),
+            tz_f.observed(),
             tz.tps(),
-            xrp_cp.observed(),
+            xrp_f.observed(),
             xrp.tps(),
         );
         offset = hi;
+        if reorg_at == Some(round) {
+            break;
+        }
     }
 
-    // Head reached: the checkpoints now cover the whole chains. Render the
-    // full report from their merged state — identical to `report`.
-    let sweeps = ChainSweeps {
-        eos: eos_cp.merged(|a, b| a.merge(b)).finalize(),
-        tezos: tz_cp.merged(|a, b| a.merge(b)).finalize(),
-        xrp: xrp_cp.merged(|a, b| a.merge(b)).finalize(),
+    // Head (or the reorg trigger batch) reached: pick the dataset the
+    // report renders against, reorging + resyncing first if asked.
+    let (final_data, verify_against) = if let Some(r) = reorg_at {
+        if round < r {
+            return Err(format!(
+                "--reorg-at-batch {r}: the head was reached after {round} batches"
+            ));
+        }
+        let from = offset.saturating_sub(reorg_depth);
+        eprintln!("injecting reorg: rewriting block positions {from}.. (seed {reorg_seed})");
+        let reorged = reorg_data(&data, from, reorg_seed);
+        for (r, chain) in [
+            (eos_f.resync(&reorged.eos_blocks, eos_block_hash), "eos"),
+            (tz_f.resync(&reorged.tezos_blocks, tezos_block_hash), "tezos"),
+            (xrp_f.resync(&reorged.xrp_blocks, xrp_block_hash), "xrp"),
+        ] {
+            eprintln!(
+                "resync {chain}: {} mark(s) agreed, {} invalidated{}; resuming at position {}",
+                r.agreed,
+                r.invalidated,
+                if r.rebuilt { " (rebuilt from scratch)" } else { "" },
+                r.resume,
+            );
+        }
+        drive_to_head(
+            &mut eos_f,
+            &reorged.eos_blocks,
+            batch,
+            |b| b.num,
+            |a, _n, b| a.observe(b),
+            eos_block_hash,
+        )?;
+        drive_to_head(
+            &mut tz_f,
+            &reorged.tezos_blocks,
+            batch,
+            |b| b.level,
+            |a, _n, b| a.observe(b),
+            tezos_block_hash,
+        )?;
+        drive_to_head(
+            &mut xrp_f,
+            &reorged.xrp_blocks,
+            batch,
+            |b| b.index,
+            |a, _n, b| a.observe(b, &reorged.oracle),
+            xrp_block_hash,
+        )?;
+        // From-scratch truth over the same reorged chain for the
+        // byte-identity check (fresh dataset, lazily re-swept sweeps).
+        let scratch = reorg_data(&data, from, reorg_seed);
+        (reorged, Some(scratch))
+    } else {
+        (data, None)
     };
-    assert!(data.install_sweeps(sweeps), "follow computed no report sweeps");
-    let result = write_output(&render_report(&data), args.get("--out"));
+
+    // The followers now cover the whole (possibly reorged) chains. Render
+    // the full report from their merged state — identical to `report`.
+    let sweeps = ChainSweeps {
+        eos: eos_f.checkpoint().merged(|a, b| a.merge(b)).finalize(),
+        tezos: tz_f.checkpoint().merged(|a, b| a.merge(b)).finalize(),
+        xrp: xrp_f.checkpoint().merged(|a, b| a.merge(b)).finalize(),
+    };
+    assert!(final_data.install_sweeps(sweeps), "follow computed no report sweeps");
+    let report = render_report(&final_data);
+    if let Some(scratch) = verify_against {
+        if report != render_report(&scratch) {
+            return Err("reorg recovery diverged: the followed report is not byte-identical \
+                        to a from-scratch sweep of the reorged chain"
+                .to_owned());
+        }
+        eprintln!("reorg recovery verified: report byte-identical to a from-scratch sweep");
+    }
+    let result = write_output(&report, args.get("--out"));
+    dump_metrics(&args)?;
     finish_tracing(&args);
     result
+}
+
+/// The `chaos` subcommand: a standalone fault-injecting TCP proxy (see
+/// `txstat_netsim::chaos`) for placing between a fleet reducer and its
+/// workers.
+fn cmd_chaos(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(
+        raw,
+        &[],
+        &[
+            "--listen",
+            "--upstream",
+            "--fault-rate",
+            "--truncate-rate",
+            "--flip-rate",
+            "--latency-ms",
+            "--jitter-ms",
+            "--seed",
+            "--max-seconds",
+        ],
+        false,
+    )?;
+    let upstream = args.get("--upstream").ok_or("chaos needs --upstream HOST:PORT")?.to_owned();
+    let listen = args.get("--listen").unwrap_or("127.0.0.1:0").to_owned();
+    let profile = ChaosProfile {
+        name: "cli".to_owned(),
+        latency_ms: args.parsed("--latency-ms", 0.0)?,
+        jitter_ms: args.parsed("--jitter-ms", 0.0)?,
+        fault_rate: args.parsed("--fault-rate", 0.0)?,
+        truncate_rate: args.parsed("--truncate-rate", 0.0)?,
+        flip_rate: args.parsed("--flip-rate", 0.0)?,
+        seed: args.parsed("--seed", 42)?,
+    };
+    let handle = spawn_chaos_proxy(&listen, upstream.clone(), profile)
+        .map_err(|e| format!("cannot start chaos proxy on {listen}: {e}"))?;
+    // Scripts scrape this line for the bound address.
+    println!("chaos proxy on {} -> {upstream}", handle.addr);
+    std::io::stdout().flush().ok();
+    let max_seconds: u64 = args.parsed("--max-seconds", 0)?;
+    if max_seconds == 0 {
+        // Run until killed (CI kills the whole process).
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+    }
+    std::thread::sleep(Duration::from_secs(max_seconds));
+    let s = &handle.stats;
+    eprintln!(
+        "chaos proxy: {} connection(s) relayed, {} reset, {} truncated, {} bit-flipped",
+        s.connections.get(),
+        s.resets.get(),
+        s.truncations.get(),
+        s.flips.get(),
+    );
+    handle.stop();
+    Ok(())
 }
 
 /// Derive one known-present `/account/...` path per chain from the served
@@ -517,6 +897,10 @@ fn cmd_serve(raw: &[String]) -> Result<(), String> {
     // shard pools, reduce/epoch progress from the follow loop, serve route
     // stats) in one exposition.
     let registry = txstat_telemetry::registry().clone();
+    // Fleet and follow families render at zero even when this process
+    // never runs them — dashboards can rely on their presence.
+    txstat_ingest::fleet::register_metrics();
+    txstat_ingest::follow::register_metrics();
     let mut follower = EpochFollower::new(generate(&sc), batch, shards);
     follower.bind_metrics(&registry);
     // First epoch before accepting queries, so every response has sweeps.
@@ -715,6 +1099,7 @@ fn run() -> Result<(), String> {
         Some("shard") => cmd_shard(&argv[1..]),
         Some("reduce") => cmd_reduce(&argv[1..]),
         Some("follow") => cmd_follow(&argv[1..]),
+        Some("chaos") => cmd_chaos(&argv[1..]),
         Some("serve") => cmd_serve(&argv[1..]),
         Some("query") => cmd_query(&argv[1..]),
         Some(flag) if flag.starts_with('-') => {

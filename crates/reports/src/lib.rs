@@ -16,9 +16,10 @@ pub use exhibits::{
 pub use paper::{comparison, render_comparison, ComparisonRow};
 pub use serve::{EpochFollower, ServeSnapshot, StatsService};
 pub use pipeline::{
-    generate, generate_with_crawl, generate_with_crawl_streamed, reduce_frames, scenario_from_meta,
-    scenario_meta, shard_scenario, ChainStreamInfo, ChainSweeps, CrawlOptions, PipelineData,
-    StreamSummary,
+    eos_block_hash, generate, generate_with_crawl, generate_with_crawl_streamed, reduce_frames,
+    reduce_frames_labeled, reduce_frames_labeled_into, reorg_data, scenario_from_meta, scenario_meta, shard_scenario,
+    tezos_block_hash, xrp_block_hash, ChainStreamInfo, ChainSweeps, CrawlOptions, PipelineData,
+    ShardContext, StreamSummary,
 };
 
 #[cfg(test)]

@@ -1050,13 +1050,70 @@ pub fn scenario_from_meta(meta: &serde_json::Value) -> Result<(Scenario, String)
     Ok((sc, mode))
 }
 
-/// One shard worker process's work: generate the scenario's chains, sweep
-/// the block-position range `[start, end)` of each (clamped to the chain
-/// head), and return the three wire frames in the requested payload
-/// encoding (binary columns by default; JSON for fleets whose reducer
-/// predates schema v2). Pure and deterministic — every worker derives
-/// identical chains and the same exchange-rate oracle from the scenario
-/// seed.
+/// A shard worker's prepared state: the scenario's chains, oracle, and
+/// governance windows, built once and reused across every assignment. A
+/// one-shot `reproduce shard A..B` pays the build once anyway; a socket
+/// worker (`reproduce shard --listen`) serving a whole fleet reduction
+/// would otherwise rebuild the chains per request.
+pub struct ShardContext {
+    sc: Scenario,
+    eos_blocks: Vec<txstat_eos::Block>,
+    tezos_blocks: Vec<txstat_tezos::TezosBlock>,
+    xrp_blocks: Vec<txstat_xrp::LedgerBlock>,
+    oracle: RateOracle,
+    governance_periods: Vec<(PeriodKind, Period)>,
+}
+
+impl ShardContext {
+    /// Build the chains once. Pure and deterministic — every worker
+    /// derives identical chains and the same exchange-rate oracle from
+    /// the scenario seed.
+    pub fn new(sc: &Scenario) -> Self {
+        let eos = build_eos(sc);
+        let tezos = build_tezos(sc);
+        let xrp = build_xrp(sc);
+        let oracle =
+            RateOracle::from_trades(&xrp.trades, sc.period.end, sc.period.days() as i64 + 1);
+        let governance_periods = governance_periods_of(&tezos);
+        ShardContext {
+            sc: sc.clone(),
+            eos_blocks: eos.blocks().to_vec(),
+            tezos_blocks: tezos.blocks().to_vec(),
+            xrp_blocks: xrp.closed_ledgers().to_vec(),
+            oracle,
+            governance_periods,
+        }
+    }
+
+    /// The longest chain's block count — the position space a fleet
+    /// reduction tiles into chunks.
+    pub fn total_blocks(&self) -> u64 {
+        self.eos_blocks.len().max(self.tezos_blocks.len()).max(self.xrp_blocks.len()) as u64
+    }
+
+    /// Sweep the block-position range `[start, end)` of each chain
+    /// (clamped to the chain head) into the three wire frames in the
+    /// requested payload encoding (binary columns by default; JSON for
+    /// fleets whose reducer predates schema v2).
+    pub fn frames(
+        &self,
+        meta: serde_json::Value,
+        start: u64,
+        end: u64,
+        shards: usize,
+        payload: PayloadFormat,
+    ) -> Vec<ShardFrame> {
+        let worker = ShardWorker { start, end, shards: shards.max(1), payload, meta };
+        vec![
+            worker.eos_frame(&self.eos_blocks, self.sc.period),
+            worker.tezos_frame(&self.tezos_blocks, self.sc.period, &self.governance_periods),
+            worker.xrp_frame(&self.xrp_blocks, self.sc.period, &self.oracle),
+        ]
+    }
+}
+
+/// One shard worker process's work, end to end: build the chains and
+/// sweep one range. Socket workers keep a [`ShardContext`] instead.
 pub fn shard_scenario(
     sc: &Scenario,
     meta: serde_json::Value,
@@ -1065,17 +1122,7 @@ pub fn shard_scenario(
     shards: usize,
     payload: PayloadFormat,
 ) -> Vec<ShardFrame> {
-    let eos = build_eos(sc);
-    let tezos = build_tezos(sc);
-    let xrp = build_xrp(sc);
-    let oracle = RateOracle::from_trades(&xrp.trades, sc.period.end, sc.period.days() as i64 + 1);
-    let governance_periods = governance_periods_of(&tezos);
-    let worker = ShardWorker { start, end, shards: shards.max(1), payload, meta };
-    vec![
-        worker.eos_frame(eos.blocks(), sc.period),
-        worker.tezos_frame(tezos.blocks(), sc.period, &governance_periods),
-        worker.xrp_frame(xrp.closed_ledgers(), sc.period, &oracle),
-    ]
+    ShardContext::new(sc).frames(meta, start, end, shards, payload)
 }
 
 /// Central reduction: validate and merge shard frames over the scenario
@@ -1090,7 +1137,43 @@ pub fn reduce_frames(sc: &Scenario, frames: &[ShardFrame]) -> Result<PipelineDat
     for frame in frames {
         session.submit(frame)?;
     }
-    let data = generate(sc);
+    finish_reduce(generate(sc), session)
+}
+
+/// [`reduce_frames`] with per-frame provenance: each frame carries an
+/// origin label (the file it was read from, or the fleet worker address
+/// that produced it), and a validation failure names that origin, the
+/// frame's index, chain, and range — instead of a bare [`ReduceError`]
+/// that leaves a bad frame among many undiagnosable.
+pub fn reduce_frames_labeled(
+    sc: &Scenario,
+    frames: &[(String, ShardFrame)],
+) -> Result<PipelineData, String> {
+    reduce_frames_labeled_into(generate(sc), frames)
+}
+
+/// [`reduce_frames_labeled`] over an already-generated dataset (the fleet
+/// reducer generates the chains up front to size its chunk tiling and
+/// must not pay for them twice).
+pub fn reduce_frames_labeled_into(
+    data: PipelineData,
+    frames: &[(String, ShardFrame)],
+) -> Result<PipelineData, String> {
+    let mut session = ReduceSession::new();
+    for (i, (origin, frame)) in frames.iter().enumerate() {
+        session.submit(frame).map_err(|e| {
+            format!(
+                "frame {i} from {origin} ({} [{}, {})): {e}",
+                frame.header.chain, frame.header.start, frame.header.end
+            )
+        })?;
+    }
+    finish_reduce(data, session).map_err(|e| e.to_string())
+}
+
+/// The shared tail of a reduction: check that coverage tiles each chain
+/// exactly, finalize, and install the sweeps into the fresh dataset.
+fn finish_reduce(data: PipelineData, session: ReduceSession) -> Result<PipelineData, ReduceError> {
     let lens = [
         data.eos_blocks.len() as u64,
         data.tezos_blocks.len() as u64,
@@ -1117,4 +1200,82 @@ pub fn reduce_frames(sc: &Scenario, frames: &[ShardFrame]) -> Result<PipelineDat
     let sweeps = session.finalize()?;
     assert!(data.install_sweeps(sweeps), "fresh dataset has no sweeps yet");
     Ok(data)
+}
+
+// ---- Reorg injection + per-block content hashes (reorg-safe follow) --------
+
+/// Content hash of one EOS block: FNV-1a over its wire JSON — the same
+/// serialization Figure 2's storage accounting uses, so any observable
+/// change to the block changes the hash.
+pub fn eos_block_hash(b: &txstat_eos::Block) -> u64 {
+    txstat_types::ids::fnv1a64(
+        &serde_json::to_vec(&txstat_eos::rpc_model::block_to_json(b)).expect("serializable"),
+    )
+}
+
+/// Content hash of one Tezos block (see [`eos_block_hash`]).
+pub fn tezos_block_hash(b: &txstat_tezos::TezosBlock) -> u64 {
+    txstat_types::ids::fnv1a64(
+        &serde_json::to_vec(&txstat_tezos::rpc_model::block_to_json(b)).expect("serializable"),
+    )
+}
+
+/// Content hash of one XRP ledger (see [`eos_block_hash`]).
+pub fn xrp_block_hash(b: &txstat_xrp::LedgerBlock) -> u64 {
+    txstat_types::ids::fnv1a64(
+        &serde_json::to_vec(&txstat_xrp::rpc_model::ledger_to_json(b)).expect("serializable"),
+    )
+}
+
+/// Simulate a chain reorganization: every block at position `>= from` (in
+/// every chain) gets its transaction content deterministically rewritten —
+/// numbering and timestamps stay, history *content* diverges, exactly what
+/// a competing fork looks like to a follower keyed on block positions.
+///
+/// The returned dataset has fresh (uncomputed) sweeps and storage memo, so
+/// a from-scratch report over it reflects the reorged history.
+pub fn reorg_data(data: &PipelineData, from: usize, seed: u64) -> PipelineData {
+    use txstat_types::rng::subseed_n;
+    // Drop the last or the first entry of a block's transaction list,
+    // chosen by a seeded coin — either way the block's content (and hash)
+    // changes whenever it has any transactions at all.
+    fn mutate<T>(list: &mut Vec<T>, coin: u64) {
+        if list.is_empty() {
+            return;
+        }
+        if coin & 1 == 0 {
+            list.pop();
+        } else {
+            list.remove(0);
+        }
+    }
+    let mut eos = (*data.eos_blocks).clone();
+    for (pos, b) in eos.iter_mut().enumerate().skip(from) {
+        mutate(&mut b.transactions, subseed_n(seed, "reorg-eos", pos as u64));
+    }
+    let mut tezos = (*data.tezos_blocks).clone();
+    for (pos, b) in tezos.iter_mut().enumerate().skip(from) {
+        mutate(&mut b.operations, subseed_n(seed, "reorg-tezos", pos as u64));
+    }
+    let mut xrp = (*data.xrp_blocks).clone();
+    for (pos, b) in xrp.iter_mut().enumerate().skip(from) {
+        mutate(&mut b.transactions, subseed_n(seed, "reorg-xrp", pos as u64));
+    }
+    PipelineData {
+        scenario: data.scenario.clone(),
+        eos_blocks: Arc::new(eos),
+        tezos_blocks: Arc::new(tezos),
+        xrp_blocks: Arc::new(xrp),
+        oracle: Arc::clone(&data.oracle),
+        trades: Arc::clone(&data.trades),
+        cluster: Arc::clone(&data.cluster),
+        eos_cpu_price: Arc::clone(&data.eos_cpu_price),
+        eos_dropped_txs: data.eos_dropped_txs,
+        tezos_rolls: Arc::clone(&data.tezos_rolls),
+        governance_periods: data.governance_periods.clone(),
+        crawl: None,
+        stream: None,
+        sweeps: OnceLock::new(),
+        storage_memo: Arc::new(OnceLock::new()),
+    }
 }

@@ -404,28 +404,18 @@ impl EpochFollower {
         let shards = shards.max(1);
         let batch = batch.max(1);
         let period = data.scenario.period;
-        let fresh = |low: u64| (vec![0u64; shards], low);
-        let (counts, low) = fresh(data.eos_blocks.first().map_or(1, |b| b.num));
-        let eos_cp = Checkpoint {
-            shards: vec![EosColumnar::new(period); shards],
-            counts,
-            low,
-            high: low.saturating_sub(1),
-        };
-        let (counts, low) = fresh(data.tezos_blocks.first().map_or(1, |b| b.level));
-        let tz_cp = Checkpoint {
-            shards: vec![TezosColumnar::new(period, data.governance_periods.clone()); shards],
-            counts,
-            low,
-            high: low.saturating_sub(1),
-        };
-        let (counts, low) = fresh(data.xrp_blocks.first().map_or(1, |b| b.index));
-        let xrp_cp = Checkpoint {
-            shards: vec![XrpColumnar::new(period); shards],
-            counts,
-            low,
-            high: low.saturating_sub(1),
-        };
+        let eos_cp = Checkpoint::new(
+            vec![EosColumnar::new(period); shards],
+            data.eos_blocks.first().map_or(1, |b| b.num),
+        );
+        let tz_cp = Checkpoint::new(
+            vec![TezosColumnar::new(period, data.governance_periods.clone()); shards],
+            data.tezos_blocks.first().map_or(1, |b| b.level),
+        );
+        let xrp_cp = Checkpoint::new(
+            vec![XrpColumnar::new(period); shards],
+            data.xrp_blocks.first().map_or(1, |b| b.index),
+        );
         let total = data
             .eos_blocks
             .len()

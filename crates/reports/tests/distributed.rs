@@ -4,8 +4,9 @@
 //! `reproduce report` process over the same scenario/seed — and the
 //! legacy pre-subcommand flag spelling still works via the compat shim.
 
+use std::io::{BufRead, BufReader};
 use std::path::{Path, PathBuf};
-use std::process::{Command, Output};
+use std::process::{Child, Command, Output, Stdio};
 
 fn reproduce(dir: &Path, args: &[&str]) -> Output {
     Command::new(env!("CARGO_BIN_EXE_reproduce"))
@@ -13,6 +14,48 @@ fn reproduce(dir: &Path, args: &[&str]) -> Output {
         .args(args)
         .output()
         .expect("spawn reproduce")
+}
+
+/// A long-running `reproduce` child (socket worker or chaos proxy) whose
+/// first stdout line announces its bound address. Killed on drop.
+struct Server {
+    child: Child,
+    addr: String,
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn spawn_server(dir: &Path, args: &[&str], banner: &str) -> Server {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_reproduce"))
+        .current_dir(dir)
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn reproduce server");
+    let stdout = child.stdout.take().expect("server stdout");
+    let mut line = String::new();
+    BufReader::new(stdout).read_line(&mut line).expect("read server banner");
+    assert!(line.contains(banner), "expected banner {banner:?}, got: {line:?}");
+    // "shard worker on ADDR" / "chaos proxy on ADDR -> UP": token 3.
+    let addr = line
+        .split_whitespace()
+        .nth(3)
+        .unwrap_or_else(|| panic!("no address in banner {line:?}"))
+        .to_string();
+    Server { child, addr }
+}
+
+fn spawn_worker(dir: &Path, extra: &[&str]) -> Server {
+    let mut args =
+        vec!["shard", "--small", "--seed", "7", "--listen", "127.0.0.1:0", "--timeout-ms", "2000"];
+    args.extend_from_slice(extra);
+    spawn_server(dir, &args, "shard worker on")
 }
 
 fn tempdir(tag: &str) -> PathBuf {
@@ -131,6 +174,139 @@ fn follow_reaches_the_identical_report_at_head() {
         read(&dir, "direct.txt"),
         read(&dir, "followed.txt"),
         "follow's head report differs from the single-process report"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The socket fleet: three real worker processes, one rigged to die after
+/// its first assignment (`--max-requests 1`). The reducer's retry budget
+/// burns out against the corpse, re-dispatches its ranges to the
+/// survivors, and the report is still byte-identical to the one-shot run.
+#[test]
+fn socket_fleet_survives_a_worker_killed_mid_reduction() {
+    let dir = tempdir("fleet");
+
+    let direct = reproduce(&dir, &["report", "--small", "--seed", "7", "--out", "direct.txt"]);
+    assert!(direct.status.success(), "report failed: {}", String::from_utf8_lossy(&direct.stderr));
+
+    let w1 = spawn_worker(&dir, &[]);
+    let w2 = spawn_worker(&dir, &[]);
+    let w3 = spawn_worker(&dir, &["--max-requests", "1"]);
+    let connect = format!("{},{},{}", w1.addr, w2.addr, w3.addr);
+    let reduce = reproduce(
+        &dir,
+        &[
+            "reduce", "--small", "--seed", "7", "--connect", &connect, "--chunks", "6",
+            "--timeout-ms", "4000", "--retries", "2", "--backoff-ms", "5",
+            "--metrics-out", "fleet-metrics.txt", "--out", "fleet.txt",
+        ],
+    );
+    assert!(
+        reduce.status.success(),
+        "fleet reduce failed: {}",
+        String::from_utf8_lossy(&reduce.stderr)
+    );
+    assert_eq!(
+        read(&dir, "direct.txt"),
+        read(&dir, "fleet.txt"),
+        "fleet report differs from the single-process report"
+    );
+    let metrics = String::from_utf8(read(&dir, "fleet-metrics.txt")).expect("metrics utf8");
+    for family in ["txstat_fleet_requests_total", "txstat_fleet_redispatch_total"] {
+        assert!(metrics.contains(family), "{family} missing from metrics dump");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The same fleet driven through a `reproduce chaos` proxy process that
+/// resets/truncates/bit-flips 9% of connections: damaged exchanges are
+/// retried (bit-flips are caught by the wire content hashes) and the
+/// report stays byte-identical.
+#[test]
+fn fleet_reduce_through_a_chaos_proxy_is_byte_identical() {
+    let dir = tempdir("chaosfleet");
+
+    let direct = reproduce(&dir, &["report", "--small", "--seed", "7", "--out", "direct.txt"]);
+    assert!(direct.status.success(), "report failed: {}", String::from_utf8_lossy(&direct.stderr));
+
+    let w1 = spawn_worker(&dir, &[]);
+    let w2 = spawn_worker(&dir, &[]);
+    let proxy = spawn_server(
+        &dir,
+        &[
+            "chaos", "--upstream", &w1.addr, "--fault-rate", "0.05", "--truncate-rate", "0.02",
+            "--flip-rate", "0.02", "--seed", "11",
+        ],
+        "chaos proxy on",
+    );
+    let connect = format!("{},{}", proxy.addr, w2.addr);
+    let reduce = reproduce(
+        &dir,
+        &[
+            "reduce", "--small", "--seed", "7", "--connect", &connect, "--chunks", "6",
+            "--timeout-ms", "4000", "--retries", "4", "--backoff-ms", "5", "--out", "chaos.txt",
+        ],
+    );
+    assert!(
+        reduce.status.success(),
+        "chaos-fleet reduce failed: {}",
+        String::from_utf8_lossy(&reduce.stderr)
+    );
+    assert_eq!(
+        read(&dir, "direct.txt"),
+        read(&dir, "chaos.txt"),
+        "chaos-fleet report differs from the single-process report"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A fleet whose only worker never answers exhausts its budgets and fails
+/// with provenance: the error names the dead worker's address.
+#[test]
+fn fleet_exhaustion_names_the_dead_worker() {
+    let dir = tempdir("deadfleet");
+    // Bind and immediately drop a listener: the port is now (almost
+    // certainly) refusing connections.
+    let dead = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        l.local_addr().expect("addr").to_string()
+    };
+    let out = reproduce(
+        &dir,
+        &[
+            "reduce", "--small", "--seed", "7", "--connect", &dead, "--timeout-ms", "500",
+            "--retries", "1", "--backoff-ms", "1",
+        ],
+    );
+    assert!(!out.status.success(), "a dead fleet must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("fleet exhausted"), "stderr: {stderr}");
+    assert!(stderr.contains(&dead), "error does not name the dead worker: {stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// End-to-end reorg recovery: `follow --reorg-at-batch` rewrites a chain
+/// suffix mid-follow; the binary itself verifies the recovered report is
+/// byte-identical to a from-scratch sweep and fails otherwise, so success
+/// plus the verification line is the acceptance.
+#[test]
+fn follow_recovers_from_an_injected_reorg() {
+    let dir = tempdir("reorg");
+    let out = reproduce(
+        &dir,
+        &[
+            "follow", "--small", "--seed", "7", "--batch", "400", "--reorg-at-batch", "3",
+            "--reorg-depth", "500", "--reorg-seed", "11", "--metrics-out", "reorg-metrics.txt",
+            "--out", "reorged.txt",
+        ],
+    );
+    assert!(out.status.success(), "follow failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("reorg recovery verified"), "stderr: {stderr}");
+    let metrics = String::from_utf8(read(&dir, "reorg-metrics.txt")).expect("metrics utf8");
+    assert!(
+        metrics.contains("txstat_follow_rollbacks_total"),
+        "follow metrics missing rollback family"
     );
     let _ = std::fs::remove_dir_all(&dir);
 }

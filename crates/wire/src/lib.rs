@@ -39,6 +39,8 @@
 use serde::Value;
 use txstat_types::ids::{fnv1a64, fnv1a64_extend};
 
+pub mod fleet;
+
 /// The first frame schema version: canonical-JSON payloads only.
 pub const SCHEMA_V1: u32 = 1;
 
@@ -52,6 +54,16 @@ pub const MAGIC: [u8; 4] = *b"TXSF";
 
 /// Fixed-size envelope prefix: magic + version + hash + header length.
 const PREFIX_LEN: usize = 4 + 4 + 8 + 4;
+
+/// Largest header section a decoder will allocate for. Real headers are a
+/// few hundred bytes of JSON; anything past this is a corrupt or hostile
+/// length prefix, rejected *before* allocation.
+pub const MAX_HEADER_LEN: usize = 1 << 20; // 1 MiB
+
+/// Largest payload section a decoder will allocate for. Month-scale
+/// columnar shard states are tens of MiB; this bound caps what one frame
+/// from an untrusted peer can make the reducer allocate.
+pub const MAX_PAYLOAD_LEN: usize = 1 << 29; // 512 MiB
 
 /// Wire failures. Every variant names what the decoder could not vouch
 /// for, so a reducer can distinguish "not a frame" from "a frame from the
@@ -70,6 +82,10 @@ pub enum WireError {
     Header(String),
     /// The payload section could not be interpreted.
     Payload(String),
+    /// A section's length prefix exceeds the decoder's allocation cap —
+    /// the frame is rejected before any allocation happens, so a hostile
+    /// or bit-flipped length can never OOM the reducer.
+    SectionTooLarge { section: &'static str, len: u64, max: u64 },
 }
 
 impl std::fmt::Display for WireError {
@@ -87,6 +103,9 @@ impl std::fmt::Display for WireError {
             }
             WireError::Header(m) => write!(f, "bad frame header: {m}"),
             WireError::Payload(m) => write!(f, "bad frame payload: {m}"),
+            WireError::SectionTooLarge { section, len, max } => {
+                write!(f, "{section} section claims {len} bytes, cap is {max}")
+            }
         }
     }
 }
@@ -308,11 +327,15 @@ impl ShardFrame {
         }
         let expected = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
         let hlen = u32::from_le_bytes(bytes[16..20].try_into().expect("4 bytes")) as usize;
+        // Length prefixes are untrusted input: cap them before committing
+        // to read (or, on the streaming path, allocate) that many bytes.
+        cap_section("header", hlen, MAX_HEADER_LEN)?;
         need(PREFIX_LEN + hlen + 4)?;
         let header_bytes = &bytes[PREFIX_LEN..PREFIX_LEN + hlen];
         let poff = PREFIX_LEN + hlen;
         let plen =
             u32::from_le_bytes(bytes[poff..poff + 4].try_into().expect("4 bytes")) as usize;
+        cap_section("payload", plen, MAX_PAYLOAD_LEN)?;
         let total = poff + 4 + plen;
         need(total)?;
         let payload = &bytes[poff + 4..total];
@@ -337,6 +360,18 @@ impl ShardFrame {
 /// over the payload section bytes.
 pub fn content_hash(header: &[u8], payload: &[u8]) -> u64 {
     fnv1a64_extend(fnv1a64(header), payload)
+}
+
+/// Reject a section length above its cap before anything is allocated.
+fn cap_section(section: &'static str, len: usize, max: usize) -> Result<(), WireError> {
+    if len > max {
+        return Err(WireError::SectionTooLarge {
+            section,
+            len: len as u64,
+            max: max as u64,
+        });
+    }
+    Ok(())
 }
 
 /// Decode every concatenated frame in `bytes` (e.g. one `shard` output
@@ -499,5 +534,48 @@ mod tests {
         let mut bytes = frame("eos", 0, 1).encode();
         bytes.push(0xAB);
         assert!(decode_all(&bytes).is_err());
+    }
+
+    #[test]
+    fn oversized_header_length_is_capped_before_allocation() {
+        let mut bytes = frame("eos", 0, 1).encode();
+        // Forge a header length just past the cap; the truncated buffer
+        // must still produce SectionTooLarge, not Truncated, because the
+        // cap check fires before the decoder commits to the read.
+        bytes[16..20].copy_from_slice(&((MAX_HEADER_LEN as u32) + 1).to_le_bytes());
+        assert_eq!(
+            ShardFrame::decode(&bytes),
+            Err(WireError::SectionTooLarge {
+                section: "header",
+                len: MAX_HEADER_LEN as u64 + 1,
+                max: MAX_HEADER_LEN as u64,
+            })
+        );
+    }
+
+    #[test]
+    fn oversized_payload_length_is_capped_before_allocation() {
+        let whole = frame("eos", 0, 1);
+        let mut bytes = whole.encode();
+        let hlen = u32::from_le_bytes(bytes[16..20].try_into().unwrap()) as usize;
+        let poff = PREFIX_LEN + hlen;
+        bytes[poff..poff + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            ShardFrame::decode(&bytes),
+            Err(WireError::SectionTooLarge {
+                section: "payload",
+                len: u32::MAX as u64,
+                max: MAX_PAYLOAD_LEN as u64,
+            })
+        );
+    }
+
+    #[test]
+    fn in_cap_lengths_on_short_buffers_stay_truncated() {
+        // A plausible (sub-cap) length on a short buffer is still the
+        // Truncated case — the cap must not misclassify honest short reads.
+        let bytes = frame("eos", 0, 1).encode();
+        let cut = &bytes[..PREFIX_LEN + 2];
+        assert!(matches!(ShardFrame::decode(cut), Err(WireError::Truncated { .. })));
     }
 }

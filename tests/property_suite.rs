@@ -984,6 +984,7 @@ mod fused {
                 counts: vec![0; shards],
                 low: 1,
                 high: 0,
+                marks: vec![],
             };
             let observe = |a: &mut EosSweep, _n: u64, b: &&Block| a.observe(b);
             cp.observe_tail(blocks[..pivot].iter().map(|b| (b.num, b)), observe)

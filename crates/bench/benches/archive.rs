@@ -1,0 +1,92 @@
+//! `archive/` benches: the persistent segmented block archive.
+//!
+//! Four arms: sealing a dataset into an on-disk corpus (wire-JSON
+//! encode, LZSS, hashing), replaying the sealed corpus's segments
+//! (decompress and hash-verify), a full cold start
+//! (`pipeline_from_archive`: replay plus per-block wire-JSON parse plus
+//! sidecar rebuild), and the synthetic generator as the baseline the
+//! cold start substitutes for. The archived bytes are the canonical
+//! wire-JSON the crawl replay moves, so the parse cost dominates cold
+//! start — the corpus stands in for a crawl, not for the (cheap,
+//! synthetic) generator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+use txstat_archive::Archive;
+use txstat_reports::{generate, pipeline_from_archive, write_archive, PipelineData};
+use txstat_workload::Scenario;
+
+const SEGMENT_BLOCKS: u64 = 256;
+
+/// The archived scenario must be a preset `scenario_from_meta` can
+/// rebuild on cold start, so the benches use the plain small preset
+/// rather than `bench_scenario()`'s customized window.
+fn scenario() -> Scenario {
+    Scenario::small(42)
+}
+
+/// The dataset the corpus holds, generated once per process.
+fn dataset() -> &'static PipelineData {
+    static DATA: OnceLock<PipelineData> = OnceLock::new();
+    DATA.get_or_init(|| generate(&scenario()))
+}
+
+fn corpus_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("txstat-bench-archive-{tag}-{}", std::process::id()))
+}
+
+/// A sealed corpus of the dataset, written once per process.
+fn sealed() -> &'static PathBuf {
+    static DIR: OnceLock<PathBuf> = OnceLock::new();
+    DIR.get_or_init(|| {
+        let dir = corpus_dir("sealed");
+        let _ = std::fs::remove_dir_all(&dir);
+        write_archive(&dir, dataset(), "small", SEGMENT_BLOCKS).expect("seal bench corpus");
+        dir
+    })
+}
+
+fn archive(c: &mut Criterion) {
+    let data = dataset();
+    let mut g = c.benchmark_group("archive");
+    g.sample_size(10);
+
+    g.bench_function("seal_segment256", |b| {
+        let dir = corpus_dir("seal");
+        b.iter(|| {
+            let _ = std::fs::remove_dir_all(&dir);
+            black_box(write_archive(&dir, data, "small", SEGMENT_BLOCKS).expect("seal"));
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+
+    g.bench_function("replay_all", |b| {
+        let dir = sealed();
+        b.iter(|| {
+            let archive = Archive::open(dir).expect("open corpus");
+            black_box(archive.replay_all().expect("replay"));
+        });
+    });
+
+    g.bench_function("cold_start", |b| {
+        let dir = sealed();
+        b.iter(|| {
+            black_box(pipeline_from_archive(dir).expect("cold start"));
+        });
+    });
+
+    g.bench_function("generate_baseline", |b| {
+        let sc = scenario();
+        b.iter(|| {
+            black_box(generate(&sc));
+        });
+    });
+
+    g.finish();
+    let _ = std::fs::remove_dir_all(sealed());
+}
+
+criterion_group!(benches, archive);
+criterion_main!(benches);

@@ -276,6 +276,7 @@ fn wire_reduce(c: &mut Criterion) {
         .map(|i| ShardWorker {
             start: i * total / K,
             end: if i == K - 1 { total } else { (i + 1) * total / K },
+            base: 0,
             shards: 1,
             payload: PayloadFormat::Bin,
             meta: meta.clone(),

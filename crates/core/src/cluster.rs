@@ -73,6 +73,23 @@ impl ClusterInfo {
     pub fn entity_or(&self, account: AccountId, fallback: &str) -> String {
         self.entity(account).unwrap_or_else(|| fallback.to_owned())
     }
+
+    /// Every registered `(account, username)` pair, sorted by account id —
+    /// the deterministic export order persistent stores serialize in.
+    pub fn usernames_sorted(&self) -> Vec<(AccountId, &str)> {
+        let mut out: Vec<_> =
+            self.usernames.iter().map(|(a, u)| (*a, u.as_str())).collect();
+        out.sort_unstable_by_key(|(a, _)| a.0);
+        out
+    }
+
+    /// Every recorded `(account, parent)` activation edge, sorted by
+    /// account id (see [`ClusterInfo::usernames_sorted`]).
+    pub fn parents_sorted(&self) -> Vec<(AccountId, AccountId)> {
+        let mut out: Vec<_> = self.parents.iter().map(|(a, p)| (*a, *p)).collect();
+        out.sort_unstable_by_key(|(a, _)| a.0);
+        out
+    }
 }
 
 #[cfg(test)]

@@ -381,6 +381,13 @@ pub struct ShardWorker {
     /// 0-based within each chain's block sequence.
     pub start: u64,
     pub end: u64,
+    /// Block position of `blocks[0]` in the slices handed to the frame
+    /// methods. Zero when workers hold whole chains (the generate path);
+    /// an archive cold-start hands only the replayed segments covering
+    /// the assignment, whose first block sits at the covering segment's
+    /// start. Frames still carry absolute positions, so the reducer sees
+    /// no difference.
+    pub base: u64,
     /// In-process sub-accumulator count (≥ 1).
     pub shards: usize,
     /// Payload encoding of the emitted frames: binary columns (v2, the
@@ -393,7 +400,7 @@ pub struct ShardWorker {
 
 impl ShardWorker {
     pub fn new(start: u64, end: u64, meta: Value) -> Self {
-        ShardWorker { start, end, shards: 1, payload: PayloadFormat::default(), meta }
+        ShardWorker { start, end, base: 0, shards: 1, payload: PayloadFormat::default(), meta }
     }
 
     /// Fold the clamped slice through `shards` accumulators, merge in
@@ -406,9 +413,14 @@ impl ShardWorker {
         mut observe: impl FnMut(&mut A, &B),
         merge: impl Fn(&mut A, A),
     ) -> (A, u64, u64, u64) {
-        let start = (self.start as usize).min(blocks.len());
-        let end = (self.end as usize).min(blocks.len()).max(start);
-        let slice = &blocks[start..end];
+        // Work in slice-local coordinates (positions minus `base`), then
+        // report the covered range in absolute positions. With `base == 0`
+        // this is exactly the old whole-chain clamp; with a replayed
+        // sub-range it folds the same blocks in the same order, so the
+        // emitted frame is byte-identical.
+        let lo = (self.start.saturating_sub(self.base) as usize).min(blocks.len());
+        let hi = (self.end.saturating_sub(self.base) as usize).min(blocks.len()).max(lo);
+        let slice = &blocks[lo..hi];
         let shards = self.shards.max(1);
         let mut accs: Vec<A> = (0..shards).map(|_| identity()).collect();
         for (i, b) in slice.iter().enumerate() {
@@ -419,7 +431,7 @@ impl ShardWorker {
         for other in it {
             merge(&mut acc, other);
         }
-        (acc, start as u64, end as u64, slice.len() as u64)
+        (acc, self.base + lo as u64, self.base + hi as u64, slice.len() as u64)
     }
 
     fn frame<A: WireState + Serialize>(

@@ -2,7 +2,20 @@
 //!
 //! ```text
 //! reproduce report [--small] [--seed N] [--crawl [--materialize]] [--out FILE]
+//!                  [--archive DIR]
 //!     Generate the scenario and render every exhibit (the classic run).
+//!     --archive DIR cold-starts from an archived corpus instead of
+//!     generating: the report is byte-identical and no chain is built.
+//!
+//! reproduce archive --out DIR [--small] [--seed N] [--segment-blocks N]
+//!                   [--crawl]
+//!     Generate the scenario once (or measure it over the loopback RPC
+//!     crawl with --crawl) and seal it into an on-disk segmented
+//!     corpus (`txstat_archive`): LZSS-compressed block segments of
+//!     --segment-blocks positions each plus a content-hashed index with
+//!     the scenario manifest and the sidecar (oracle trades, account
+//!     cluster, CPU prices, rolls, governance windows). Every other
+//!     subcommand takes --archive DIR to cold-start from the corpus.
 //!
 //! reproduce shard --range A..B --out FILE [--small] [--seed N] [--shards K]
 //!                 [--payload bin|json]
@@ -17,7 +30,10 @@
 //!     range-assignment requests until killed (or until --max-requests
 //!     assignments have been served — the deterministic way to die
 //!     mid-reduction in tests). It prints `shard worker on ADDR` on
-//!     stdout once bound, for scripts to scrape.
+//!     stdout once bound, for scripts to scrape. Both modes take
+//!     --archive DIR: the worker cold-starts from the corpus and each
+//!     assignment decodes only the segments covering its range — no
+//!     chain generation (`txstat_pipeline_generate_total` stays 0).
 //!
 //! reproduce reduce FRAME-FILE... [--out FILE]
 //! reproduce reduce --connect ADDR,ADDR,... [--small] [--seed N]
@@ -33,7 +49,9 @@
 //!     bounded retry budgets, and straggler re-dispatch: a timed-out or
 //!     dead worker's range goes back on the queue for the survivors, and
 //!     failures name the worker address. --metrics-out dumps the
-//!     `txstat_fleet_*` counters (Prometheus text) at exit.
+//!     `txstat_fleet_*` counters (Prometheus text) at exit. Fleet mode
+//!     takes --archive DIR to cold-start the reducer-side dataset from
+//!     the corpus instead of generating it.
 //!
 //! reproduce follow [--small] [--seed N] [--batch N] [--shards K] [--out FILE]
 //!                  [--snapshots W] [--reorg-at-batch R] [--reorg-depth D]
@@ -47,7 +65,11 @@
 //!     invalidated suffix (or rebuild when it predates the snapshot
 //!     window), re-sweep to the new head, and the run fails unless the
 //!     result is byte-identical to a from-scratch sweep of the reorged
-//!     chains.
+//!     chains. --archive DIR persists the followed corpus: cold-start
+//!     from it when it exists (create it otherwise), seal one segment
+//!     per observed batch, and on reorg truncate + re-seal only the
+//!     disagreeing segment suffix; the run fails unless the re-opened
+//!     archive replays byte-identical to the followed chains.
 //!
 //! reproduce chaos --upstream ADDR [--listen ADDR] [--fault-rate F]
 //!                 [--truncate-rate F] [--flip-rate F] [--latency-ms L]
@@ -106,9 +128,10 @@ use txstat_netsim::{
 };
 use txstat_reports::{
     eos_block_hash, generate, generate_with_crawl, generate_with_crawl_streamed,
-    reduce_frames_labeled, reduce_frames_labeled_into, render_report, reorg_data,
-    scenario_from_meta, scenario_meta, shard_scenario, tezos_block_hash, xrp_block_hash,
-    CrawlOptions, EpochFollower, PipelineData, ServeSnapshot, ShardContext, StatsService,
+    pipeline_from_archive, reduce_frames_labeled, reduce_frames_labeled_into, render_report,
+    reorg_data, scenario_from_meta, scenario_meta, tezos_block_hash, write_archive,
+    xrp_block_hash, CrawlOptions, EpochFollower, Manifest, PipelineData, ServeSnapshot,
+    ShardContext, StatsService,
 };
 use txstat_wire::{PayloadFormat, ShardFrame};
 use txstat_workload::Scenario;
@@ -119,23 +142,35 @@ usage: reproduce <subcommand> [options]
 subcommands:
   report   render every exhibit from the generated scenario (default)
            [--small] [--seed N] [--crawl [--materialize]] [--out FILE]
+           [--archive DIR]
+  archive  generate (or --crawl) the scenario once and seal it into an
+           on-disk segmented corpus other subcommands cold-start from
+           (--archive DIR)
+           --out DIR [--small] [--seed N] [--segment-blocks N] [--crawl]
   shard    sweep block positions [A, B) into a wire-frame bundle, or serve
            ranges over a socket as one fleet worker
            --range A..B --out FILE [--small] [--seed N] [--shards K]
            [--payload bin|json]  (bin = schema v2 binary columns, default;
                                   json = v1 frames for old reducers)
            --listen ADDR [--max-requests N] [--timeout-ms MS]
+           [--archive DIR]  (serve block ranges straight from the mapped
+                             segments — no chain generation)
   reduce   merge shard frames and render the full report, from files or by
            driving a socket worker fleet (retry/backoff + re-dispatch)
            FRAME-FILE... [--out FILE]
            --connect ADDR,ADDR,... [--small] [--seed N] [--shards K]
            [--payload bin|json] [--chunks N] [--timeout-ms MS]
            [--retries N] [--backoff-ms MS] [--metrics-out FILE]
+           [--archive DIR]
   follow   incremental re-render loop over the appending chains, with
            reorg-safe rollback via per-batch content marks
            [--small] [--seed N] [--batch N] [--shards K] [--out FILE]
            [--snapshots W] [--reorg-at-batch R] [--reorg-depth D]
            [--reorg-seed S] [--metrics-out FILE]
+           [--archive DIR]  (cold-start from the corpus when it exists,
+                             create it otherwise; every batch is sealed as
+                             one segment and a reorg truncates + re-seals
+                             only the disagreeing segment suffix)
   chaos    fault-injecting TCP proxy for rehearsing worker failure
            --upstream ADDR [--listen ADDR] [--fault-rate F]
            [--truncate-rate F] [--flip-rate F] [--latency-ms L]
@@ -143,7 +178,7 @@ subcommands:
   serve    epoch-swapped query service over the follow loop
            [--small] [--seed N] [--port P] [--batch N] [--shards K]
            [--epoch-ms MS] [--rate R] [--burst B] [--max-inflight N]
-           [--load [--conns N] [--reqs N]]
+           [--load [--conns N] [--reqs N]] [--archive DIR]
   query    scripting client for serve: GET PATH... against --addr HOST:PORT
            [--wait-head S] [--expect-status N] [--out FILE] [--shutdown]
 
@@ -213,6 +248,39 @@ fn scenario_of(args: &Args) -> Result<(Scenario, &'static str), String> {
     })
 }
 
+/// An archived corpus defines its own scenario; explicit `--small`/`--seed`
+/// flags alongside `--archive` must agree with the manifest (nothing is
+/// silently re-generated against different parameters).
+fn check_archive_scenario(args: &Args, meta: &serde_json::Value) -> Result<(), String> {
+    if args.has("--small") || args.get("--seed").is_some() {
+        let (sc, mode) = scenario_of(args)?;
+        if scenario_meta(&sc, mode) != *meta {
+            return Err(format!(
+                "--archive: the corpus does not hold the requested {mode} scenario \
+                 (seed {}); drop the scenario flags or point at a matching archive",
+                sc.seed
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Cold-start a full dataset from `--archive DIR`: open + verify the
+/// corpus, cross-check any explicit scenario flags against its manifest,
+/// and return the dataset with the archived scenario adopted.
+fn archive_dataset(
+    args: &Args,
+    dir: &str,
+) -> Result<(PipelineData, txstat_archive::Archive, String), String> {
+    txstat_reports::pipeline::register_metrics();
+    txstat_archive::register_metrics();
+    let (data, archive) = pipeline_from_archive(std::path::Path::new(dir))?;
+    let manifest = Manifest::parse(archive.manifest())?;
+    check_archive_scenario(args, &manifest.meta)?;
+    let (_, mode) = scenario_from_meta(&manifest.meta)?;
+    Ok((data, archive, mode))
+}
+
 /// Arm the global tracer per `--trace-out FILE` (NDJSON span events) and
 /// `--timings` (end-of-run stage summary). Either flag enables tracing;
 /// with neither, spans stay inert (one relaxed load each).
@@ -269,11 +337,31 @@ fn cmd_report(raw: &[String]) -> Result<(), String> {
     let args = Args::parse(
         raw,
         &["--small", "--crawl", "--materialize", "--timings"],
-        &["--seed", "--out", "--trace-out"],
+        &["--seed", "--out", "--trace-out", "--archive", "--metrics-out"],
         false,
     )?;
     let (sc, _) = scenario_of(&args)?;
     init_tracing(&args)?;
+
+    if let Some(dir) = args.get("--archive") {
+        if args.has("--crawl") {
+            return Err("report takes --archive or --crawl, not both".to_owned());
+        }
+        let started = std::time::Instant::now();
+        let (data, archive, mode) = archive_dataset(&args, dir)?;
+        eprintln!(
+            "cold-started {mode} scenario (seed {}) from archive {dir}: {} segment(s), \
+             {} block positions",
+            data.scenario.seed,
+            archive.segments().len(),
+            archive.total_positions(),
+        );
+        eprintln!("pipeline ready in {:?}; rendering exhibits…", started.elapsed());
+        let result = write_output(&render_report(&data), args.get("--out"));
+        dump_metrics(&args)?;
+        finish_tracing(&args);
+        return result;
+    }
 
     eprintln!(
         "scenario: {} .. {} (divisors: EOS 1/{}, Tezos 1/{}, XRP 1/{})",
@@ -324,6 +412,56 @@ fn cmd_report(raw: &[String]) -> Result<(), String> {
     result
 }
 
+/// The `archive` subcommand: generate the scenario once and seal it into
+/// the on-disk segmented corpus that `report`/`shard`/`reduce`/`follow`/
+/// `serve --archive DIR` cold-start from.
+fn cmd_archive(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(
+        raw,
+        &["--small", "--crawl", "--timings"],
+        &["--seed", "--out", "--segment-blocks", "--trace-out", "--metrics-out"],
+        false,
+    )?;
+    let (sc, mode) = scenario_of(&args)?;
+    init_tracing(&args)?;
+    let out = args.get("--out").ok_or("archive needs --out DIR")?;
+    let segment_blocks: u64 = args.parsed("--segment-blocks", 256)?;
+    if segment_blocks == 0 {
+        return Err("--segment-blocks must be at least 1".to_owned());
+    }
+    txstat_reports::pipeline::register_metrics();
+    txstat_archive::register_metrics();
+    let started = std::time::Instant::now();
+    let data = if args.has("--crawl") {
+        let opts = if args.has("--small") { CrawlOptions::default() } else { CrawlOptions::paper() };
+        eprintln!(
+            "generating {mode} scenario (seed {}); crawling over loopback RPC; sealing archive…",
+            sc.seed
+        );
+        // Materializing crawl: the corpus needs the block bytes, which the
+        // streamed path deliberately never holds.
+        let rt = tokio::runtime::Runtime::new().expect("tokio runtime");
+        rt.block_on(generate_with_crawl(&sc, &opts)).map_err(|e| e.to_string())?
+    } else {
+        eprintln!("generating {mode} scenario (seed {}); sealing archive…", sc.seed);
+        generate(&sc)
+    };
+    let stats = write_archive(std::path::Path::new(out), &data, mode, segment_blocks)?;
+    eprintln!(
+        "archive sealed in {:?}: {} segment(s) over {} block positions, \
+         {} raw bytes -> {} compressed ({:.1}%) in {out}",
+        started.elapsed(),
+        stats.segments,
+        stats.total_positions,
+        stats.raw_bytes,
+        stats.compressed_bytes,
+        100.0 * stats.compressed_bytes as f64 / (stats.raw_bytes as f64).max(1.0),
+    );
+    dump_metrics(&args)?;
+    finish_tracing(&args);
+    Ok(())
+}
+
 fn parse_range(s: &str) -> Result<(u64, u64), String> {
     let (a, b) = s
         .split_once("..")
@@ -336,10 +474,40 @@ fn parse_range(s: &str) -> Result<(u64, u64), String> {
     Ok((start, end))
 }
 
+/// The shard worker's prepared state plus the assignment meta it accepts:
+/// generated from the scenario flags, or cold-started from `--archive DIR`
+/// (no chain generation — assignments replay only their covering
+/// segments). Both paths register the generation and archive metric
+/// families, so `--metrics-out` always carries
+/// `txstat_pipeline_generate_total` and `txstat_archive_*` (zero when
+/// idle) and tests can pin which path ran.
+fn shard_context_of(args: &Args) -> Result<(ShardContext, serde_json::Value), String> {
+    txstat_reports::pipeline::register_metrics();
+    txstat_archive::register_metrics();
+    match args.get("--archive") {
+        Some(dir) => {
+            let (ctx, manifest) =
+                ShardContext::from_archive(std::path::Path::new(dir))?;
+            check_archive_scenario(args, &manifest.meta)?;
+            eprintln!(
+                "cold-started from archive {dir}: {} block positions mapped, \
+                 no chains generated",
+                ctx.total_blocks()
+            );
+            Ok((ctx, manifest.meta))
+        }
+        None => {
+            let (sc, mode) = scenario_of(args)?;
+            eprintln!("generating {mode} scenario (seed {})…", sc.seed);
+            Ok((ShardContext::new(&sc), scenario_meta(&sc, mode)))
+        }
+    }
+}
+
 /// Socket worker mode of `shard`: bind, announce the address, and answer
-/// fleet range assignments against one pre-generated scenario until the
+/// fleet range assignments against one prepared context until the
 /// request budget (if any) is spent.
-fn shard_listen(args: &Args, sc: &Scenario, mode: &str, listen: &str) -> Result<(), String> {
+fn shard_listen(args: &Args, listen: &str) -> Result<(), String> {
     let max_requests: Option<u64> = match args.get("--max-requests") {
         None => None,
         Some(s) => {
@@ -348,9 +516,8 @@ fn shard_listen(args: &Args, sc: &Scenario, mode: &str, listen: &str) -> Result<
     };
     let timeout_ms: u64 = args.parsed("--timeout-ms", 10_000)?;
     txstat_ingest::fleet::register_metrics();
-    eprintln!("generating {mode} scenario (seed {}); serving shard assignments…", sc.seed);
-    let ctx = ShardContext::new(sc);
-    let expected = scenario_meta(sc, mode);
+    let (ctx, expected) = shard_context_of(args)?;
+    eprintln!("serving shard assignments…");
     let listener = std::net::TcpListener::bind(listen)
         .map_err(|e| format!("cannot bind {listen}: {e}"))?;
     let addr = listener.local_addr().map_err(|e| e.to_string())?;
@@ -360,10 +527,9 @@ fn shard_listen(args: &Args, sc: &Scenario, mode: &str, listen: &str) -> Result<
     let served =
         serve_assignments(&listener, max_requests, Duration::from_millis(timeout_ms), |a| {
             if a.meta != expected {
-                return Err(format!(
-                    "assignment meta does not describe this worker's {mode} scenario (seed {})",
-                    sc.seed
-                ));
+                return Err(
+                    "assignment meta does not describe this worker's scenario".to_owned()
+                );
             }
             eprintln!(
                 "assignment [{}, {}): {} shard(s), {} payload",
@@ -372,7 +538,7 @@ fn shard_listen(args: &Args, sc: &Scenario, mode: &str, listen: &str) -> Result<
                 a.shards,
                 a.payload.tag()
             );
-            Ok(ctx.frames(a.meta.clone(), a.start, a.end, a.shards, a.payload))
+            ctx.frames(a.meta.clone(), a.start, a.end, a.shards, a.payload)
         })
         .map_err(|e| format!("worker accept loop: {e}"))?;
     eprintln!("worker served {served} assignment(s); exiting");
@@ -395,13 +561,13 @@ fn cmd_shard(raw: &[String]) -> Result<(), String> {
             "--max-requests",
             "--timeout-ms",
             "--metrics-out",
+            "--archive",
         ],
         false,
     )?;
-    let (sc, mode) = scenario_of(&args)?;
     init_tracing(&args)?;
     if let Some(listen) = args.get("--listen") {
-        let result = shard_listen(&args, &sc, mode, listen);
+        let result = shard_listen(&args, listen);
         finish_tracing(&args);
         return result;
     }
@@ -416,7 +582,8 @@ fn cmd_shard(raw: &[String]) -> Result<(), String> {
     };
 
     let started = std::time::Instant::now();
-    let frames = shard_scenario(&sc, scenario_meta(&sc, mode), start, end, shards, payload);
+    let (ctx, meta) = shard_context_of(&args)?;
+    let frames = ctx.frames(meta, start, end, shards, payload)?;
     for f in &frames {
         eprintln!(
             "{}: swept positions [{}, {}) — {} blocks (schema v{}, {} payload)",
@@ -442,6 +609,7 @@ fn cmd_shard(raw: &[String]) -> Result<(), String> {
         started.elapsed(),
         out
     );
+    dump_metrics(&args)?;
     finish_tracing(&args);
     Ok(())
 }
@@ -450,7 +618,6 @@ fn cmd_shard(raw: &[String]) -> Result<(), String> {
 /// `--connect` workers through the retry/backoff/re-dispatch loop, then
 /// merge whatever frames the survivors produced.
 fn reduce_fleet_mode(args: &Args, connect: &str) -> Result<PipelineData, String> {
-    let (sc, mode) = scenario_of(args)?;
     let workers: Vec<String> = connect
         .split(',')
         .map(str::trim)
@@ -463,25 +630,39 @@ fn reduce_fleet_mode(args: &Args, connect: &str) -> Result<PipelineData, String>
         Some(s) => PayloadFormat::parse(s)
             .ok_or_else(|| format!("--payload wants json or bin, got {s:?}"))?,
     };
+    txstat_ingest::fleet::register_metrics();
+    // The reducer's own dataset: cold-started from the corpus with
+    // `--archive` (the scenario comes from the manifest), generated from
+    // the scenario flags otherwise.
+    let (data, mode) = match args.get("--archive") {
+        Some(dir) => {
+            let (data, archive, mode) = archive_dataset(args, dir)?;
+            eprintln!(
+                "cold-started reducer dataset from archive {dir} ({} segment(s))",
+                archive.segments().len()
+            );
+            (data, mode)
+        }
+        None => {
+            let (sc, mode) = scenario_of(args)?;
+            eprintln!("generating {mode} scenario (seed {})…", sc.seed);
+            (generate(&sc), mode.to_owned())
+        }
+    };
+    let sc = data.scenario.clone();
     let mut cfg = FleetConfig::new(workers);
     cfg.chunks = args.parsed("--chunks", 0)?;
     cfg.timeout = Duration::from_millis(args.parsed("--timeout-ms", 10_000)?);
     cfg.retries = args.parsed("--retries", 4)?;
     cfg.backoff_ms = args.parsed("--backoff-ms", 50)?;
     cfg.seed = sc.seed;
-    txstat_ingest::fleet::register_metrics();
-    eprintln!(
-        "generating {mode} scenario (seed {}); driving {} worker(s)…",
-        sc.seed,
-        cfg.workers.len()
-    );
-    let data = generate(&sc);
+    eprintln!("driving {} worker(s)…", cfg.workers.len());
     let total = data
         .eos_blocks
         .len()
         .max(data.tezos_blocks.len())
         .max(data.xrp_blocks.len()) as u64;
-    let labeled = reduce_fleet(&cfg, total, shards, payload, scenario_meta(&sc, mode))
+    let labeled = reduce_fleet(&cfg, total, shards, payload, scenario_meta(&sc, &mode))
         .map_err(|e| e.to_string())?;
     eprintln!("fleet returned {} frames; merging…", labeled.len());
     reduce_frames_labeled_into(data, &labeled)
@@ -503,6 +684,7 @@ fn cmd_reduce(raw: &[String]) -> Result<(), String> {
             "--retries",
             "--backoff-ms",
             "--metrics-out",
+            "--archive",
         ],
         true,
     )?;
@@ -514,6 +696,11 @@ fn cmd_reduce(raw: &[String]) -> Result<(), String> {
         }
         reduce_fleet_mode(&args, connect)?
     } else {
+        if args.get("--archive").is_some() {
+            return Err("reduce --archive needs --connect (the cold-start is fleet mode; \
+                        file mode takes its scenario from the frames)"
+                .to_owned());
+        }
         if args.positionals.is_empty() {
             return Err(
                 "reduce needs at least one frame file (or --connect ADDR,...)".to_owned()
@@ -603,6 +790,29 @@ fn drive_to_head<A: Clone, B>(
     Ok(())
 }
 
+/// Seal the follow loop's observed-but-not-yet-archived positions
+/// `[writer.total_positions(), upto)` as segments of `seg_blocks`
+/// positions (one per batch in steady state).
+fn archive_append_to(
+    w: &mut txstat_archive::ArchiveWriter,
+    d: &PipelineData,
+    upto: usize,
+    seg_blocks: u64,
+) -> Result<(), String> {
+    let from = w.total_positions();
+    let cap = |len: usize| upto.min(len);
+    for seg in txstat_reports::archive_io::segments_of_from(
+        &d.eos_blocks[..cap(d.eos_blocks.len())],
+        &d.tezos_blocks[..cap(d.tezos_blocks.len())],
+        &d.xrp_blocks[..cap(d.xrp_blocks.len())],
+        seg_blocks,
+        from,
+    ) {
+        w.append(&seg).map_err(|e| format!("archive append: {e}"))?;
+    }
+    Ok(())
+}
+
 fn cmd_follow(raw: &[String]) -> Result<(), String> {
     let args = Args::parse(
         raw,
@@ -618,10 +828,11 @@ fn cmd_follow(raw: &[String]) -> Result<(), String> {
             "--reorg-depth",
             "--reorg-seed",
             "--metrics-out",
+            "--archive",
         ],
         false,
     )?;
-    let (sc, _) = scenario_of(&args)?;
+    let (sc, mode) = scenario_of(&args)?;
     init_tracing(&args)?;
     let batch: usize = args.parsed("--batch", 500)?;
     if batch == 0 {
@@ -640,10 +851,42 @@ fn cmd_follow(raw: &[String]) -> Result<(), String> {
     let reorg_depth: usize = args.parsed("--reorg-depth", batch)?;
     let reorg_seed: u64 = args.parsed("--reorg-seed", 1)?;
     txstat_ingest::follow::register_metrics();
+    txstat_reports::pipeline::register_metrics();
+    txstat_archive::register_metrics();
 
-    eprintln!("generating chains; following head in batches of {batch} blocks per chain…");
-    let data = generate(&sc);
-    let period = sc.period;
+    // With --archive: cold-start from the corpus when one exists there,
+    // otherwise generate and create it; either way each observed batch is
+    // sealed into the corpus as one segment.
+    let seg_blocks = batch as u64;
+    let (data, mut writer) = match args.get("--archive") {
+        Some(dir) => {
+            let path = std::path::Path::new(dir);
+            if path.join(txstat_archive::IDX_FILE).exists() {
+                let (data, archive, mode) = archive_dataset(&args, dir)?;
+                eprintln!(
+                    "cold-started {mode} scenario from archive {dir}; following head in \
+                     batches of {batch} blocks per chain…"
+                );
+                let writer = archive
+                    .into_writer()
+                    .map_err(|e| format!("archive {dir}: {e}"))?;
+                (data, Some(writer))
+            } else {
+                eprintln!(
+                    "generating chains; creating archive {dir} and following head in \
+                     batches of {batch} blocks per chain…"
+                );
+                let data = generate(&sc);
+                let writer = txstat_reports::create_archive_writer(path, &data, mode, seg_blocks)?;
+                (data, Some(writer))
+            }
+        }
+        None => {
+            eprintln!("generating chains; following head in batches of {batch} blocks per chain…");
+            (generate(&sc), None)
+        }
+    };
+    let period = data.scenario.period;
 
     // One mark-sealing follower per chain: each batch appends a tail
     // through the checkpoint (the observed prefix is never re-swept) and
@@ -686,6 +929,13 @@ fn cmd_follow(raw: &[String]) -> Result<(), String> {
         let hi = (offset + batch).min(total);
         advance_all(&data, offset, hi, &mut eos_f, &mut tz_f, &mut xrp_f)?;
         round += 1;
+        // Seal this batch's positions into the corpus (a no-op when a
+        // cold-started archive already covers them).
+        if let Some(w) = writer.as_mut() {
+            if (hi as u64) > w.total_positions() {
+                archive_append_to(w, &data, hi, seg_blocks)?;
+            }
+        }
 
         // Re-render the headline statistics from the merged (cloned) shard
         // state — O(shards) merges, no prefix re-sweep.
@@ -718,6 +968,18 @@ fn cmd_follow(raw: &[String]) -> Result<(), String> {
         let from = offset.saturating_sub(reorg_depth);
         eprintln!("injecting reorg: rewriting block positions {from}.. (seed {reorg_seed})");
         let reorged = reorg_data(&data, from, reorg_seed);
+        // The corpus rolls back exactly like the followers: only segments
+        // overlapping the rewritten suffix are dropped, then the tail is
+        // re-sealed from the reorged chains.
+        if let Some(w) = writer.as_mut() {
+            let dropped =
+                w.truncate_from(from as u64).map_err(|e| format!("archive truncate: {e}"))?;
+            eprintln!(
+                "archive: reorg invalidated {dropped} segment(s); re-sealing from position {}",
+                w.total_positions()
+            );
+            archive_append_to(w, &reorged, total, seg_blocks)?;
+        }
         for (r, chain) in [
             (eos_f.resync(&reorged.eos_blocks, eos_block_hash), "eos"),
             (tz_f.resync(&reorged.tezos_blocks, tezos_block_hash), "tezos"),
@@ -779,6 +1041,43 @@ fn cmd_follow(raw: &[String]) -> Result<(), String> {
                 .to_owned());
         }
         eprintln!("reorg recovery verified: report byte-identical to a from-scratch sweep");
+    }
+    // Seal the corpus index and prove the round trip: reopening the
+    // archive must replay every chain byte-identical to what the follow
+    // loop observed (including any reorged suffix).
+    if let Some(w) = writer.take() {
+        w.seal().map_err(|e| format!("archive seal: {e}"))?;
+        let dir = args.get("--archive").expect("writer implies --archive");
+        let (replayed, archive) = pipeline_from_archive(std::path::Path::new(dir))?;
+        use txstat_reports::archive_io::{eos_block_bytes, tezos_block_bytes, xrp_block_bytes};
+        let same = replayed.eos_blocks.len() == final_data.eos_blocks.len()
+            && replayed.tezos_blocks.len() == final_data.tezos_blocks.len()
+            && replayed.xrp_blocks.len() == final_data.xrp_blocks.len()
+            && replayed
+                .eos_blocks
+                .iter()
+                .zip(final_data.eos_blocks.iter())
+                .all(|(a, b)| eos_block_bytes(a) == eos_block_bytes(b))
+            && replayed
+                .tezos_blocks
+                .iter()
+                .zip(final_data.tezos_blocks.iter())
+                .all(|(a, b)| tezos_block_bytes(a) == tezos_block_bytes(b))
+            && replayed
+                .xrp_blocks
+                .iter()
+                .zip(final_data.xrp_blocks.iter())
+                .all(|(a, b)| xrp_block_bytes(a) == xrp_block_bytes(b));
+        if !same {
+            return Err(format!(
+                "archive verification diverged: {dir} does not replay byte-identical \
+                 to the followed chains"
+            ));
+        }
+        eprintln!(
+            "archive verified: {} segment(s) replay byte-identical to the followed chains",
+            archive.segments().len()
+        );
     }
     let result = write_output(&report, args.get("--out"));
     dump_metrics(&args)?;
@@ -875,6 +1174,7 @@ fn cmd_serve(raw: &[String]) -> Result<(), String> {
             "--conns",
             "--reqs",
             "--trace-out",
+            "--archive",
         ],
         false,
     )?;
@@ -891,17 +1191,37 @@ fn cmd_serve(raw: &[String]) -> Result<(), String> {
     let burst: f64 = args.parsed("--burst", 5_000.0)?;
     let max_inflight: u64 = args.parsed("--max-inflight", 256)?;
 
-    eprintln!("generating {mode} scenario (seed {}); serving in epochs of {batch} blocks…", sc.seed);
     // The serve path exports through the process-global registry so
     // `/metrics` carries every layer's families (ingest counters from the
     // shard pools, reduce/epoch progress from the follow loop, serve route
     // stats) in one exposition.
     let registry = txstat_telemetry::registry().clone();
-    // Fleet and follow families render at zero even when this process
-    // never runs them — dashboards can rely on their presence.
+    // Fleet, follow, generation, and archive families render at zero even
+    // when this process never runs them — dashboards can rely on their
+    // presence.
     txstat_ingest::fleet::register_metrics();
     txstat_ingest::follow::register_metrics();
-    let mut follower = EpochFollower::new(generate(&sc), batch, shards);
+    txstat_reports::pipeline::register_metrics();
+    txstat_archive::register_metrics();
+    let data = match args.get("--archive") {
+        Some(dir) => {
+            let (data, _archive, archived_mode) = archive_dataset(&args, dir)?;
+            eprintln!(
+                "cold-started {archived_mode} scenario (seed {}) from archive {dir}; \
+                 serving in epochs of {batch} blocks…",
+                data.scenario.seed
+            );
+            data
+        }
+        None => {
+            eprintln!(
+                "generating {mode} scenario (seed {}); serving in epochs of {batch} blocks…",
+                sc.seed
+            );
+            generate(&sc)
+        }
+    };
+    let mut follower = EpochFollower::new(data, batch, shards);
     follower.bind_metrics(&registry);
     // First epoch before accepting queries, so every response has sweeps.
     let first = follower.advance()?;
@@ -1096,6 +1416,7 @@ fn run() -> Result<(), String> {
     match argv.first().map(String::as_str) {
         None => cmd_report(&[]),
         Some("report") => cmd_report(&argv[1..]),
+        Some("archive") => cmd_archive(&argv[1..]),
         Some("shard") => cmd_shard(&argv[1..]),
         Some("reduce") => cmd_reduce(&argv[1..]),
         Some("follow") => cmd_follow(&argv[1..]),

@@ -5,6 +5,7 @@
 //! the paper-vs-measured comparison that EXPERIMENTS.md records, and
 //! [`serve`] wraps it all in an epoch-swapped long-lived query service.
 
+pub mod archive_io;
 pub mod exhibits;
 pub mod paper;
 pub mod pipeline;
@@ -15,11 +16,13 @@ pub use exhibits::{
 };
 pub use paper::{comparison, render_comparison, ComparisonRow};
 pub use serve::{EpochFollower, ServeSnapshot, StatsService};
+pub use archive_io::{Manifest, Sidecar};
 pub use pipeline::{
-    eos_block_hash, generate, generate_with_crawl, generate_with_crawl_streamed, reduce_frames,
-    reduce_frames_labeled, reduce_frames_labeled_into, reorg_data, scenario_from_meta, scenario_meta, shard_scenario,
-    tezos_block_hash, xrp_block_hash, ChainStreamInfo, ChainSweeps, CrawlOptions, PipelineData,
-    ShardContext, StreamSummary,
+    create_archive_writer, eos_block_hash, generate, generate_with_crawl,
+    generate_with_crawl_streamed, pipeline_from_archive, reduce_frames, reduce_frames_labeled,
+    reduce_frames_labeled_into, reorg_data, scenario_from_meta, scenario_meta, shard_scenario,
+    tezos_block_hash, write_archive, xrp_block_hash, ArchiveStats, ChainStreamInfo, ChainSweeps,
+    CrawlOptions, PipelineData, ShardContext, StreamSummary,
 };
 
 #[cfg(test)]

@@ -31,8 +31,9 @@ use txstat_ingest::{
     spawn_sharded, EosCrawlSource, GaugeSnapshot, IngestOptions, IngestOutcome, RateCache,
     ReduceError, ReduceSession, ShardWorker, Sink, TezosCrawlSource, XrpCrawlSource,
 };
-use txstat_telemetry::Span;
+use txstat_telemetry::{static_counter, Span};
 use txstat_ingest::source::BlockSource;
+use txstat_archive::{Archive, ArchiveWriter};
 use txstat_wire::{PayloadFormat, ShardFrame};
 use txstat_netsim::handlers::{EosRpcHandler, TezosRpcHandler, XrpRpcHandler};
 use txstat_netsim::server::{spawn_http, spawn_ndjson, EndpointHandle};
@@ -289,8 +290,33 @@ fn cluster_from_ledger(ledger: &txstat_xrp::XrpLedger) -> ClusterInfo {
     cluster
 }
 
+/// Count every from-scratch chain build (all three chains generated).
+/// Workers cold-starting from an archive must leave this at zero — the
+/// fleet smoke pins that through `--metrics-out`.
+fn count_generation() {
+    static_counter!(
+        GEN,
+        "txstat_pipeline_generate_total",
+        "Full chain-generation passes (all three chains built from scratch)"
+    )
+    .inc();
+}
+
+/// Register the pipeline's metric families at zero, so a process that
+/// never generates (an archive cold-start) still exposes them.
+pub fn register_metrics() {
+    txstat_telemetry::registry()
+        .counter_with(
+            "txstat_pipeline_generate_total",
+            "Full chain-generation passes (all three chains built from scratch)",
+            &[],
+        )
+        .add(0);
+}
+
 /// Direct path: generate the three chains and read them in-process.
 pub fn generate(sc: &Scenario) -> PipelineData {
+    count_generation();
     let eos = build_eos(sc);
     let tezos = build_tezos(sc);
     let xrp = build_xrp(sc);
@@ -321,6 +347,155 @@ pub fn generate(sc: &Scenario) -> PipelineData {
         sweeps: OnceLock::new(),
         storage_memo: Arc::new(OnceLock::new()),
     }
+}
+
+/// Accounting returned by [`write_archive`].
+#[derive(Debug, Clone, Copy)]
+pub struct ArchiveStats {
+    pub segments: usize,
+    pub total_positions: u64,
+    pub raw_bytes: u64,
+    pub compressed_bytes: u64,
+}
+
+/// The dataset's non-chain state in the archive sidecar's deterministic
+/// export order (maps sorted by key, so two writes of the same dataset
+/// are byte-identical).
+fn sidecar_from_data(data: &PipelineData) -> crate::Sidecar {
+    let mut tezos_rolls: Vec<(Address, u64)> =
+        data.tezos_rolls.iter().map(|(a, r)| (*a, *r)).collect();
+    tezos_rolls.sort_unstable_by_key(|(a, _)| (a.kind as u8, a.id));
+    crate::Sidecar {
+        trades: data.trades.as_ref().clone(),
+        usernames: data
+            .cluster
+            .usernames_sorted()
+            .into_iter()
+            .map(|(a, u)| (a, u.to_owned()))
+            .collect(),
+        parents: data.cluster.parents_sorted(),
+        eos_cpu_price: data.eos_cpu_price.as_ref().clone(),
+        eos_dropped_txs: data.eos_dropped_txs,
+        tezos_rolls,
+        governance_periods: data.governance_periods.clone(),
+    }
+}
+
+/// Create an empty archive for `data`'s scenario at `dir` — manifest and
+/// sidecar sealed, no segments yet. The follow loop uses this to seal one
+/// segment per observed batch; [`write_archive`] appends every segment in
+/// one go.
+pub fn create_archive_writer(
+    dir: &std::path::Path,
+    data: &PipelineData,
+    mode: &str,
+    segment_blocks: u64,
+) -> Result<ArchiveWriter, String> {
+    if segment_blocks == 0 {
+        return Err("--segment-blocks must be at least 1".into());
+    }
+    let manifest = crate::Manifest {
+        meta: scenario_meta(&data.scenario, mode),
+        segment_blocks,
+        lens: [
+            data.eos_blocks.len() as u64,
+            data.tezos_blocks.len() as u64,
+            data.xrp_blocks.len() as u64,
+        ],
+    };
+    let sidecar = sidecar_from_data(data);
+    ArchiveWriter::create(dir, &manifest.to_string(), &sidecar.encode())
+        .map_err(|e| format!("archive {}: {e}", dir.display()))
+}
+
+/// Seal a dataset into an on-disk archive at `dir`: the three chains cut
+/// into LZSS-compressed segments of `segment_blocks` positions each,
+/// plus a manifest (scenario provenance) and sidecar (oracle trades,
+/// cluster, rolls, governance windows). A later process cold-starts from
+/// the directory with [`pipeline_from_archive`] or
+/// [`ShardContext::from_archive`] without generating any chain.
+pub fn write_archive(
+    dir: &std::path::Path,
+    data: &PipelineData,
+    mode: &str,
+    segment_blocks: u64,
+) -> Result<ArchiveStats, String> {
+    let _span = Span::enter("archive_write", &dir.display().to_string());
+    let err = |e: txstat_archive::ArchiveError| format!("archive {}: {e}", dir.display());
+    let mut writer = create_archive_writer(dir, data, mode, segment_blocks)?;
+    for seg in crate::archive_io::segments_of(
+        &data.eos_blocks,
+        &data.tezos_blocks,
+        &data.xrp_blocks,
+        segment_blocks,
+    ) {
+        writer.append(&seg).map_err(err)?;
+    }
+    writer.seal().map_err(err)?;
+    let (raw, comp) = writer
+        .segments()
+        .iter()
+        .fold((0u64, 0u64), |(r, c), s| (r + s.raw_len, c + s.comp_len));
+    Ok(ArchiveStats {
+        segments: writer.segments().len(),
+        total_positions: writer.total_positions(),
+        raw_bytes: raw,
+        compressed_bytes: comp,
+    })
+}
+
+/// Cold-start path: rebuild the full dataset from an archive directory —
+/// replay every segment into the three chain vectors and rehydrate the
+/// oracle/cluster/rolls from the sidecar. No chain generation runs
+/// (`txstat_pipeline_generate_total` stays at zero); the result renders
+/// byte-identically to [`generate`] on the archived scenario. Also
+/// returns the opened [`Archive`] so callers can keep appending
+/// (`follow`) or replaying ranges.
+pub fn pipeline_from_archive(
+    dir: &std::path::Path,
+) -> Result<(PipelineData, Archive), String> {
+    let archive = Archive::open(dir).map_err(|e| format!("archive {}: {e}", dir.display()))?;
+    let manifest = crate::Manifest::parse(archive.manifest())?;
+    let (sc, _mode) = scenario_from_meta(&manifest.meta)?;
+    let sidecar = crate::Sidecar::decode(archive.sidecar())?;
+    let segments = archive.replay_all().map_err(|e| format!("archive {}: {e}", dir.display()))?;
+    let (eos_blocks, tezos_blocks, xrp_blocks) = crate::archive_io::chains_of(&segments)?;
+    let lens = [eos_blocks.len() as u64, tezos_blocks.len() as u64, xrp_blocks.len() as u64];
+    if lens != manifest.lens {
+        return Err(format!(
+            "archive {}: replayed chain lengths {:?} disagree with manifest {:?}",
+            dir.display(),
+            lens,
+            manifest.lens
+        ));
+    }
+    let oracle =
+        RateOracle::from_trades(&sidecar.trades, sc.period.end, sc.period.days() as i64 + 1);
+    let mut cluster = ClusterInfo::new();
+    for (a, u) in &sidecar.usernames {
+        cluster.insert(*a, Some(u.clone()), None);
+    }
+    for (a, p) in &sidecar.parents {
+        cluster.insert(*a, None, Some(*p));
+    }
+    let data = PipelineData {
+        scenario: sc,
+        eos_blocks: Arc::new(eos_blocks),
+        tezos_blocks: Arc::new(tezos_blocks),
+        xrp_blocks: Arc::new(xrp_blocks),
+        oracle: Arc::new(oracle),
+        trades: Arc::new(sidecar.trades),
+        cluster: Arc::new(cluster),
+        eos_cpu_price: Arc::new(sidecar.eos_cpu_price),
+        eos_dropped_txs: sidecar.eos_dropped_txs,
+        tezos_rolls: Arc::new(sidecar.tezos_rolls.into_iter().collect()),
+        governance_periods: sidecar.governance_periods,
+        crawl: None,
+        stream: None,
+        sweeps: OnceLock::new(),
+        storage_memo: Arc::new(OnceLock::new()),
+    };
+    Ok((data, archive))
 }
 
 /// Crawl-path tuning.
@@ -1050,16 +1225,31 @@ pub fn scenario_from_meta(meta: &serde_json::Value) -> Result<(Scenario, String)
     Ok((sc, mode))
 }
 
-/// A shard worker's prepared state: the scenario's chains, oracle, and
-/// governance windows, built once and reused across every assignment. A
-/// one-shot `reproduce shard A..B` pays the build once anyway; a socket
-/// worker (`reproduce shard --listen`) serving a whole fleet reduction
-/// would otherwise rebuild the chains per request.
+/// Where a [`ShardContext`] gets its blocks: whole generated chains held
+/// in memory, or an opened archive whose segments are decoded lazily —
+/// per assignment, only the covering ranges.
+enum ShardSource {
+    Generated {
+        eos: Vec<txstat_eos::Block>,
+        tezos: Vec<txstat_tezos::TezosBlock>,
+        xrp: Vec<txstat_xrp::LedgerBlock>,
+    },
+    Archived {
+        archive: Archive,
+        total: u64,
+    },
+}
+
+/// A shard worker's prepared state: the scenario's chains (or archive),
+/// oracle, and governance windows, built once and reused across every
+/// assignment. A one-shot `reproduce shard A..B` pays the build once
+/// anyway; a socket worker (`reproduce shard --listen`) serving a whole
+/// fleet reduction would otherwise rebuild the chains per request — and
+/// with `--archive` it never builds them at all: each assignment decodes
+/// only the segments covering its range.
 pub struct ShardContext {
     sc: Scenario,
-    eos_blocks: Vec<txstat_eos::Block>,
-    tezos_blocks: Vec<txstat_tezos::TezosBlock>,
-    xrp_blocks: Vec<txstat_xrp::LedgerBlock>,
+    source: ShardSource,
     oracle: RateOracle,
     governance_periods: Vec<(PeriodKind, Period)>,
 }
@@ -1069,6 +1259,7 @@ impl ShardContext {
     /// derives identical chains and the same exchange-rate oracle from
     /// the scenario seed.
     pub fn new(sc: &Scenario) -> Self {
+        count_generation();
         let eos = build_eos(sc);
         let tezos = build_tezos(sc);
         let xrp = build_xrp(sc);
@@ -1077,24 +1268,58 @@ impl ShardContext {
         let governance_periods = governance_periods_of(&tezos);
         ShardContext {
             sc: sc.clone(),
-            eos_blocks: eos.blocks().to_vec(),
-            tezos_blocks: tezos.blocks().to_vec(),
-            xrp_blocks: xrp.closed_ledgers().to_vec(),
+            source: ShardSource::Generated {
+                eos: eos.blocks().to_vec(),
+                tezos: tezos.blocks().to_vec(),
+                xrp: xrp.closed_ledgers().to_vec(),
+            },
             oracle,
             governance_periods,
         }
     }
 
+    /// Cold-start from an archived corpus: open + verify the archive,
+    /// decode the sidecar (oracle trades, governance windows), and keep
+    /// the compressed segments mapped. No chain is generated and no block
+    /// is decoded yet — [`ShardContext::frames`] replays only the
+    /// segments covering each assignment. Also returns the parsed
+    /// manifest so callers can validate it against their own flags.
+    pub fn from_archive(dir: &std::path::Path) -> Result<(Self, crate::Manifest), String> {
+        let archive =
+            Archive::open(dir).map_err(|e| format!("archive {}: {e}", dir.display()))?;
+        let manifest = crate::Manifest::parse(archive.manifest())?;
+        let (sc, _mode) = scenario_from_meta(&manifest.meta)?;
+        let sidecar = crate::Sidecar::decode(archive.sidecar())?;
+        let oracle =
+            RateOracle::from_trades(&sidecar.trades, sc.period.end, sc.period.days() as i64 + 1);
+        let total = manifest.total_positions();
+        let ctx = ShardContext {
+            sc,
+            source: ShardSource::Archived { archive, total },
+            oracle,
+            governance_periods: sidecar.governance_periods,
+        };
+        Ok((ctx, manifest))
+    }
+
     /// The longest chain's block count — the position space a fleet
     /// reduction tiles into chunks.
     pub fn total_blocks(&self) -> u64 {
-        self.eos_blocks.len().max(self.tezos_blocks.len()).max(self.xrp_blocks.len()) as u64
+        match &self.source {
+            ShardSource::Generated { eos, tezos, xrp } => {
+                eos.len().max(tezos.len()).max(xrp.len()) as u64
+            }
+            ShardSource::Archived { total, .. } => *total,
+        }
     }
 
     /// Sweep the block-position range `[start, end)` of each chain
     /// (clamped to the chain head) into the three wire frames in the
     /// requested payload encoding (binary columns by default; JSON for
-    /// fleets whose reducer predates schema v2).
+    /// fleets whose reducer predates schema v2). The archived source
+    /// decodes only the segments overlapping the range and folds them at
+    /// their absolute base position — the emitted frames are
+    /// byte-identical to a whole-chain sweep of the same range.
     pub fn frames(
         &self,
         meta: serde_json::Value,
@@ -1102,13 +1327,29 @@ impl ShardContext {
         end: u64,
         shards: usize,
         payload: PayloadFormat,
-    ) -> Vec<ShardFrame> {
-        let worker = ShardWorker { start, end, shards: shards.max(1), payload, meta };
-        vec![
-            worker.eos_frame(&self.eos_blocks, self.sc.period),
-            worker.tezos_frame(&self.tezos_blocks, self.sc.period, &self.governance_periods),
-            worker.xrp_frame(&self.xrp_blocks, self.sc.period, &self.oracle),
-        ]
+    ) -> Result<Vec<ShardFrame>, String> {
+        let period = self.sc.period;
+        let build = |worker: &ShardWorker,
+                     eos: &[txstat_eos::Block],
+                     tezos: &[txstat_tezos::TezosBlock],
+                     xrp: &[txstat_xrp::LedgerBlock]| {
+            vec![
+                worker.eos_frame(eos, period),
+                worker.tezos_frame(tezos, period, &self.governance_periods),
+                worker.xrp_frame(xrp, period, &self.oracle),
+            ]
+        };
+        let mut worker =
+            ShardWorker { start, end, base: 0, shards: shards.max(1), payload, meta };
+        match &self.source {
+            ShardSource::Generated { eos, tezos, xrp } => Ok(build(&worker, eos, tezos, xrp)),
+            ShardSource::Archived { archive, .. } => {
+                let segments = archive.replay_range(start, end).map_err(|e| e.to_string())?;
+                worker.base = segments.first().map_or(start, |s| s.start);
+                let (eos, tezos, xrp) = crate::archive_io::chains_of(&segments)?;
+                Ok(build(&worker, &eos, &tezos, &xrp))
+            }
+        }
     }
 }
 
@@ -1122,7 +1363,9 @@ pub fn shard_scenario(
     shards: usize,
     payload: PayloadFormat,
 ) -> Vec<ShardFrame> {
-    ShardContext::new(sc).frames(meta, start, end, shards, payload)
+    ShardContext::new(sc)
+        .frames(meta, start, end, shards, payload)
+        .expect("generated shard context cannot fail")
 }
 
 /// Central reduction: validate and merge shard frames over the scenario

@@ -344,6 +344,230 @@ fn reduce_refuses_incomplete_coverage() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The archive cold-start acceptance: seal the corpus once, then a socket
+/// fleet whose workers decode only their assignments' segments (zero
+/// chain-generation passes, pinned by the worker's own metrics dump)
+/// reduces to the byte-identical one-shot report.
+#[test]
+fn archived_cold_start_fleet_matches_the_one_shot_report() {
+    let dir = tempdir("archfleet");
+
+    let direct = reproduce(&dir, &["report", "--small", "--seed", "7", "--out", "direct.txt"]);
+    assert!(direct.status.success(), "report failed: {}", String::from_utf8_lossy(&direct.stderr));
+    let sealed = reproduce(
+        &dir,
+        &["archive", "--small", "--seed", "7", "--out", "corpus", "--segment-blocks", "100"],
+    );
+    assert!(sealed.status.success(), "archive failed: {}", String::from_utf8_lossy(&sealed.stderr));
+
+    // Two cold-started workers serve a fleet reduction straight from the
+    // mapped segments; the reducer's own dataset also comes from the
+    // corpus (no scenario flags anywhere).
+    let w1 = spawn_server(
+        &dir,
+        &["shard", "--listen", "127.0.0.1:0", "--timeout-ms", "2000", "--archive", "corpus"],
+        "shard worker on",
+    );
+    let w2 = spawn_server(
+        &dir,
+        &["shard", "--listen", "127.0.0.1:0", "--timeout-ms", "2000", "--archive", "corpus"],
+        "shard worker on",
+    );
+    let connect = format!("{},{}", w1.addr, w2.addr);
+    let reduce = reproduce(
+        &dir,
+        &[
+            "reduce", "--connect", &connect, "--archive", "corpus", "--chunks", "4",
+            "--timeout-ms", "4000", "--retries", "2", "--backoff-ms", "5", "--out", "fleet.txt",
+        ],
+    );
+    assert!(
+        reduce.status.success(),
+        "cold-start fleet reduce failed: {}",
+        String::from_utf8_lossy(&reduce.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&reduce.stderr);
+    assert!(stderr.contains("cold-started reducer dataset"), "stderr: {stderr}");
+    assert_eq!(
+        read(&dir, "direct.txt"),
+        read(&dir, "fleet.txt"),
+        "cold-started fleet report differs from the single-process report"
+    );
+
+    // A worker whose request budget equals the chunk count exits cleanly
+    // and dumps its metrics: zero generation passes, >0 segments replayed.
+    let mut w3 = spawn_server(
+        &dir,
+        &[
+            "shard", "--listen", "127.0.0.1:0", "--timeout-ms", "2000", "--archive", "corpus",
+            "--max-requests", "2", "--metrics-out", "worker-metrics.txt",
+        ],
+        "shard worker on",
+    );
+    let reduce2 = reproduce(
+        &dir,
+        &[
+            "reduce", "--connect", &w3.addr, "--archive", "corpus", "--chunks", "2",
+            "--timeout-ms", "4000", "--retries", "2", "--backoff-ms", "5", "--out", "fleet2.txt",
+        ],
+    );
+    assert!(
+        reduce2.status.success(),
+        "single-worker cold-start reduce failed: {}",
+        String::from_utf8_lossy(&reduce2.stderr)
+    );
+    assert_eq!(read(&dir, "direct.txt"), read(&dir, "fleet2.txt"));
+    let status = w3.child.wait().expect("worker exit");
+    assert!(status.success(), "budgeted worker should exit cleanly");
+    let metrics = String::from_utf8(read(&dir, "worker-metrics.txt")).expect("metrics utf8");
+    assert!(
+        metrics.contains("txstat_pipeline_generate_total 0"),
+        "cold-started worker generated a chain:\n{metrics}"
+    );
+    let replayed: u64 = metrics
+        .lines()
+        .find_map(|l| l.strip_prefix("txstat_archive_segments_replayed_total "))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("replay counter in metrics dump");
+    assert!(replayed > 0, "worker replayed no archive segments:\n{metrics}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// File-mode shards cold-started from the corpus produce frames that
+/// reduce to the byte-identical report, still with zero generation.
+#[test]
+fn archived_file_shards_reduce_to_the_identical_report() {
+    let dir = tempdir("archshard");
+
+    let direct = reproduce(&dir, &["report", "--small", "--seed", "7", "--out", "direct.txt"]);
+    assert!(direct.status.success(), "report failed: {}", String::from_utf8_lossy(&direct.stderr));
+    let sealed = reproduce(
+        &dir,
+        &["archive", "--small", "--seed", "7", "--out", "corpus", "--segment-blocks", "128"],
+    );
+    assert!(sealed.status.success(), "archive failed: {}", String::from_utf8_lossy(&sealed.stderr));
+
+    for (range, out, metrics) in [
+        ("0..300", "a.frames", "a-metrics.txt"),
+        ("300..99999999", "b.frames", "b-metrics.txt"),
+    ] {
+        let shard = reproduce(
+            &dir,
+            &[
+                "shard", "--range", range, "--archive", "corpus", "--out", out,
+                "--metrics-out", metrics,
+            ],
+        );
+        assert!(
+            shard.status.success(),
+            "shard {range} failed: {}",
+            String::from_utf8_lossy(&shard.stderr)
+        );
+        let m = String::from_utf8(read(&dir, metrics)).expect("metrics utf8");
+        assert!(m.contains("txstat_pipeline_generate_total 0"), "shard {range} generated:\n{m}");
+    }
+    let reduce = reproduce(&dir, &["reduce", "a.frames", "b.frames", "--out", "reduced.txt"]);
+    assert!(reduce.status.success(), "reduce failed: {}", String::from_utf8_lossy(&reduce.stderr));
+    assert_eq!(
+        read(&dir, "direct.txt"),
+        read(&dir, "reduced.txt"),
+        "archived-shard report differs from the single-process report"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `follow --archive` persists the corpus as it follows (one segment per
+/// batch), cold-starts from it on the next run, and a reorg on top of the
+/// persisted corpus truncates + re-seals only the disagreeing suffix —
+/// every run self-verifies that the re-opened archive replays
+/// byte-identical to the followed chains.
+#[test]
+fn follow_persists_and_cold_starts_from_the_archive() {
+    let dir = tempdir("archfollow");
+
+    let direct = reproduce(&dir, &["report", "--small", "--seed", "7", "--out", "direct.txt"]);
+    assert!(direct.status.success(), "report failed: {}", String::from_utf8_lossy(&direct.stderr));
+
+    // First run creates the corpus while following.
+    let first = reproduce(
+        &dir,
+        &[
+            "follow", "--small", "--seed", "7", "--batch", "400", "--archive", "corpus",
+            "--out", "followed.txt",
+        ],
+    );
+    assert!(first.status.success(), "follow failed: {}", String::from_utf8_lossy(&first.stderr));
+    let stderr = String::from_utf8_lossy(&first.stderr);
+    assert!(stderr.contains("creating archive"), "stderr: {stderr}");
+    assert!(stderr.contains("archive verified"), "stderr: {stderr}");
+    assert_eq!(read(&dir, "direct.txt"), read(&dir, "followed.txt"));
+
+    // Second run cold-starts from it — no scenario flags, no generation.
+    let second = reproduce(
+        &dir,
+        &[
+            "follow", "--batch", "400", "--archive", "corpus", "--out", "followed2.txt",
+            "--metrics-out", "follow2-metrics.txt",
+        ],
+    );
+    assert!(second.status.success(), "follow failed: {}", String::from_utf8_lossy(&second.stderr));
+    let stderr = String::from_utf8_lossy(&second.stderr);
+    assert!(stderr.contains("cold-started"), "stderr: {stderr}");
+    assert_eq!(read(&dir, "direct.txt"), read(&dir, "followed2.txt"));
+    let metrics = String::from_utf8(read(&dir, "follow2-metrics.txt")).expect("metrics utf8");
+    assert!(
+        metrics.contains("txstat_pipeline_generate_total 0"),
+        "cold-started follow generated a chain:\n{metrics}"
+    );
+
+    // A reorg over the persisted corpus invalidates only the disagreeing
+    // segment suffix, and the re-sealed archive still verifies.
+    let reorg = reproduce(
+        &dir,
+        &[
+            "follow", "--batch", "400", "--archive", "corpus", "--reorg-at-batch", "2",
+            "--reorg-depth", "500", "--reorg-seed", "11", "--out", "reorged.txt",
+        ],
+    );
+    assert!(reorg.status.success(), "reorg follow failed: {}", String::from_utf8_lossy(&reorg.stderr));
+    let stderr = String::from_utf8_lossy(&reorg.stderr);
+    assert!(stderr.contains("reorg invalidated"), "stderr: {stderr}");
+    assert!(stderr.contains("archive verified"), "stderr: {stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Every `--archive` misuse is a usage error (exit 2): a directory with no
+/// corpus, a zero segment size, a missing --out, scenario flags that
+/// contradict the manifest, and file-mode reduce with --archive.
+#[test]
+fn archive_flag_misuse_exits_with_usage() {
+    let dir = tempdir("archusage");
+    std::fs::create_dir_all(dir.join("emptydir")).expect("mkdir");
+    let sealed = reproduce(
+        &dir,
+        &["archive", "--small", "--seed", "7", "--out", "corpus", "--segment-blocks", "512"],
+    );
+    assert!(sealed.status.success(), "archive failed: {}", String::from_utf8_lossy(&sealed.stderr));
+
+    for (args, needle) in [
+        (&["report", "--archive", "missing"][..], "no archive at"),
+        (&["shard", "--range", "0..5", "--out", "x.frames", "--archive", "emptydir"][..], "no archive at"),
+        (&["follow", "--archive", "corpus", "--seed", "9"][..], "does not hold the requested"),
+        (&["archive", "--small", "--out", "x", "--segment-blocks", "0"][..], "--segment-blocks must be at least 1"),
+        (&["archive", "--small"][..], "archive needs --out DIR"),
+        (&["report", "--archive", "corpus", "--seed", "9"][..], "does not hold the requested"),
+        (&["report", "--archive", "corpus", "--crawl"][..], "not both"),
+        (&["reduce", "--archive", "corpus", "x.frames"][..], "needs --connect"),
+    ] {
+        let out = reproduce(&dir, args);
+        assert_eq!(out.status.code(), Some(2), "{args:?} should exit 2");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(needle), "{args:?} stderr: {stderr}");
+        assert!(stderr.contains("usage: reproduce"), "{args:?} printed no usage: {stderr}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn legacy_flag_spelling_still_reports() {
     let dir = tempdir("compat");

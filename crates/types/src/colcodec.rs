@@ -168,6 +168,14 @@ impl ColWriter {
         self.varint128(zigzag128(v));
     }
 
+    /// IEEE-754 double, carried exactly as its bit pattern (`to_bits`)
+    /// in the varint space — round-trips every value, including -0.0 and
+    /// NaN payloads, with one canonical encoding each.
+    #[inline]
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
     /// Length-prefixed raw byte column.
     pub fn bytes(&mut self, b: &[u8]) {
         self.u64(b.len() as u64);
@@ -279,6 +287,12 @@ impl<'a> ColReader<'a> {
     #[inline]
     pub fn i128(&mut self) -> Result<i128, ColError> {
         Ok(unzigzag128(self.varint128(128)?))
+    }
+
+    /// Bit-exact inverse of [`ColWriter::f64`].
+    #[inline]
+    pub fn f64(&mut self) -> Result<f64, ColError> {
+        Ok(f64::from_bits(self.u64()?))
     }
 
     /// A collection length prefix. The declared count must be plausible

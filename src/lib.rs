@@ -13,9 +13,12 @@
 //! - [`ingest`] — streaming crawl-to-accumulator ingestion and the
 //!   distributed [`ingest::ReduceSession`]
 //! - [`wire`] — the versioned shard-frame codec (`ShardFrame`)
+//! - [`archive`] — the persistent segmented block archive cold-started
+//!   from (`--archive DIR`)
 //! - [`core`] — the paper's analytics pipeline
 //! - [`reports`] — per-figure/table renderers
 
+pub use txstat_archive as archive;
 pub use txstat_core as core;
 pub use txstat_crawler as crawler;
 pub use txstat_ingest as ingest;

@@ -60,7 +60,7 @@ fn spawn_worker() -> String {
     let ctx = Arc::clone(ctx());
     std::thread::spawn(move || {
         let _ = serve_assignments(&listener, None, Duration::from_millis(800), |a| {
-            Ok(ctx.frames(a.meta.clone(), a.start, a.end, a.shards, a.payload))
+            ctx.frames(a.meta.clone(), a.start, a.end, a.shards, a.payload)
         });
     });
     addr

@@ -253,6 +253,7 @@ proptest! {
             let worker = ShardWorker {
                 start,
                 end,
+                base: 0,
                 shards: shard_counts[i % shard_counts.len()],
                 payload: if json_workers[i % json_workers.len()] {
                     PayloadFormat::Json
@@ -429,6 +430,7 @@ fn one_v1_json_frame_among_v2_frames_reduces_identically() {
         let worker = ShardWorker {
             start,
             end,
+            base: 0,
             shards: 1 + i,
             // The middle worker is the straggler still on v1 JSON.
             payload: if i == 1 { PayloadFormat::Json } else { PayloadFormat::Bin },

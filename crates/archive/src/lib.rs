@@ -16,10 +16,16 @@
 //!   ┌────────────┬────────────┬──────┐
 //!   │ segment 0  │ segment 1  │  …   │   each an LZSS stream; inside:
 //!   └────────────┴────────────┴──────┘
-//!     tag, start, span,                 (colcodec varints)
-//!     eos  count, count × bytes,        (length-prefixed wire JSON)
-//!     tezos count, count × bytes,
-//!     xrp  count, count × bytes
+//!     tag 1 (schema v1):                (colcodec varints)
+//!       start, span,
+//!       eos  count, count × bytes,      (length-prefixed wire JSON)
+//!       tezos count, count × bytes,
+//!       xrp  count, count × bytes
+//!     tag 2 (schema v2):
+//!       start, span,
+//!       eos blob, tezos blob, xrp blob  (length-prefixed columnar runs,
+//!                                        one per chain — the chain crates'
+//!                                        `block_cols` encodings)
 //!
 //! DIR/archive.idx     sidecar index, rewritten atomically per seal
 //!   magic "TXAR" · version · manifest str · sidecar bytes ·
@@ -30,12 +36,15 @@
 //!
 //! Segments tile one global *block-position* space `[0, total)`: segment
 //! `i` covers positions `[start, end)`, contiguous with its neighbours,
-//! and stores — for each chain — the wire-JSON bytes of the blocks whose
-//! position falls inside the range (a chain shorter than the range simply
-//! contributes fewer blocks). Those are the very bytes the crawl replay
-//! and Figure 2's storage accounting serialize, so a block's FNV-1a
-//! content hash (the follow layer's reorg marks) is computable straight
-//! from the stored bytes.
+//! and stores — for each chain — the blocks whose position falls inside
+//! the range (a chain shorter than the range simply contributes fewer
+//! blocks). Schema v1 stores each block's wire-JSON bytes verbatim;
+//! schema v2 stores one columnar run per chain (struct-of-arrays columns
+//! with interned name/address tables, built by the chain crates'
+//! `block_cols` codecs) whose decode equals the wire-JSON round trip —
+//! so report output and the follow layer's reorg marks are identical
+//! whichever schema fed them. The two tags coexist inside one archive:
+//! a v1 corpus stays readable, and `--upgrade` re-seals it as v2.
 //!
 //! The manifest and sidecar are opaque to this crate (the reports layer
 //! stores the scenario fingerprint and the non-block dataset — oracle
@@ -51,6 +60,7 @@
 //! segment and byte offset — never a panic, same discipline as the wire
 //! codec (`txstat_wire`) and the column codec (`txstat_types::colcodec`).
 
+use rayon::prelude::*;
 use std::fmt;
 use std::fs;
 use std::io::{Seek as _, SeekFrom, Write as _};
@@ -60,16 +70,25 @@ use txstat_types::colcodec::{ColError, ColReader, ColWriter};
 use txstat_types::ids::fnv1a64;
 use txstat_types::lzss;
 
+pub mod cache;
+
+pub use cache::{CacheStats, SegmentCache};
+
 /// Index file magic.
 pub const ARCHIVE_MAGIC: [u8; 4] = *b"TXAR";
-/// On-disk format version.
-pub const ARCHIVE_VERSION: u32 = 1;
+/// On-disk format version written by this build (v2: columnar segment
+/// payloads). v1 indexes are still read — segments self-describe by tag.
+pub const ARCHIVE_VERSION: u32 = 2;
+/// Oldest on-disk format version this build still reads.
+pub const ARCHIVE_MIN_VERSION: u32 = 1;
 /// Segment data file name inside an archive directory.
 pub const SEG_FILE: &str = "archive.seg";
 /// Index file name inside an archive directory.
 pub const IDX_FILE: &str = "archive.idx";
-/// Leading tag byte of every decompressed segment payload.
-const SEGMENT_TAG: u8 = 1;
+/// Segment payload tag: per-block wire-JSON bytes (schema v1).
+const SEGMENT_TAG_V1: u8 = 1;
+/// Segment payload tag: per-chain columnar runs (schema v2).
+const SEGMENT_TAG_V2: u8 = 2;
 
 // ---- errors ----------------------------------------------------------------
 
@@ -123,9 +142,10 @@ impl fmt::Display for ArchiveError {
             ArchiveError::BadMagic { path } => {
                 write!(f, "{} is not an archive index (bad magic)", path.display())
             }
-            ArchiveError::UnsupportedVersion { found, expected } => {
-                write!(f, "archive format v{found} (this build reads v{expected})")
-            }
+            ArchiveError::UnsupportedVersion { found, expected } => write!(
+                f,
+                "archive format v{found} (this build reads v{ARCHIVE_MIN_VERSION}..=v{expected})"
+            ),
             ArchiveError::IndexTooShort { len } => {
                 write!(f, "index truncated: {len} bytes cannot hold the trailer hash")
             }
@@ -184,11 +204,14 @@ fn io_err<'a>(
 
 // ---- metrics ---------------------------------------------------------------
 
-const FAMILIES: [(&str, &str); 4] = [
+const FAMILIES: [(&str, &str); 7] = [
     ("txstat_archive_segments_written_total", "Segments sealed into archives"),
     ("txstat_archive_segments_replayed_total", "Segments decompressed and decoded from archives"),
     ("txstat_archive_bytes_raw_total", "Segment payload bytes before LZSS compression"),
     ("txstat_archive_bytes_compressed_total", "Segment payload bytes after LZSS compression"),
+    ("txstat_archive_cache_hits_total", "Decoded-segment cache lookups served from memory"),
+    ("txstat_archive_cache_misses_total", "Decoded-segment cache lookups that had to decode"),
+    ("txstat_archive_cache_evictions_total", "Decoded-segment cache entries evicted over budget"),
 ];
 
 /// Register every `txstat_archive_*` family at zero, so exposition carries
@@ -198,6 +221,28 @@ pub fn register_metrics() {
     for (name, help) in FAMILIES {
         registry().counter_with(name, help, &[]).add(0);
     }
+    // The tail-coalescing label of the follow path's sealer, and the cache
+    // occupancy gauge.
+    registry()
+        .counter_with(
+            "txstat_archive_segments_written_total",
+            "Segments sealed into archives",
+            &[("coalesced", "true")],
+        )
+        .add(0);
+    registry()
+        .gauge("txstat_archive_cache_bytes", "Decoded-segment cache resident byte estimate")
+        .set(0);
+}
+
+/// The coalesced-seal counter: segments whose seal merged a trailing runt
+/// with fresh blocks instead of appending another tiny segment.
+pub fn m_written_coalesced() -> std::sync::Arc<txstat_telemetry::Counter> {
+    registry().counter_with(
+        "txstat_archive_segments_written_total",
+        "Segments sealed into archives",
+        &[("coalesced", "true")],
+    )
 }
 
 fn m_written() -> &'static txstat_telemetry::Counter {
@@ -247,40 +292,84 @@ pub struct SegmentMeta {
     pub hash: u64,
 }
 
-/// One segment's decoded content: for each chain, the wire-JSON bytes of
-/// the blocks whose position falls in `[start, end)`. Chains shorter than
-/// the range contribute fewer (possibly zero) blocks.
+/// A segment's per-chain block content, in one of the two on-disk schemas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SegmentPayload {
+    /// Schema v1: each chain as the wire-JSON bytes of its blocks, one
+    /// byte string per block.
+    JsonV1 { eos: Vec<Vec<u8>>, tezos: Vec<Vec<u8>>, xrp: Vec<Vec<u8>> },
+    /// Schema v2: each chain as one opaque columnar run (encoded and
+    /// decoded by the chain crates' `block_cols` codecs — this crate never
+    /// interprets the blobs).
+    ColsV2 { eos: Vec<u8>, tezos: Vec<u8>, xrp: Vec<u8> },
+}
+
+impl SegmentPayload {
+    /// The schema tag this payload serializes under.
+    pub fn tag(&self) -> u8 {
+        match self {
+            SegmentPayload::JsonV1 { .. } => SEGMENT_TAG_V1,
+            SegmentPayload::ColsV2 { .. } => SEGMENT_TAG_V2,
+        }
+    }
+}
+
+impl Default for SegmentPayload {
+    fn default() -> Self {
+        SegmentPayload::JsonV1 { eos: Vec::new(), tezos: Vec::new(), xrp: Vec::new() }
+    }
+}
+
+/// One segment's decoded content: the blocks whose position falls in
+/// `[start, end)`, per chain, in either schema. Chains shorter than the
+/// range contribute fewer (possibly zero) blocks.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SegmentBlocks {
     pub start: u64,
     pub end: u64,
-    pub eos: Vec<Vec<u8>>,
-    pub tezos: Vec<Vec<u8>>,
-    pub xrp: Vec<Vec<u8>>,
+    pub payload: SegmentPayload,
 }
 
 impl SegmentBlocks {
+    /// An empty v1 (wire-JSON) segment covering `[start, end)`.
     pub fn new(start: u64, end: u64) -> Self {
-        SegmentBlocks { start, end, ..Default::default() }
+        SegmentBlocks { start, end, payload: SegmentPayload::default() }
+    }
+
+    /// A v2 (columnar) segment from per-chain column blobs.
+    pub fn cols_v2(start: u64, end: u64, eos: Vec<u8>, tezos: Vec<u8>, xrp: Vec<u8>) -> Self {
+        SegmentBlocks { start, end, payload: SegmentPayload::ColsV2 { eos, tezos, xrp } }
     }
 }
 
 /// Encode a segment payload (the pre-compression bytes).
 fn encode_segment(seg: &SegmentBlocks) -> Vec<u8> {
-    let mut w = ColWriter::with_capacity(
-        64 + [&seg.eos, &seg.tezos, &seg.xrp]
-            .iter()
-            .flat_map(|c| c.iter())
-            .map(|b| b.len() + 4)
-            .sum::<usize>(),
-    );
-    w.byte(SEGMENT_TAG);
+    let cap = 64
+        + match &seg.payload {
+            SegmentPayload::JsonV1 { eos, tezos, xrp } => [eos, tezos, xrp]
+                .iter()
+                .flat_map(|c| c.iter())
+                .map(|b| b.len() + 4)
+                .sum::<usize>(),
+            SegmentPayload::ColsV2 { eos, tezos, xrp } => eos.len() + tezos.len() + xrp.len(),
+        };
+    let mut w = ColWriter::with_capacity(cap);
+    w.byte(seg.payload.tag());
     w.u64(seg.start);
     w.u64(seg.end - seg.start);
-    for chain in [&seg.eos, &seg.tezos, &seg.xrp] {
-        w.u64(chain.len() as u64);
-        for block in chain {
-            w.bytes(block);
+    match &seg.payload {
+        SegmentPayload::JsonV1 { eos, tezos, xrp } => {
+            for chain in [eos, tezos, xrp] {
+                w.u64(chain.len() as u64);
+                for block in chain {
+                    w.bytes(block);
+                }
+            }
+        }
+        SegmentPayload::ColsV2 { eos, tezos, xrp } => {
+            for blob in [eos, tezos, xrp] {
+                w.bytes(blob);
+            }
         }
     }
     w.into_bytes()
@@ -298,8 +387,11 @@ fn decode_segment(meta: &SegmentMeta, idx: usize, bytes: &[u8]) -> Result<Segmen
     let col = |e: ColError| corrupt(e.offset(), e.to_string());
     let mut r = ColReader::new(bytes);
     let tag = r.byte().map_err(col)?;
-    if tag != SEGMENT_TAG {
-        return Err(corrupt(0, format!("bad segment tag {tag} (want {SEGMENT_TAG})")));
+    if tag != SEGMENT_TAG_V1 && tag != SEGMENT_TAG_V2 {
+        return Err(corrupt(
+            0,
+            format!("bad segment tag {tag} (want {SEGMENT_TAG_V1} or {SEGMENT_TAG_V2})"),
+        ));
     }
     let start = r.u64().map_err(col)?;
     let span = r.u64().map_err(col)?;
@@ -314,20 +406,29 @@ fn decode_segment(meta: &SegmentMeta, idx: usize, bytes: &[u8]) -> Result<Segmen
             ),
         ));
     }
-    let mut seg = SegmentBlocks::new(start, end);
-    for chain in [&mut seg.eos, &mut seg.tezos, &mut seg.xrp] {
-        let count = r.len(1).map_err(col)?;
-        if count as u64 > span {
-            let off = r.offset();
-            return Err(corrupt(off, format!("{count} blocks exceed the range span {span}")));
+    let payload = if tag == SEGMENT_TAG_V1 {
+        let mut chains: [Vec<Vec<u8>>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        for chain in &mut chains {
+            let count = r.len(1).map_err(col)?;
+            if count as u64 > span {
+                let off = r.offset();
+                return Err(corrupt(off, format!("{count} blocks exceed the range span {span}")));
+            }
+            chain.reserve(count);
+            for _ in 0..count {
+                chain.push(r.bytes().map_err(col)?.to_vec());
+            }
         }
-        chain.reserve(count);
-        for _ in 0..count {
-            chain.push(r.bytes().map_err(col)?.to_vec());
-        }
-    }
+        let [eos, tezos, xrp] = chains;
+        SegmentPayload::JsonV1 { eos, tezos, xrp }
+    } else {
+        let eos = r.bytes().map_err(col)?.to_vec();
+        let tezos = r.bytes().map_err(col)?.to_vec();
+        let xrp = r.bytes().map_err(col)?.to_vec();
+        SegmentPayload::ColsV2 { eos, tezos, xrp }
+    };
     r.finish().map_err(col)?;
-    Ok(seg)
+    Ok(SegmentBlocks { start, end, payload })
 }
 
 // ---- index -----------------------------------------------------------------
@@ -375,7 +476,7 @@ fn decode_index(
         }
     }
     let version = r.u32()?;
-    if version != ARCHIVE_VERSION {
+    if !(ARCHIVE_MIN_VERSION..=ARCHIVE_VERSION).contains(&version) {
         return Err(ArchiveError::UnsupportedVersion { found: version, expected: ARCHIVE_VERSION });
     }
     let manifest = r.str()?.to_owned();
@@ -513,6 +614,17 @@ impl Archive {
         self.segments.last().map_or(0, |s| s.end)
     }
 
+    /// Index of the trailing runt segment: the newest sealed segment, if
+    /// it spans fewer than `seg_blocks` positions. The follow path's
+    /// sealer replays it and re-appends its blocks merged with the next
+    /// batch (after [`ArchiveWriter::truncate_from`] at its start) instead
+    /// of letting one tiny segment pile up per batch.
+    pub fn tail_runt(&self, seg_blocks: u64) -> Option<usize> {
+        let last = self.segments.len().checked_sub(1)?;
+        let s = &self.segments[last];
+        (s.end - s.start < seg_blocks).then_some(last)
+    }
+
     /// Indices `[lo, hi)` of the segments overlapping positions
     /// `[start, end)`.
     pub fn covering(&self, start: u64, end: u64) -> (usize, usize) {
@@ -547,10 +659,18 @@ impl Archive {
     }
 
     /// Decode exactly the segments overlapping `[start, end)`, in position
-    /// order — the cold-start fast path for range assignments.
+    /// order — the cold-start fast path for range assignments. Segments
+    /// decompress and decode on a rayon fan (they are independent LZSS
+    /// streams); results merge back in segment order.
     pub fn replay_range(&self, start: u64, end: u64) -> Result<Vec<SegmentBlocks>, ArchiveError> {
         let (lo, hi) = self.covering(start, end);
-        (lo..hi).map(|i| self.decode_segment(i)).collect()
+        let indices: Vec<usize> = (lo..hi).collect();
+        indices
+            .par_iter()
+            .map(|&i| self.decode_segment(i))
+            .collect_vec()
+            .into_iter()
+            .collect()
     }
 
     /// Decode every segment in order.
@@ -702,10 +822,22 @@ mod tests {
         SegmentBlocks {
             start,
             end,
-            eos: blocks("eos", start..end),
-            tezos: blocks("tz", start..end.min(start + (end - start) / 2 + 1)),
-            xrp: blocks("xrp", start..end),
+            payload: SegmentPayload::JsonV1 {
+                eos: blocks("eos", start..end),
+                tezos: blocks("tz", start..end.min(start + (end - start) / 2 + 1)),
+                xrp: blocks("xrp", start..end),
+            },
         }
+    }
+
+    fn seg_v2(start: u64, end: u64) -> SegmentBlocks {
+        SegmentBlocks::cols_v2(
+            start,
+            end,
+            format!("eos-cols-{start}").into_bytes(),
+            format!("tz-cols-{start}").into_bytes(),
+            format!("xrp-cols-{start}").into_bytes(),
+        )
     }
 
     fn tmpdir(tag: &str) -> PathBuf {
@@ -740,6 +872,37 @@ mod tests {
         assert_eq!(a.covering(0, 25), (0, 3));
         assert_eq!(a.covering(10, 11), (1, 2));
         assert_eq!(a.covering(30, 40), (3, 3));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mixed_schema_segments_roundtrip() {
+        // v1 and v2 segments coexist in one archive: each payload
+        // self-describes by tag and replays to exactly what was appended.
+        let dir = tmpdir("mixed");
+        let mut w = ArchiveWriter::create(&dir, "m", b"s").unwrap();
+        let segs = vec![seg(0, 10), seg_v2(10, 20), seg(20, 30), seg_v2(30, 35)];
+        for s in &segs {
+            w.append(s).unwrap();
+        }
+        w.seal().unwrap();
+        let a = Archive::open(&dir).unwrap();
+        assert_eq!(a.replay_all().unwrap(), segs);
+        assert_eq!(a.replay_range(12, 13).unwrap(), vec![segs[1].clone()]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tail_runt_detection() {
+        let dir = tmpdir("runt");
+        let mut w = ArchiveWriter::create(&dir, "m", b"").unwrap();
+        w.append(&seg_v2(0, 16)).unwrap();
+        w.append(&seg_v2(16, 20)).unwrap();
+        w.seal().unwrap();
+        let a = Archive::open(&dir).unwrap();
+        assert_eq!(a.tail_runt(16), Some(1));
+        assert_eq!(a.tail_runt(4), None); // tail exactly at target size
+        assert_eq!(a.tail_runt(2), None);
         fs::remove_dir_all(&dir).unwrap();
     }
 

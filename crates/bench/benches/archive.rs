@@ -1,21 +1,33 @@
 //! `archive/` benches: the persistent segmented block archive.
 //!
-//! Four arms: sealing a dataset into an on-disk corpus (wire-JSON
-//! encode, LZSS, hashing), replaying the sealed corpus's segments
-//! (decompress and hash-verify), a full cold start
-//! (`pipeline_from_archive`: replay plus per-block wire-JSON parse plus
-//! sidecar rebuild), and the synthetic generator as the baseline the
-//! cold start substitutes for. The archived bytes are the canonical
-//! wire-JSON the crawl replay moves, so the parse cost dominates cold
-//! start — the corpus stands in for a crawl, not for the (cheap,
-//! synthetic) generator.
+//! Arms, per segment payload schema:
+//!
+//! - `seal_segment256` / `seal_v2` — sealing a dataset into an on-disk
+//!   corpus (block encode, LZSS, hashing) in the v1 wire-JSON and v2
+//!   columnar schemas.
+//! - `replay_all` / `replay_all_v2` — replaying the sealed corpus's
+//!   segments (decompress and hash-verify; v2 also parallelizes the
+//!   decode across the rayon pool).
+//! - `cold_start` / `cold_start_v2` — a full `pipeline_from_archive`:
+//!   replay plus per-block parse plus sidecar rebuild. For v1 the
+//!   wire-JSON parse dominates; v2's columnar decode is the tentpole
+//!   speedup and is measured against `generate_baseline`, the synthetic
+//!   generator the cold start substitutes for.
+//! - `fleet_cached_vs_uncached/{cached,uncached}` — a shard worker
+//!   answering an overlapping assignment set from the v2 corpus with the
+//!   decoded-segment LRU warm (every segment decoded once) versus
+//!   effectively cold (budget 0: only the newest decode stays resident).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::path::PathBuf;
 use std::sync::OnceLock;
 use txstat_archive::Archive;
-use txstat_reports::{generate, pipeline_from_archive, write_archive, PipelineData};
+use txstat_reports::{
+    generate, pipeline_from_archive, scenario_meta, write_archive, PipelineData, SegmentFormat,
+    ShardContext,
+};
+use txstat_wire::PayloadFormat;
 use txstat_workload::Scenario;
 
 const SEGMENT_BLOCKS: u64 = 256;
@@ -37,15 +49,29 @@ fn corpus_dir(tag: &str) -> PathBuf {
     std::env::temp_dir().join(format!("txstat-bench-archive-{tag}-{}", std::process::id()))
 }
 
-/// A sealed corpus of the dataset, written once per process.
-fn sealed() -> &'static PathBuf {
-    static DIR: OnceLock<PathBuf> = OnceLock::new();
-    DIR.get_or_init(|| {
-        let dir = corpus_dir("sealed");
+/// A sealed corpus of the dataset in the given schema, written once per
+/// process.
+fn sealed(format: SegmentFormat) -> &'static PathBuf {
+    static V1: OnceLock<PathBuf> = OnceLock::new();
+    static V2: OnceLock<PathBuf> = OnceLock::new();
+    let (cell, tag) = match format {
+        SegmentFormat::V1 => (&V1, "sealed-v1"),
+        SegmentFormat::V2 => (&V2, "sealed-v2"),
+    };
+    cell.get_or_init(|| {
+        let dir = corpus_dir(tag);
         let _ = std::fs::remove_dir_all(&dir);
-        write_archive(&dir, dataset(), "small", SEGMENT_BLOCKS).expect("seal bench corpus");
+        write_archive(&dir, dataset(), "small", SEGMENT_BLOCKS, format)
+            .expect("seal bench corpus");
         dir
     })
+}
+
+/// The overlapping assignment set the fleet arms sweep: strided ranges
+/// covering the corpus twice over, so a warm cache serves every repeat
+/// visit from memory.
+fn assignments(total: u64) -> Vec<(u64, u64)> {
+    (0..8u64).map(|i| (i * total / 8, ((i + 2) * total / 8).min(total))).collect()
 }
 
 fn archive(c: &mut Criterion) {
@@ -53,29 +79,41 @@ fn archive(c: &mut Criterion) {
     let mut g = c.benchmark_group("archive");
     g.sample_size(10);
 
-    g.bench_function("seal_segment256", |b| {
-        let dir = corpus_dir("seal");
-        b.iter(|| {
+    for (name, format) in
+        [("seal_segment256", SegmentFormat::V1), ("seal_v2", SegmentFormat::V2)]
+    {
+        g.bench_function(name, |b| {
+            let dir = corpus_dir("seal");
+            b.iter(|| {
+                let _ = std::fs::remove_dir_all(&dir);
+                black_box(
+                    write_archive(&dir, data, "small", SEGMENT_BLOCKS, format).expect("seal"),
+                );
+            });
             let _ = std::fs::remove_dir_all(&dir);
-            black_box(write_archive(&dir, data, "small", SEGMENT_BLOCKS).expect("seal"));
         });
-        let _ = std::fs::remove_dir_all(&dir);
-    });
+    }
 
-    g.bench_function("replay_all", |b| {
-        let dir = sealed();
-        b.iter(|| {
-            let archive = Archive::open(dir).expect("open corpus");
-            black_box(archive.replay_all().expect("replay"));
+    for (name, format) in [("replay_all", SegmentFormat::V1), ("replay_all_v2", SegmentFormat::V2)]
+    {
+        g.bench_function(name, |b| {
+            let dir = sealed(format);
+            b.iter(|| {
+                let archive = Archive::open(dir).expect("open corpus");
+                black_box(archive.replay_all().expect("replay"));
+            });
         });
-    });
+    }
 
-    g.bench_function("cold_start", |b| {
-        let dir = sealed();
-        b.iter(|| {
-            black_box(pipeline_from_archive(dir).expect("cold start"));
+    for (name, format) in [("cold_start", SegmentFormat::V1), ("cold_start_v2", SegmentFormat::V2)]
+    {
+        g.bench_function(name, |b| {
+            let dir = sealed(format);
+            b.iter(|| {
+                black_box(pipeline_from_archive(dir).expect("cold start"));
+            });
         });
-    });
+    }
 
     g.bench_function("generate_baseline", |b| {
         let sc = scenario();
@@ -84,8 +122,38 @@ fn archive(c: &mut Criterion) {
         });
     });
 
+    let total = data
+        .eos_blocks
+        .len()
+        .max(data.tezos_blocks.len())
+        .max(data.xrp_blocks.len()) as u64;
+    let meta = scenario_meta(&data.scenario, "small");
+    for (name, cache_mb) in
+        [("fleet_cached_vs_uncached/cached", 1024u64), ("fleet_cached_vs_uncached/uncached", 0)]
+    {
+        g.bench_function(name, |b| {
+            let (ctx, _) = ShardContext::from_archive_with(sealed(SegmentFormat::V2), cache_mb)
+                .expect("cold start worker");
+            let ranges = assignments(total);
+            // Warm the first pass out of the measurement so the cached
+            // arm measures steady-state assignment service.
+            for &(a, e) in &ranges {
+                ctx.frames(meta.clone(), a, e, 2, PayloadFormat::Bin).expect("warmup sweep");
+            }
+            b.iter(|| {
+                for &(a, e) in &ranges {
+                    black_box(
+                        ctx.frames(meta.clone(), a, e, 2, PayloadFormat::Bin)
+                            .expect("assignment sweep"),
+                    );
+                }
+            });
+        });
+    }
+
     g.finish();
-    let _ = std::fs::remove_dir_all(sealed());
+    let _ = std::fs::remove_dir_all(sealed(SegmentFormat::V1));
+    let _ = std::fs::remove_dir_all(sealed(SegmentFormat::V2));
 }
 
 criterion_group!(benches, archive);

@@ -17,6 +17,7 @@
 #![allow(clippy::inconsistent_digit_grouping)]
 
 pub mod account;
+pub mod block_cols;
 pub mod chain;
 pub mod contract;
 pub mod name;

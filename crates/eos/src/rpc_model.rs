@@ -363,6 +363,21 @@ pub fn block_from_json(json: &BlockJson) -> Result<Block, DecodeError> {
     Ok(Block { num: json.block_num, time, producer, transactions })
 }
 
+/// The canonical wire bytes of one block: compact JSON of
+/// [`block_to_json`]. The NDJSON crawl replay, the archive's wire-JSON
+/// segments, and the follow layer's reorg content hashes all move exactly
+/// these bytes — this is their one shared definition.
+pub fn block_bytes(b: &Block) -> Vec<u8> {
+    serde_json::to_vec(&block_to_json(b)).expect("serializable")
+}
+
+/// Inverse of [`block_bytes`].
+pub fn block_parse(bytes: &[u8]) -> Result<Block, String> {
+    let wire: BlockJson =
+        serde_json::from_slice(bytes).map_err(|e| format!("eos wire block: {e}"))?;
+    block_from_json(&wire).map_err(|e| format!("eos wire block: {e}"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -114,8 +114,7 @@ pub fn eos_to_ndjson(blocks: &[txstat_eos::Block]) -> String {
     let mut out = String::new();
     for b in blocks {
         out.push_str(
-            &serde_json::to_string(&txstat_eos::rpc_model::block_to_json(b))
-                .expect("serializable"),
+            &String::from_utf8(txstat_eos::rpc_model::block_bytes(b)).expect("JSON is UTF-8"),
         );
         out.push('\n');
     }
@@ -127,9 +126,7 @@ pub fn eos_replay(
     text: String,
 ) -> NdjsonReplay<txstat_eos::Block, impl Fn(&str) -> Result<(u64, txstat_eos::Block), String>> {
     NdjsonReplay::new(text, |line| {
-        let wire: txstat_eos::rpc_model::BlockJson =
-            serde_json::from_str(line).map_err(|e| e.to_string())?;
-        let block = txstat_eos::rpc_model::block_from_json(&wire).map_err(|e| e.to_string())?;
+        let block = txstat_eos::rpc_model::block_parse(line.as_bytes())?;
         Ok((block.num, block))
     })
 }
@@ -139,8 +136,7 @@ pub fn tezos_to_ndjson(blocks: &[txstat_tezos::TezosBlock]) -> String {
     let mut out = String::new();
     for b in blocks {
         out.push_str(
-            &serde_json::to_string(&txstat_tezos::rpc_model::block_to_json(b))
-                .expect("serializable"),
+            &String::from_utf8(txstat_tezos::rpc_model::block_bytes(b)).expect("JSON is UTF-8"),
         );
         out.push('\n');
     }
@@ -155,9 +151,7 @@ pub fn tezos_replay(
     impl Fn(&str) -> Result<(u64, txstat_tezos::TezosBlock), String>,
 > {
     NdjsonReplay::new(text, |line| {
-        let wire: txstat_tezos::rpc_model::BlockJson =
-            serde_json::from_str(line).map_err(|e| e.to_string())?;
-        let block = txstat_tezos::rpc_model::block_from_json(&wire).map_err(|e| e.to_string())?;
+        let block = txstat_tezos::rpc_model::block_parse(line.as_bytes())?;
         Ok((block.level, block))
     })
 }
@@ -167,8 +161,7 @@ pub fn xrp_to_ndjson(blocks: &[txstat_xrp::LedgerBlock]) -> String {
     let mut out = String::new();
     for b in blocks {
         out.push_str(
-            &serde_json::to_string(&txstat_xrp::rpc_model::ledger_to_json(b))
-                .expect("serializable"),
+            &String::from_utf8(txstat_xrp::rpc_model::ledger_bytes(b)).expect("JSON is UTF-8"),
         );
         out.push('\n');
     }
@@ -183,8 +176,7 @@ pub fn xrp_replay(
     impl Fn(&str) -> Result<(u64, txstat_xrp::LedgerBlock), String>,
 > {
     NdjsonReplay::new(text, |line| {
-        let v: serde_json::Value = serde_json::from_str(line).map_err(|e| e.to_string())?;
-        let block = txstat_xrp::rpc_model::ledger_from_json(&v).map_err(|e| e.to_string())?;
+        let block = txstat_xrp::rpc_model::ledger_parse(line.as_bytes())?;
         Ok((block.index, block))
     })
 }

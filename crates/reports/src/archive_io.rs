@@ -12,7 +12,8 @@
 //! the same scenario twice produces identical files and a cold-started
 //! dataset reproduces the generated one's report exactly.
 
-use txstat_archive::SegmentBlocks;
+use rayon::prelude::*;
+use txstat_archive::{SegmentBlocks, SegmentPayload};
 use txstat_tezos::address::{AddrKind, Address};
 use txstat_tezos::governance::PeriodKind;
 use txstat_types::colcodec::{ColReader, ColWriter};
@@ -224,53 +225,82 @@ impl Sidecar {
 }
 
 // ---- per-block wire-JSON codecs ---------------------------------------------
+//
+// One canonical home per chain: the chain crates' `rpc_model` modules own
+// the wire byte codecs (the crawl replay and the NDJSON sources route
+// through the same functions). These re-exports keep the reports-side
+// names the archive layer has always used.
 
 /// The canonical wire-JSON bytes of one EOS block — the same bytes the
 /// NDJSON crawl replay moves and [`crate::eos_block_hash`] hashes, so a
 /// stored block's content hash is `fnv1a64` of its archived bytes.
 pub fn eos_block_bytes(b: &txstat_eos::Block) -> Vec<u8> {
-    serde_json::to_vec(&txstat_eos::rpc_model::block_to_json(b)).expect("serializable")
+    txstat_eos::rpc_model::block_bytes(b)
 }
 
 pub fn tezos_block_bytes(b: &txstat_tezos::TezosBlock) -> Vec<u8> {
-    serde_json::to_vec(&txstat_tezos::rpc_model::block_to_json(b)).expect("serializable")
+    txstat_tezos::rpc_model::block_bytes(b)
 }
 
 pub fn xrp_block_bytes(b: &txstat_xrp::LedgerBlock) -> Vec<u8> {
-    serde_json::to_vec(&txstat_xrp::rpc_model::ledger_to_json(b)).expect("serializable")
+    txstat_xrp::rpc_model::ledger_bytes(b)
 }
 
 pub fn eos_block_parse(bytes: &[u8]) -> Result<txstat_eos::Block, String> {
-    let wire: txstat_eos::rpc_model::BlockJson =
-        serde_json::from_slice(bytes).map_err(|e| format!("archived eos block: {e}"))?;
-    txstat_eos::rpc_model::block_from_json(&wire).map_err(|e| format!("archived eos block: {e}"))
+    txstat_eos::rpc_model::block_parse(bytes)
 }
 
 pub fn tezos_block_parse(bytes: &[u8]) -> Result<txstat_tezos::TezosBlock, String> {
-    let wire: txstat_tezos::rpc_model::BlockJson =
-        serde_json::from_slice(bytes).map_err(|e| format!("archived tezos block: {e}"))?;
-    txstat_tezos::rpc_model::block_from_json(&wire)
-        .map_err(|e| format!("archived tezos block: {e}"))
+    txstat_tezos::rpc_model::block_parse(bytes)
 }
 
 pub fn xrp_block_parse(bytes: &[u8]) -> Result<txstat_xrp::LedgerBlock, String> {
-    let v: serde_json::Value =
-        serde_json::from_slice(bytes).map_err(|e| format!("archived xrp ledger: {e}"))?;
-    txstat_xrp::rpc_model::ledger_from_json(&v).map_err(|e| format!("archived xrp ledger: {e}"))
+    txstat_xrp::rpc_model::ledger_parse(bytes)
 }
 
 // ---- segment assembly / replay ----------------------------------------------
 
+/// Which on-disk segment payload schema to seal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SegmentFormat {
+    /// Per-block wire-JSON bytes (the original schema).
+    V1,
+    /// Per-chain columnar runs — interned tables + struct-of-arrays
+    /// columns via the chain crates' `block_cols` codecs (the default).
+    #[default]
+    V2,
+}
+
+impl SegmentFormat {
+    pub fn parse(s: &str) -> Result<SegmentFormat, String> {
+        match s {
+            "v1" => Ok(SegmentFormat::V1),
+            "v2" => Ok(SegmentFormat::V2),
+            other => Err(format!("unknown segment format {other:?} (want v1 or v2)")),
+        }
+    }
+}
+
+impl std::fmt::Display for SegmentFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SegmentFormat::V1 => "v1",
+            SegmentFormat::V2 => "v2",
+        })
+    }
+}
+
 /// Cut the three chains into contiguous `[start, end)` segments of
 /// `segment_blocks` positions each (the final segment absorbs the
-/// remainder of the position space).
+/// remainder of the position space), sealed in the given payload schema.
 pub fn segments_of(
     eos: &[txstat_eos::Block],
     tezos: &[txstat_tezos::TezosBlock],
     xrp: &[txstat_xrp::LedgerBlock],
     segment_blocks: u64,
+    format: SegmentFormat,
 ) -> Vec<SegmentBlocks> {
-    segments_of_from(eos, tezos, xrp, segment_blocks, 0)
+    segments_of_from(eos, tezos, xrp, segment_blocks, 0, format)
 }
 
 /// [`segments_of`], but starting at position `from` instead of 0 — the
@@ -282,18 +312,30 @@ pub fn segments_of_from(
     xrp: &[txstat_xrp::LedgerBlock],
     segment_blocks: u64,
     from: u64,
+    format: SegmentFormat,
 ) -> Vec<SegmentBlocks> {
     let total = eos.len().max(tezos.len()).max(xrp.len()) as u64;
     let mut out = Vec::new();
     let mut start = from.min(total);
     while start < total {
         let end = (start + segment_blocks).min(total);
-        let mut seg = SegmentBlocks::new(start, end);
         let take = |len: usize| (start as usize).min(len)..(end as usize).min(len);
-        seg.eos = eos[take(eos.len())].iter().map(eos_block_bytes).collect();
-        seg.tezos = tezos[take(tezos.len())].iter().map(tezos_block_bytes).collect();
-        seg.xrp = xrp[take(xrp.len())].iter().map(xrp_block_bytes).collect();
-        out.push(seg);
+        let eos_run = &eos[take(eos.len())];
+        let tezos_run = &tezos[take(tezos.len())];
+        let xrp_run = &xrp[take(xrp.len())];
+        let payload = match format {
+            SegmentFormat::V1 => SegmentPayload::JsonV1 {
+                eos: eos_run.iter().map(eos_block_bytes).collect(),
+                tezos: tezos_run.iter().map(tezos_block_bytes).collect(),
+                xrp: xrp_run.iter().map(xrp_block_bytes).collect(),
+            },
+            SegmentFormat::V2 => SegmentPayload::ColsV2 {
+                eos: txstat_eos::block_cols::encode_blocks(eos_run),
+                tezos: txstat_tezos::block_cols::encode_blocks(tezos_run),
+                xrp: txstat_xrp::block_cols::encode_blocks(xrp_run),
+            },
+        };
+        out.push(SegmentBlocks { start, end, payload });
         start = end;
     }
     out
@@ -303,23 +345,60 @@ pub fn segments_of_from(
 pub type ReplayedChains =
     (Vec<txstat_eos::Block>, Vec<txstat_tezos::TezosBlock>, Vec<txstat_xrp::LedgerBlock>);
 
+/// Parse one replayed segment into its three chain runs. Works for both
+/// payload schemas; errors name the segment's position range (and, for
+/// columnar damage, the offset inside the chain blob).
+pub fn chains_of_segment(seg: &SegmentBlocks) -> Result<ReplayedChains, String> {
+    let at = |chain: &str, e: String| -> String {
+        format!("segment [{}, {}) {chain}: {e}", seg.start, seg.end)
+    };
+    match &seg.payload {
+        SegmentPayload::JsonV1 { eos, tezos, xrp } => {
+            let eos = eos
+                .iter()
+                .map(|b| eos_block_parse(b))
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(|e| at("eos", e))?;
+            let tezos = tezos
+                .iter()
+                .map(|b| tezos_block_parse(b))
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(|e| at("tezos", e))?;
+            let xrp = xrp
+                .iter()
+                .map(|b| xrp_block_parse(b))
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(|e| at("xrp", e))?;
+            Ok((eos, tezos, xrp))
+        }
+        SegmentPayload::ColsV2 { eos, tezos, xrp } => {
+            let eos = txstat_eos::block_cols::decode_blocks(eos)
+                .map_err(|e| at("eos columns", e.to_string()))?;
+            let tezos = txstat_tezos::block_cols::decode_blocks(tezos)
+                .map_err(|e| at("tezos columns", e.to_string()))?;
+            let xrp = txstat_xrp::block_cols::decode_blocks(xrp)
+                .map_err(|e| at("xrp columns", e.to_string()))?;
+            Ok((eos, tezos, xrp))
+        }
+    }
+}
+
 /// Parse replayed segments (contiguous, in position order) back into the
-/// three chain vectors. The segments' first position must be the chains'
-/// position `offset` (0 for a full replay).
+/// three chain vectors. Segments parse on a rayon fan — they are
+/// independent — and concatenate back in position order. The segments'
+/// first position must be the chains' position `offset` (0 for a full
+/// replay).
 pub fn chains_of(segments: &[SegmentBlocks]) -> Result<ReplayedChains, String> {
+    let per_seg: Vec<Result<ReplayedChains, String>> =
+        segments.par_iter().map(chains_of_segment).collect_vec();
     let mut eos = Vec::new();
     let mut tezos = Vec::new();
     let mut xrp = Vec::new();
-    for seg in segments {
-        for b in &seg.eos {
-            eos.push(eos_block_parse(b)?);
-        }
-        for b in &seg.tezos {
-            tezos.push(tezos_block_parse(b)?);
-        }
-        for b in &seg.xrp {
-            xrp.push(xrp_block_parse(b)?);
-        }
+    for parsed in per_seg {
+        let (e, t, x) = parsed?;
+        eos.extend(e);
+        tezos.extend(t);
+        xrp.extend(x);
     }
     Ok((eos, tezos, xrp))
 }

@@ -8,14 +8,21 @@
 //!     generating: the report is byte-identical and no chain is built.
 //!
 //! reproduce archive --out DIR [--small] [--seed N] [--segment-blocks N]
-//!                   [--crawl]
+//!                   [--crawl] [--format v1|v2] [--upgrade SRC]
 //!     Generate the scenario once (or measure it over the loopback RPC
 //!     crawl with --crawl) and seal it into an on-disk segmented
 //!     corpus (`txstat_archive`): LZSS-compressed block segments of
 //!     --segment-blocks positions each plus a content-hashed index with
 //!     the scenario manifest and the sidecar (oracle trades, account
-//!     cluster, CPU prices, rolls, governance windows). Every other
-//!     subcommand takes --archive DIR to cold-start from the corpus.
+//!     cluster, CPU prices, rolls, governance windows). --format picks
+//!     the segment payload schema: v2 per-chain columnar blocks (the
+//!     default — smaller and an order of magnitude faster to replay) or
+//!     v1 length-prefixed wire-JSON (what pre-v2 builds sealed; still
+//!     readable everywhere). --upgrade SRC replays an existing corpus
+//!     instead of generating and re-seals it at --out in the requested
+//!     format — the run fails unless the rewrite replays byte-identical
+//!     to the source. Every other subcommand takes --archive DIR to
+//!     cold-start from the corpus.
 //!
 //! reproduce shard --range A..B --out FILE [--small] [--seed N] [--shards K]
 //!                 [--payload bin|json]
@@ -34,6 +41,10 @@
 //!     --archive DIR: the worker cold-starts from the corpus and each
 //!     assignment decodes only the segments covering its range — no
 //!     chain generation (`txstat_pipeline_generate_total` stays 0).
+//!     Decoded segments are kept in a per-worker LRU cache keyed by
+//!     segment content hash (--segment-cache-mb, default 64), so
+//!     overlapping assignments decode each segment once; hit/miss/
+//!     eviction counts land in the `txstat_archive_cache_*` families.
 //!
 //! reproduce reduce FRAME-FILE... [--out FILE]
 //! reproduce reduce --connect ADDR,ADDR,... [--small] [--seed N]
@@ -66,10 +77,14 @@
 //!     window), re-sweep to the new head, and the run fails unless the
 //!     result is byte-identical to a from-scratch sweep of the reorged
 //!     chains. --archive DIR persists the followed corpus: cold-start
-//!     from it when it exists (create it otherwise), seal one segment
-//!     per observed batch, and on reorg truncate + re-seal only the
-//!     disagreeing segment suffix; the run fails unless the re-opened
-//!     archive replays byte-identical to the followed chains.
+//!     from it when it exists (create it otherwise), seal each observed
+//!     batch — coalescing a runt tail segment up to --segment-blocks
+//!     positions (default: the batch size, or the corpus's geometry when
+//!     cold-starting) instead of fragmenting one segment per batch — and
+//!     on reorg truncate + re-seal only the disagreeing segment suffix;
+//!     the run fails unless the re-opened archive replays byte-identical
+//!     to the followed chains. --format picks the sealed segment schema
+//!     (v2 columnar default).
 //!
 //! reproduce chaos --upstream ADDR [--listen ADDR] [--fault-rate F]
 //!                 [--truncate-rate F] [--flip-rate F] [--latency-ms L]
@@ -130,8 +145,8 @@ use txstat_reports::{
     eos_block_hash, generate, generate_with_crawl, generate_with_crawl_streamed,
     pipeline_from_archive, reduce_frames_labeled, reduce_frames_labeled_into, render_report,
     reorg_data, scenario_from_meta, scenario_meta, tezos_block_hash, write_archive,
-    xrp_block_hash, CrawlOptions, EpochFollower, Manifest, PipelineData, ServeSnapshot,
-    ShardContext, StatsService,
+    xrp_block_hash, CrawlOptions, EpochFollower, Manifest, PipelineData, SegmentFormat,
+    ServeSnapshot, ShardContext, StatsService,
 };
 use txstat_wire::{PayloadFormat, ShardFrame};
 use txstat_workload::Scenario;
@@ -147,6 +162,11 @@ subcommands:
            on-disk segmented corpus other subcommands cold-start from
            (--archive DIR)
            --out DIR [--small] [--seed N] [--segment-blocks N] [--crawl]
+           [--format v1|v2]  (segment payload schema: v2 columnar blocks,
+                              default; v1 length-prefixed wire-JSON)
+           [--upgrade SRC]   (replay corpus SRC and re-seal it at --out in
+                              the requested format; fails unless the
+                              rewrite replays byte-identical)
   shard    sweep block positions [A, B) into a wire-frame bundle, or serve
            ranges over a socket as one fleet worker
            --range A..B --out FILE [--small] [--seed N] [--shards K]
@@ -155,6 +175,7 @@ subcommands:
            --listen ADDR [--max-requests N] [--timeout-ms MS]
            [--archive DIR]  (serve block ranges straight from the mapped
                              segments — no chain generation)
+           [--segment-cache-mb N]  (decoded-segment LRU budget, default 64)
   reduce   merge shard frames and render the full report, from files or by
            driving a socket worker fleet (retry/backoff + re-dispatch)
            FRAME-FILE... [--out FILE]
@@ -168,9 +189,11 @@ subcommands:
            [--snapshots W] [--reorg-at-batch R] [--reorg-depth D]
            [--reorg-seed S] [--metrics-out FILE]
            [--archive DIR]  (cold-start from the corpus when it exists,
-                             create it otherwise; every batch is sealed as
-                             one segment and a reorg truncates + re-seals
-                             only the disagreeing segment suffix)
+                             create it otherwise; batches are sealed with
+                             runt tails coalesced up to --segment-blocks
+                             and a reorg truncates + re-seals only the
+                             disagreeing segment suffix)
+           [--segment-blocks N] [--format v1|v2]
   chaos    fault-injecting TCP proxy for rehearsing worker failure
            --upstream ADDR [--listen ADDR] [--fault-rate F]
            [--truncate-rate F] [--flip-rate F] [--latency-ms L]
@@ -412,26 +435,46 @@ fn cmd_report(raw: &[String]) -> Result<(), String> {
     result
 }
 
-/// The `archive` subcommand: generate the scenario once and seal it into
-/// the on-disk segmented corpus that `report`/`shard`/`reduce`/`follow`/
-/// `serve --archive DIR` cold-start from.
+/// The `archive` subcommand: generate the scenario once (or, with
+/// `--upgrade SRC`, replay an existing corpus) and seal it into the
+/// on-disk segmented corpus that `report`/`shard`/`reduce`/`follow`/
+/// `serve --archive DIR` cold-start from. `--format` picks the segment
+/// payload schema: v2 columnar (default) or v1 wire-JSON.
 fn cmd_archive(raw: &[String]) -> Result<(), String> {
     let args = Args::parse(
         raw,
         &["--small", "--crawl", "--timings"],
-        &["--seed", "--out", "--segment-blocks", "--trace-out", "--metrics-out"],
+        &[
+            "--seed",
+            "--out",
+            "--segment-blocks",
+            "--format",
+            "--upgrade",
+            "--trace-out",
+            "--metrics-out",
+        ],
         false,
     )?;
-    let (sc, mode) = scenario_of(&args)?;
     init_tracing(&args)?;
     let out = args.get("--out").ok_or("archive needs --out DIR")?;
+    let format = match args.get("--format") {
+        None => SegmentFormat::default(),
+        Some(s) => SegmentFormat::parse(s)?,
+    };
+    txstat_reports::pipeline::register_metrics();
+    txstat_archive::register_metrics();
+    let started = std::time::Instant::now();
+    if let Some(src) = args.get("--upgrade") {
+        if args.has("--crawl") {
+            return Err("archive --upgrade replays an existing corpus; drop --crawl".to_owned());
+        }
+        return archive_upgrade(&args, src, out, format, started);
+    }
+    let (sc, mode) = scenario_of(&args)?;
     let segment_blocks: u64 = args.parsed("--segment-blocks", 256)?;
     if segment_blocks == 0 {
         return Err("--segment-blocks must be at least 1".to_owned());
     }
-    txstat_reports::pipeline::register_metrics();
-    txstat_archive::register_metrics();
-    let started = std::time::Instant::now();
     let data = if args.has("--crawl") {
         let opts = if args.has("--small") { CrawlOptions::default() } else { CrawlOptions::paper() };
         eprintln!(
@@ -443,10 +486,10 @@ fn cmd_archive(raw: &[String]) -> Result<(), String> {
         let rt = tokio::runtime::Runtime::new().expect("tokio runtime");
         rt.block_on(generate_with_crawl(&sc, &opts)).map_err(|e| e.to_string())?
     } else {
-        eprintln!("generating {mode} scenario (seed {}); sealing archive…", sc.seed);
+        eprintln!("generating {mode} scenario (seed {}); sealing {format} archive…", sc.seed);
         generate(&sc)
     };
-    let stats = write_archive(std::path::Path::new(out), &data, mode, segment_blocks)?;
+    let stats = write_archive(std::path::Path::new(out), &data, mode, segment_blocks, format)?;
     eprintln!(
         "archive sealed in {:?}: {} segment(s) over {} block positions, \
          {} raw bytes -> {} compressed ({:.1}%) in {out}",
@@ -459,6 +502,72 @@ fn cmd_archive(raw: &[String]) -> Result<(), String> {
     );
     dump_metrics(&args)?;
     finish_tracing(&args);
+    Ok(())
+}
+
+/// Per-block wire-byte equality across all three chains — the schema-
+/// independent identity check (a v1 and a v2 corpus of the same scenario
+/// replay to the same wire bytes, hence the same report).
+fn chains_wire_identical(a: &PipelineData, b: &PipelineData) -> bool {
+    use txstat_reports::archive_io::{eos_block_bytes, tezos_block_bytes, xrp_block_bytes};
+    a.eos_blocks.len() == b.eos_blocks.len()
+        && a.tezos_blocks.len() == b.tezos_blocks.len()
+        && a.xrp_blocks.len() == b.xrp_blocks.len()
+        && a.eos_blocks
+            .iter()
+            .zip(b.eos_blocks.iter())
+            .all(|(x, y)| eos_block_bytes(x) == eos_block_bytes(y))
+        && a.tezos_blocks
+            .iter()
+            .zip(b.tezos_blocks.iter())
+            .all(|(x, y)| tezos_block_bytes(x) == tezos_block_bytes(y))
+        && a.xrp_blocks
+            .iter()
+            .zip(b.xrp_blocks.iter())
+            .all(|(x, y)| xrp_block_bytes(x) == xrp_block_bytes(y))
+}
+
+/// `archive --upgrade SRC --out DIR`: replay the source corpus (whatever
+/// mix of segment schemas it holds), re-seal it at `out` in the requested
+/// format, and prove the rewrite lossless — the new corpus must replay
+/// every chain byte-identical to the source. The scenario and (by
+/// default) the segment geometry carry over from the source manifest.
+fn archive_upgrade(
+    args: &Args,
+    src: &str,
+    out: &str,
+    format: SegmentFormat,
+    started: std::time::Instant,
+) -> Result<(), String> {
+    let (data, src_archive, mode) = archive_dataset(args, src)?;
+    let src_manifest = Manifest::parse(src_archive.manifest())?;
+    let segment_blocks: u64 = args.parsed("--segment-blocks", src_manifest.segment_blocks)?;
+    if segment_blocks == 0 {
+        return Err("--segment-blocks must be at least 1".to_owned());
+    }
+    eprintln!(
+        "replayed {mode} corpus {src} ({} segment(s)); re-sealing as {format}…",
+        src_archive.segments().len()
+    );
+    let stats = write_archive(std::path::Path::new(out), &data, &mode, segment_blocks, format)?;
+    let (replayed, _) = pipeline_from_archive(std::path::Path::new(out))?;
+    if !chains_wire_identical(&replayed, &data) {
+        return Err(format!(
+            "upgrade verification diverged: {out} does not replay byte-identical to {src}"
+        ));
+    }
+    eprintln!(
+        "upgraded in {:?}: {} segment(s) over {} block positions, \
+         {} raw bytes -> {} compressed ({:.1}%) in {out}; replay verified byte-identical",
+        started.elapsed(),
+        stats.segments,
+        stats.total_positions,
+        stats.raw_bytes,
+        stats.compressed_bytes,
+        100.0 * stats.compressed_bytes as f64 / (stats.raw_bytes as f64).max(1.0),
+    );
+    dump_metrics(args)?;
+    finish_tracing(args);
     Ok(())
 }
 
@@ -486,12 +595,14 @@ fn shard_context_of(args: &Args) -> Result<(ShardContext, serde_json::Value), St
     txstat_archive::register_metrics();
     match args.get("--archive") {
         Some(dir) => {
+            let cache_mb: u64 = args
+                .parsed("--segment-cache-mb", txstat_reports::DEFAULT_SEGMENT_CACHE_MB)?;
             let (ctx, manifest) =
-                ShardContext::from_archive(std::path::Path::new(dir))?;
+                ShardContext::from_archive_with(std::path::Path::new(dir), cache_mb)?;
             check_archive_scenario(args, &manifest.meta)?;
             eprintln!(
                 "cold-started from archive {dir}: {} block positions mapped, \
-                 no chains generated",
+                 no chains generated ({cache_mb} MiB decoded-segment cache)",
                 ctx.total_blocks()
             );
             Ok((ctx, manifest.meta))
@@ -542,6 +653,12 @@ fn shard_listen(args: &Args, listen: &str) -> Result<(), String> {
         })
         .map_err(|e| format!("worker accept loop: {e}"))?;
     eprintln!("worker served {served} assignment(s); exiting");
+    if let Some(s) = ctx.cache_stats() {
+        eprintln!(
+            "segment cache: {} hit(s), {} miss(es), {} eviction(s), {} byte(s) resident",
+            s.hits, s.misses, s.evictions, s.bytes
+        );
+    }
     dump_metrics(args)?;
     Ok(())
 }
@@ -562,6 +679,7 @@ fn cmd_shard(raw: &[String]) -> Result<(), String> {
             "--timeout-ms",
             "--metrics-out",
             "--archive",
+            "--segment-cache-mb",
         ],
         false,
     )?;
@@ -792,13 +910,26 @@ fn drive_to_head<A: Clone, B>(
 
 /// Seal the follow loop's observed-but-not-yet-archived positions
 /// `[writer.total_positions(), upto)` as segments of `seg_blocks`
-/// positions (one per batch in steady state).
+/// positions. A runt tail — the previous seal's trailing segment spanning
+/// fewer than `seg_blocks` positions — is first truncated and re-sealed
+/// merged with the new batch (its blocks are still in `d`), so a batch
+/// smaller than the segment size coalesces instead of fragmenting the
+/// corpus into one segment per batch. Each coalesce also bumps the
+/// `coalesced="true"` label of `txstat_archive_segments_written_total`.
 fn archive_append_to(
     w: &mut txstat_archive::ArchiveWriter,
     d: &PipelineData,
     upto: usize,
     seg_blocks: u64,
+    format: SegmentFormat,
 ) -> Result<(), String> {
+    if let Some(last) = w.segments().last() {
+        if last.end - last.start < seg_blocks && (upto as u64) > w.total_positions() {
+            let runt_start = last.start;
+            w.truncate_from(runt_start).map_err(|e| format!("archive coalesce: {e}"))?;
+            txstat_archive::m_written_coalesced().inc();
+        }
+    }
     let from = w.total_positions();
     let cap = |len: usize| upto.min(len);
     for seg in txstat_reports::archive_io::segments_of_from(
@@ -807,6 +938,7 @@ fn archive_append_to(
         &d.xrp_blocks[..cap(d.xrp_blocks.len())],
         seg_blocks,
         from,
+        format,
     ) {
         w.append(&seg).map_err(|e| format!("archive append: {e}"))?;
     }
@@ -829,6 +961,8 @@ fn cmd_follow(raw: &[String]) -> Result<(), String> {
             "--reorg-seed",
             "--metrics-out",
             "--archive",
+            "--segment-blocks",
+            "--format",
         ],
         false,
     )?;
@@ -856,13 +990,28 @@ fn cmd_follow(raw: &[String]) -> Result<(), String> {
 
     // With --archive: cold-start from the corpus when one exists there,
     // otherwise generate and create it; either way each observed batch is
-    // sealed into the corpus as one segment.
-    let seg_blocks = batch as u64;
-    let (data, mut writer) = match args.get("--archive") {
+    // sealed into the corpus, coalescing a runt tail up to
+    // --segment-blocks positions (default: the batch size, or the corpus's
+    // own segment geometry when cold-starting).
+    let seg_blocks_flag: Option<u64> = match args.get("--segment-blocks") {
+        None => None,
+        Some(s) => {
+            Some(s.parse().map_err(|_| format!("--segment-blocks: cannot parse {s:?}"))?)
+        }
+    };
+    if seg_blocks_flag == Some(0) {
+        return Err("--segment-blocks must be at least 1".to_owned());
+    }
+    let seg_format = match args.get("--format") {
+        None => SegmentFormat::default(),
+        Some(s) => SegmentFormat::parse(s)?,
+    };
+    let (data, mut writer, seg_blocks) = match args.get("--archive") {
         Some(dir) => {
             let path = std::path::Path::new(dir);
             if path.join(txstat_archive::IDX_FILE).exists() {
                 let (data, archive, mode) = archive_dataset(&args, dir)?;
+                let manifest = Manifest::parse(archive.manifest())?;
                 eprintln!(
                     "cold-started {mode} scenario from archive {dir}; following head in \
                      batches of {batch} blocks per chain…"
@@ -870,20 +1019,21 @@ fn cmd_follow(raw: &[String]) -> Result<(), String> {
                 let writer = archive
                     .into_writer()
                     .map_err(|e| format!("archive {dir}: {e}"))?;
-                (data, Some(writer))
+                (data, Some(writer), seg_blocks_flag.unwrap_or(manifest.segment_blocks))
             } else {
+                let seg_blocks = seg_blocks_flag.unwrap_or(batch as u64);
                 eprintln!(
                     "generating chains; creating archive {dir} and following head in \
                      batches of {batch} blocks per chain…"
                 );
                 let data = generate(&sc);
                 let writer = txstat_reports::create_archive_writer(path, &data, mode, seg_blocks)?;
-                (data, Some(writer))
+                (data, Some(writer), seg_blocks)
             }
         }
         None => {
             eprintln!("generating chains; following head in batches of {batch} blocks per chain…");
-            (generate(&sc), None)
+            (generate(&sc), None, seg_blocks_flag.unwrap_or(batch as u64))
         }
     };
     let period = data.scenario.period;
@@ -933,7 +1083,7 @@ fn cmd_follow(raw: &[String]) -> Result<(), String> {
         // cold-started archive already covers them).
         if let Some(w) = writer.as_mut() {
             if (hi as u64) > w.total_positions() {
-                archive_append_to(w, &data, hi, seg_blocks)?;
+                archive_append_to(w, &data, hi, seg_blocks, seg_format)?;
             }
         }
 
@@ -978,7 +1128,7 @@ fn cmd_follow(raw: &[String]) -> Result<(), String> {
                 "archive: reorg invalidated {dropped} segment(s); re-sealing from position {}",
                 w.total_positions()
             );
-            archive_append_to(w, &reorged, total, seg_blocks)?;
+            archive_append_to(w, &reorged, total, seg_blocks, seg_format)?;
         }
         for (r, chain) in [
             (eos_f.resync(&reorged.eos_blocks, eos_block_hash), "eos"),
@@ -1049,26 +1199,7 @@ fn cmd_follow(raw: &[String]) -> Result<(), String> {
         w.seal().map_err(|e| format!("archive seal: {e}"))?;
         let dir = args.get("--archive").expect("writer implies --archive");
         let (replayed, archive) = pipeline_from_archive(std::path::Path::new(dir))?;
-        use txstat_reports::archive_io::{eos_block_bytes, tezos_block_bytes, xrp_block_bytes};
-        let same = replayed.eos_blocks.len() == final_data.eos_blocks.len()
-            && replayed.tezos_blocks.len() == final_data.tezos_blocks.len()
-            && replayed.xrp_blocks.len() == final_data.xrp_blocks.len()
-            && replayed
-                .eos_blocks
-                .iter()
-                .zip(final_data.eos_blocks.iter())
-                .all(|(a, b)| eos_block_bytes(a) == eos_block_bytes(b))
-            && replayed
-                .tezos_blocks
-                .iter()
-                .zip(final_data.tezos_blocks.iter())
-                .all(|(a, b)| tezos_block_bytes(a) == tezos_block_bytes(b))
-            && replayed
-                .xrp_blocks
-                .iter()
-                .zip(final_data.xrp_blocks.iter())
-                .all(|(a, b)| xrp_block_bytes(a) == xrp_block_bytes(b));
-        if !same {
+        if !chains_wire_identical(&replayed, &final_data) {
             return Err(format!(
                 "archive verification diverged: {dir} does not replay byte-identical \
                  to the followed chains"

@@ -33,7 +33,12 @@ use txstat_ingest::{
 };
 use txstat_telemetry::{static_counter, Span};
 use txstat_ingest::source::BlockSource;
-use txstat_archive::{Archive, ArchiveWriter};
+use rayon::prelude::*;
+use txstat_archive::{Archive, ArchiveWriter, SegmentCache};
+
+/// Default decoded-segment cache budget for archived shard contexts
+/// (`--segment-cache-mb`).
+pub const DEFAULT_SEGMENT_CACHE_MB: u64 = 64;
 use txstat_wire::{PayloadFormat, ShardFrame};
 use txstat_netsim::handlers::{EosRpcHandler, TezosRpcHandler, XrpRpcHandler};
 use txstat_netsim::server::{spawn_http, spawn_ndjson, EndpointHandle};
@@ -409,16 +414,18 @@ pub fn create_archive_writer(
 }
 
 /// Seal a dataset into an on-disk archive at `dir`: the three chains cut
-/// into LZSS-compressed segments of `segment_blocks` positions each,
-/// plus a manifest (scenario provenance) and sidecar (oracle trades,
-/// cluster, rolls, governance windows). A later process cold-starts from
-/// the directory with [`pipeline_from_archive`] or
-/// [`ShardContext::from_archive`] without generating any chain.
+/// into LZSS-compressed segments of `segment_blocks` positions each —
+/// in the given payload schema ([`crate::SegmentFormat::V2`] columnar by
+/// default at the CLI) — plus a manifest (scenario provenance) and
+/// sidecar (oracle trades, cluster, rolls, governance windows). A later
+/// process cold-starts from the directory with [`pipeline_from_archive`]
+/// or [`ShardContext::from_archive`] without generating any chain.
 pub fn write_archive(
     dir: &std::path::Path,
     data: &PipelineData,
     mode: &str,
     segment_blocks: u64,
+    format: crate::SegmentFormat,
 ) -> Result<ArchiveStats, String> {
     let _span = Span::enter("archive_write", &dir.display().to_string());
     let err = |e: txstat_archive::ArchiveError| format!("archive {}: {e}", dir.display());
@@ -428,6 +435,7 @@ pub fn write_archive(
         &data.tezos_blocks,
         &data.xrp_blocks,
         segment_blocks,
+        format,
     ) {
         writer.append(&seg).map_err(err)?;
     }
@@ -1165,17 +1173,17 @@ fn compute_storage_stats(data: &PipelineData) -> (CrawlStats, CrawlStats, CrawlS
     }
     let eos = stats_par(
         &data.eos_blocks,
-        |b| serde_json::to_vec(&txstat_eos::rpc_model::block_to_json(b)).expect("serializable"),
+        txstat_eos::rpc_model::block_bytes,
         |b| b.transactions.len() as u64,
     );
     let tezos = stats_par(
         &data.tezos_blocks,
-        |b| serde_json::to_vec(&txstat_tezos::rpc_model::block_to_json(b)).expect("serializable"),
+        txstat_tezos::rpc_model::block_bytes,
         |b| b.operations.len() as u64,
     );
     let xrp = stats_par(
         &data.xrp_blocks,
-        |b| serde_json::to_vec(&txstat_xrp::rpc_model::ledger_to_json(b)).expect("serializable"),
+        txstat_xrp::rpc_model::ledger_bytes,
         |b| b.transactions.len() as u64,
     );
     (eos, tezos, xrp)
@@ -1237,6 +1245,9 @@ enum ShardSource {
     Archived {
         archive: Archive,
         total: u64,
+        /// Decoded+parsed segments keyed by content hash — re-assignments
+        /// overlapping the same segments skip decompress/decode/parse.
+        cache: SegmentCache<crate::archive_io::ReplayedChains>,
     },
 }
 
@@ -1284,7 +1295,21 @@ impl ShardContext {
     /// is decoded yet — [`ShardContext::frames`] replays only the
     /// segments covering each assignment. Also returns the parsed
     /// manifest so callers can validate it against their own flags.
+    /// Decoded segments cache at the [`DEFAULT_SEGMENT_CACHE_MB`] budget;
+    /// use [`ShardContext::from_archive_with`] to size it.
     pub fn from_archive(dir: &std::path::Path) -> Result<(Self, crate::Manifest), String> {
+        Self::from_archive_with(dir, DEFAULT_SEGMENT_CACHE_MB)
+    }
+
+    /// [`ShardContext::from_archive`] with an explicit decoded-segment
+    /// cache budget (`--segment-cache-mb`; at 0 only the newest decoded
+    /// segment stays resident). Cache entries are keyed by segment
+    /// *content hash*, so a reorg that rewrites a sealed segment can
+    /// never serve the stale decode.
+    pub fn from_archive_with(
+        dir: &std::path::Path,
+        cache_mb: u64,
+    ) -> Result<(Self, crate::Manifest), String> {
         let archive =
             Archive::open(dir).map_err(|e| format!("archive {}: {e}", dir.display()))?;
         let manifest = crate::Manifest::parse(archive.manifest())?;
@@ -1295,7 +1320,11 @@ impl ShardContext {
         let total = manifest.total_positions();
         let ctx = ShardContext {
             sc,
-            source: ShardSource::Archived { archive, total },
+            source: ShardSource::Archived {
+                archive,
+                total,
+                cache: SegmentCache::new(cache_mb.saturating_mul(1024 * 1024)),
+            },
             oracle,
             governance_periods: sidecar.governance_periods,
         };
@@ -1343,12 +1372,52 @@ impl ShardContext {
             ShardWorker { start, end, base: 0, shards: shards.max(1), payload, meta };
         match &self.source {
             ShardSource::Generated { eos, tezos, xrp } => Ok(build(&worker, eos, tezos, xrp)),
-            ShardSource::Archived { archive, .. } => {
-                let segments = archive.replay_range(start, end).map_err(|e| e.to_string())?;
-                worker.base = segments.first().map_or(start, |s| s.start);
-                let (eos, tezos, xrp) = crate::archive_io::chains_of(&segments)?;
+            ShardSource::Archived { archive, cache, .. } => {
+                let (lo, hi) = archive.covering(start, end);
+                let metas = archive.segments();
+                worker.base = metas.get(lo).map_or(start, |m| m.start);
+                // Probe the cache once per covering segment (each probe is
+                // exactly one hit or miss), decode the misses on a rayon
+                // fan, then park them for the next overlapping assignment.
+                let probes: Vec<(usize, Option<Arc<crate::archive_io::ReplayedChains>>)> =
+                    (lo..hi).map(|i| (i, cache.get(metas[i].hash))).collect();
+                let misses: Vec<usize> =
+                    probes.iter().filter(|(_, p)| p.is_none()).map(|(i, _)| *i).collect();
+                let decoded: Vec<Result<crate::archive_io::ReplayedChains, String>> = misses
+                    .par_iter()
+                    .map(|&i| {
+                        let seg = archive.decode_segment(i).map_err(|e| e.to_string())?;
+                        crate::archive_io::chains_of_segment(&seg)
+                    })
+                    .collect_vec();
+                let mut fresh = std::collections::HashMap::new();
+                for (&i, parsed) in misses.iter().zip(decoded) {
+                    let parsed = Arc::new(parsed?);
+                    cache.insert(metas[i].hash, Arc::clone(&parsed), metas[i].raw_len);
+                    fresh.insert(i, parsed);
+                }
+                let mut eos = Vec::new();
+                let mut tezos = Vec::new();
+                let mut xrp = Vec::new();
+                for (i, probe) in probes {
+                    let parsed = match probe {
+                        Some(p) => p,
+                        None => Arc::clone(&fresh[&i]),
+                    };
+                    eos.extend_from_slice(&parsed.0);
+                    tezos.extend_from_slice(&parsed.1);
+                    xrp.extend_from_slice(&parsed.2);
+                }
                 Ok(build(&worker, &eos, &tezos, &xrp))
             }
+        }
+    }
+
+    /// Exact decoded-segment cache counters (archived sources only).
+    pub fn cache_stats(&self) -> Option<txstat_archive::CacheStats> {
+        match &self.source {
+            ShardSource::Generated { .. } => None,
+            ShardSource::Archived { cache, .. } => Some(cache.stats()),
         }
     }
 }
@@ -1451,23 +1520,17 @@ fn finish_reduce(data: PipelineData, session: ReduceSession) -> Result<PipelineD
 /// serialization Figure 2's storage accounting uses, so any observable
 /// change to the block changes the hash.
 pub fn eos_block_hash(b: &txstat_eos::Block) -> u64 {
-    txstat_types::ids::fnv1a64(
-        &serde_json::to_vec(&txstat_eos::rpc_model::block_to_json(b)).expect("serializable"),
-    )
+    txstat_types::ids::fnv1a64(&txstat_eos::rpc_model::block_bytes(b))
 }
 
 /// Content hash of one Tezos block (see [`eos_block_hash`]).
 pub fn tezos_block_hash(b: &txstat_tezos::TezosBlock) -> u64 {
-    txstat_types::ids::fnv1a64(
-        &serde_json::to_vec(&txstat_tezos::rpc_model::block_to_json(b)).expect("serializable"),
-    )
+    txstat_types::ids::fnv1a64(&txstat_tezos::rpc_model::block_bytes(b))
 }
 
 /// Content hash of one XRP ledger (see [`eos_block_hash`]).
 pub fn xrp_block_hash(b: &txstat_xrp::LedgerBlock) -> u64 {
-    txstat_types::ids::fnv1a64(
-        &serde_json::to_vec(&txstat_xrp::rpc_model::ledger_to_json(b)).expect("serializable"),
-    )
+    txstat_types::ids::fnv1a64(&txstat_xrp::rpc_model::ledger_bytes(b))
 }
 
 /// Simulate a chain reorganization: every block at position `>= from` (in

@@ -9,6 +9,7 @@
 //! Babylon 2.0.
 
 pub mod address;
+pub mod block_cols;
 pub mod chain;
 pub mod governance;
 pub mod ops;

@@ -228,6 +228,20 @@ pub fn block_from_json(json: &BlockJson) -> Result<TezosBlock, DecodeError> {
     Ok(TezosBlock { level: json.header.level, time, baker, operations })
 }
 
+/// The canonical wire bytes of one block: compact JSON of
+/// [`block_to_json`]. Crawl replay, wire-JSON archive segments, and reorg
+/// content hashes all share this definition.
+pub fn block_bytes(b: &TezosBlock) -> Vec<u8> {
+    serde_json::to_vec(&block_to_json(b)).expect("serializable")
+}
+
+/// Inverse of [`block_bytes`].
+pub fn block_parse(bytes: &[u8]) -> Result<TezosBlock, String> {
+    let wire: BlockJson =
+        serde_json::from_slice(bytes).map_err(|e| format!("tezos wire block: {e}"))?;
+    block_from_json(&wire).map_err(|e| format!("tezos wire block: {e}"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

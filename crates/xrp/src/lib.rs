@@ -15,6 +15,7 @@
 
 pub mod address;
 pub mod amount;
+pub mod block_cols;
 pub mod dex;
 pub mod escrow;
 pub mod ledger;

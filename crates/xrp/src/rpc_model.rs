@@ -303,6 +303,20 @@ pub fn ledger_from_json(v: &Value) -> Result<LedgerBlock, DecodeError> {
     Ok(LedgerBlock { index, close_time, transactions })
 }
 
+/// The canonical wire bytes of one closed ledger: compact JSON of
+/// [`ledger_to_json`]. Crawl replay, wire-JSON archive segments, and reorg
+/// content hashes all share this definition.
+pub fn ledger_bytes(b: &LedgerBlock) -> Vec<u8> {
+    serde_json::to_vec(&ledger_to_json(b)).expect("serializable")
+}
+
+/// Inverse of [`ledger_bytes`].
+pub fn ledger_parse(bytes: &[u8]) -> Result<LedgerBlock, String> {
+    let v: Value =
+        serde_json::from_slice(bytes).map_err(|e| format!("xrp wire ledger: {e}"))?;
+    ledger_from_json(&v).map_err(|e| format!("xrp wire ledger: {e}"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

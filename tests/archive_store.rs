@@ -13,8 +13,12 @@
 use proptest::prelude::*;
 use std::path::{Path, PathBuf};
 use std::sync::OnceLock;
-use txstat::archive::{Archive, ArchiveError, ArchiveWriter, SegmentBlocks, IDX_FILE, SEG_FILE};
-use txstat::reports::{generate, pipeline_from_archive, render_report, write_archive, PipelineData};
+use txstat::archive::{
+    Archive, ArchiveError, ArchiveWriter, SegmentBlocks, SegmentPayload, IDX_FILE, SEG_FILE,
+};
+use txstat::reports::{
+    generate, pipeline_from_archive, render_report, write_archive, PipelineData, SegmentFormat,
+};
 use txstat::workload::Scenario;
 
 fn tempdir(tag: &str, case: u64) -> PathBuf {
@@ -39,9 +43,11 @@ fn synthetic_corpus(dir: &Path, segs: usize, seed: u64) {
             let x = seed ^ (chain << 32) ^ (start << 8) ^ j;
             x.to_le_bytes().iter().cycle().take(16 + (x % 48) as usize).copied().collect()
         };
-        seg.eos = (0..2).map(|j| blob(1, j)).collect();
-        seg.tezos = (0..(1 + i % 2)).map(|j| blob(2, j as u64)).collect();
-        seg.xrp = vec![blob(3, 0)];
+        seg.payload = SegmentPayload::JsonV1 {
+            eos: (0..2).map(|j| blob(1, j)).collect(),
+            tezos: (0..(1 + i % 2)).map(|j| blob(2, j as u64)).collect(),
+            xrp: vec![blob(3, 0)],
+        };
         w.append(&seg).expect("append segment");
     }
     w.seal().expect("seal corpus");
@@ -135,9 +141,11 @@ fn cold_start_report_is_byte_identical_at_any_segment_size() {
     let drawn: Vec<u64> = (0..3).map(|_| draw()).collect();
     let (data, report) = direct();
     for segment_blocks in drawn.into_iter().chain([1, 2712, 4096]) {
-        let dir = tempdir("roundtrip", segment_blocks);
-        let stats =
-            write_archive(&dir, data, "small", segment_blocks).expect("write archive");
+        for format in [SegmentFormat::V1, SegmentFormat::V2] {
+        let v2 = (format == SegmentFormat::V2) as u64;
+        let dir = tempdir("roundtrip", segment_blocks ^ (v2 << 32));
+        let stats = write_archive(&dir, data, "small", segment_blocks, format)
+            .expect("write archive");
         assert_eq!(stats.total_positions, 2712); // longest small chain (tezos)
         let expect_segments = 2712_u64.div_ceil(segment_blocks);
         assert_eq!(stats.segments as u64, expect_segments);
@@ -150,9 +158,10 @@ fn cold_start_report_is_byte_identical_at_any_segment_size() {
         let cold = render_report(&replayed);
         assert_eq!(
             &cold, report,
-            "cold-started report differs at segment size {segment_blocks}"
+            "cold-started report differs at segment size {segment_blocks} ({format})"
         );
         let _ = std::fs::remove_dir_all(&dir);
+        }
     }
 }
 
@@ -161,17 +170,19 @@ fn cold_start_report_is_byte_identical_at_any_segment_size() {
 #[test]
 fn archive_writes_are_deterministic() {
     let (data, _) = direct();
-    let a = tempdir("det-a", 0);
-    let b = tempdir("det-b", 0);
-    write_archive(&a, data, "small", 321).expect("write a");
-    write_archive(&b, data, "small", 321).expect("write b");
-    for name in [SEG_FILE, IDX_FILE] {
-        assert_eq!(
-            std::fs::read(a.join(name)).expect("read a"),
-            std::fs::read(b.join(name)).expect("read b"),
-            "{name} differs between two writes of the same dataset"
-        );
+    for format in [SegmentFormat::V1, SegmentFormat::V2] {
+        let a = tempdir("det-a", (format == SegmentFormat::V2) as u64);
+        let b = tempdir("det-b", (format == SegmentFormat::V2) as u64);
+        write_archive(&a, data, "small", 321, format).expect("write a");
+        write_archive(&b, data, "small", 321, format).expect("write b");
+        for name in [SEG_FILE, IDX_FILE] {
+            assert_eq!(
+                std::fs::read(a.join(name)).expect("read a"),
+                std::fs::read(b.join(name)).expect("read b"),
+                "{name} differs between two {format} writes of the same dataset"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&a);
+        let _ = std::fs::remove_dir_all(&b);
     }
-    let _ = std::fs::remove_dir_all(&a);
-    let _ = std::fs::remove_dir_all(&b);
 }
